@@ -1,0 +1,44 @@
+/// \file bench_fig1_overall.cpp
+/// Regenerates **Figure 1** of the paper: overall execution time of the
+/// Noh problem on a single node, one bar per configuration.
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "perfmodel/paper_data.hpp"
+
+using namespace bookleaf::perfmodel;
+
+int main() {
+    std::printf("=== Figure 1: overall single-node time, Noh problem ===\n\n");
+    std::printf("%-18s %10s %10s   %s\n", "Config", "model(s)", "paper(s)",
+                "bar (model)");
+    double max_model = 0;
+    for (int c = 0; c < config_count; ++c)
+        max_model = std::max(
+            max_model,
+            model_noh(static_cast<Config>(c), reference_work()).overall);
+
+    for (int c = 0; c < config_count; ++c) {
+        const auto config = static_cast<Config>(c);
+        const auto b = model_noh(config, reference_work());
+        const auto& paper = paper_table2().at(config);
+        const int width = static_cast<int>(50.0 * b.overall / max_model);
+        std::printf("%-18s %10.1f %10.1f   %s\n", config_name(config).c_str(),
+                    b.overall, paper.overall, std::string(width, '#').c_str());
+    }
+    std::printf("\nOrdering (fastest to slowest, model): ");
+    // Simple selection print.
+    std::array<int, config_count> order;
+    for (int i = 0; i < config_count; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [](int a, int b) {
+        return model_noh(static_cast<Config>(a), reference_work()).overall <
+               model_noh(static_cast<Config>(b), reference_work()).overall;
+    });
+    for (const int c : order)
+        std::printf("%s%s", config_name(static_cast<Config>(c)).c_str(),
+                    c == order.back() ? "\n" : " < ");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/// \file bench_fig2_kernels.cpp
+/// Regenerates **Figure 2** of the paper: per-kernel execution times for
+/// the Noh problem on a single node — (a) the viscosity kernel, (b) the
+/// acceleration kernel.
+
+#include <cstdio>
+#include <string>
+
+#include "perfmodel/paper_data.hpp"
+
+using namespace bookleaf::perfmodel;
+using bookleaf::util::Kernel;
+
+namespace {
+
+void figure(const char* title, Kernel kernel,
+            double PaperRow::*paper_member) {
+    std::printf("%s\n\n", title);
+    double max_model = 0;
+    for (int c = 0; c < config_count; ++c)
+        max_model = std::max(max_model,
+                             model_noh(static_cast<Config>(c), reference_work())
+                                 .at(kernel));
+    std::printf("%-18s %10s %10s   %s\n", "Config", "model(s)", "paper(s)",
+                "bar (model)");
+    for (int c = 0; c < config_count; ++c) {
+        const auto config = static_cast<Config>(c);
+        const double model =
+            model_noh(config, reference_work()).at(kernel);
+        const double paper = paper_table2().at(config).*paper_member;
+        const int width = static_cast<int>(50.0 * model / max_model);
+        std::printf("%-18s %10.1f %10.1f   %s\n", config_name(config).c_str(),
+                    model, paper, std::string(width, '#').c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+    figure("=== Figure 2a: viscosity calculation kernel (getq) ===",
+           Kernel::getq, &PaperRow::viscosity);
+    figure("=== Figure 2b: acceleration calculation kernel (getacc) ===",
+           Kernel::getacc, &PaperRow::acceleration);
+
+    // The paper's headline observation for this figure: the hybrid
+    // viscosity is within a few percent of flat MPI while the hybrid
+    // acceleration suffers from the data dependency.
+    const auto skl = model_noh(Config::skl_mpi, reference_work());
+    const auto skl_h = model_noh(Config::skl_hybrid, reference_work());
+    std::printf("hybrid/flat (Skylake): viscosity %.2fx, acceleration %.2fx\n",
+                skl_h.at(Kernel::getq) / skl.at(Kernel::getq),
+                skl_h.at(Kernel::getacc) / skl.at(Kernel::getacc));
+    return 0;
+}

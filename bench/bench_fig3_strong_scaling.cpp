@@ -1,0 +1,39 @@
+/// \file bench_fig3_strong_scaling.cpp
+/// Regenerates **Figure 3** of the paper: overall execution time for the
+/// Sod problem when strong scaling over 8-64 Cray XC50 nodes (hybrid
+/// model), Skylake vs Broadwell, through the cluster model. The paper's
+/// key observations: superlinear speedup from 8 to 16 nodes (cache
+/// capacity), near-linear scaling beyond, Skylake below Broadwell with
+/// the same curve shape, negligible communication.
+
+#include <cmath>
+#include <cstdio>
+
+#include "perfmodel/clustersim.hpp"
+
+using namespace bookleaf::perfmodel;
+
+int main() {
+    std::printf("=== Figure 3: Sod strong scaling, overall time ===\n\n");
+    const std::vector<int> nodes = {8, 16, 32, 64};
+
+    for (const auto& platform : {skylake(), broadwell()}) {
+        const auto pts =
+            strong_scaling(platform, reference_work(), {}, {}, nodes);
+        std::printf("%s\n", platform.name.c_str());
+        std::printf("  %6s %12s %10s %12s %10s %8s\n", "nodes", "time(s)",
+                    "log10", "speedup", "efficiency", "comm(s)");
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            const double speedup = pts[0].overall / pts[i].overall;
+            const double ideal = pts[i].nodes / double(pts[0].nodes);
+            std::printf("  %6d %12.1f %10.2f %11.2fx %9.0f%% %8.1f\n",
+                        pts[i].nodes, pts[i].overall,
+                        std::log10(pts[i].overall), speedup,
+                        100.0 * speedup / ideal, pts[i].comm);
+        }
+        const double s16 = pts[0].overall / pts[1].overall;
+        std::printf("  8 -> 16 nodes: %.2fx (%s; paper reports superlinear)\n\n",
+                    s16, s16 > 2.0 ? "superlinear" : "sublinear");
+    }
+    return 0;
+}

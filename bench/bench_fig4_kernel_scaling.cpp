@@ -1,0 +1,40 @@
+/// \file bench_fig4_kernel_scaling.cpp
+/// Regenerates **Figure 4** of the paper: per-kernel execution times for
+/// the Sod problem when strong scaling — (a) the viscosity kernel,
+/// (b) the acceleration kernel. Both carry a halo exchange, and both must
+/// show the same superlinear-then-linear shape as the overall curve.
+
+#include <cmath>
+#include <cstdio>
+
+#include "perfmodel/clustersim.hpp"
+
+using namespace bookleaf::perfmodel;
+
+namespace {
+
+void figure(const char* title, double ScalingPoint::*member) {
+    std::printf("%s\n", title);
+    const std::vector<int> nodes = {8, 16, 32, 64};
+    for (const auto& platform : {skylake(), broadwell()}) {
+        const auto pts =
+            strong_scaling(platform, reference_work(), {}, {}, nodes);
+        std::printf("  %-12s", platform.name.find("Skylake") != std::string::npos
+                                   ? "Skylake"
+                                   : "Broadwell");
+        for (const auto& p : pts) std::printf(" %5d:%9.1fs", p.nodes, p.*member);
+        const double s16 = pts[0].*member / pts[1].*member;
+        std::printf("   8->16: %.2fx\n", s16);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+    std::printf("=== Figure 4: per-kernel strong scaling, Sod problem ===\n\n");
+    figure("Figure 4a: viscosity calculation kernel", &ScalingPoint::viscosity);
+    figure("Figure 4b: acceleration calculation kernel",
+           &ScalingPoint::acceleration);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/// \file getmesh.cpp
+/// ALEGETMESH: choose the target mesh for the remap. Eulerian mode
+/// returns the generation-time mesh; ALE mode runs weighted Jacobi
+/// smoothing toward the average of edge-connected neighbours, with
+/// boundary nodes restricted to slide along their wall and every move
+/// clamped to a fraction of the shortest incident edge (so the swept
+/// volumes stay small and the donor-cell advection stays in its stable
+/// regime).
+
+#include <algorithm>
+#include <cmath>
+
+#include "ale/remap.hpp"
+
+namespace bookleaf::ale {
+
+void alegetmesh(const hydro::Context& ctx, const hydro::State& s,
+                const Options& opts, Workspace& w) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::alegetmesh);
+    const auto& mesh = *ctx.mesh;
+    const auto nn = static_cast<std::size_t>(mesh.n_nodes());
+
+    w.xt.assign(s.x.begin(), s.x.end());
+    w.yt.assign(s.y.begin(), s.y.end());
+    if (opts.mode == Mode::lagrange) return;
+
+    if (opts.mode == Mode::eulerian) {
+        w.xt.assign(mesh.x.begin(), mesh.x.end());
+        w.yt.assign(mesh.y.begin(), mesh.y.end());
+        return;
+    }
+
+    // --- ALE: Jacobi smoothing toward the neighbour average -----------------
+    // Node adjacency via faces.
+    std::vector<Real> ax(nn), ay(nn);
+    std::vector<int> deg(nn);
+    std::vector<Real> next_x(w.xt), next_y(w.yt);
+    for (int pass = 0; pass < opts.smoothing_passes; ++pass) {
+        std::fill(ax.begin(), ax.end(), 0.0);
+        std::fill(ay.begin(), ay.end(), 0.0);
+        std::fill(deg.begin(), deg.end(), 0);
+        for (const auto& f : mesh.faces) {
+            const auto a = static_cast<std::size_t>(f.a);
+            const auto b = static_cast<std::size_t>(f.b);
+            ax[a] += w.xt[b];
+            ay[a] += w.yt[b];
+            ax[b] += w.xt[a];
+            ay[b] += w.yt[a];
+            ++deg[a];
+            ++deg[b];
+        }
+        for (std::size_t n = 0; n < nn; ++n) {
+            if (deg[n] == 0) continue;
+            const auto mask = mesh.node_bc[n];
+            if (mask & mesh::bc::piston) continue;
+            const bool can_x = !(mask & mesh::bc::fix_u);
+            const bool can_y = !(mask & mesh::bc::fix_v);
+            const Real mx = ax[n] / deg[n];
+            const Real my = ay[n] / deg[n];
+            if (can_x)
+                next_x[n] = (Real(1) - opts.smoothing_weight) * w.xt[n] +
+                            opts.smoothing_weight * mx;
+            if (can_y)
+                next_y[n] = (Real(1) - opts.smoothing_weight) * w.yt[n] +
+                            opts.smoothing_weight * my;
+        }
+        w.xt = next_x;
+        w.yt = next_y;
+    }
+
+    // --- clamp the total displacement --------------------------------------
+    // Shortest incident edge per node (via faces).
+    std::vector<Real> min_edge(nn, std::numeric_limits<Real>::max());
+    for (const auto& f : mesh.faces) {
+        const auto a = static_cast<std::size_t>(f.a);
+        const auto b = static_cast<std::size_t>(f.b);
+        const Real len = std::hypot(s.x[a] - s.x[b], s.y[a] - s.y[b]);
+        min_edge[a] = std::min(min_edge[a], len);
+        min_edge[b] = std::min(min_edge[b], len);
+    }
+    for (std::size_t n = 0; n < nn; ++n) {
+        const Real dx = w.xt[n] - s.x[n];
+        const Real dy = w.yt[n] - s.y[n];
+        const Real d = std::hypot(dx, dy);
+        const Real dmax = opts.max_move_frac * min_edge[n];
+        if (d > dmax && d > tiny) {
+            const Real f = dmax / d;
+            w.xt[n] = s.x[n] + f * dx;
+            w.yt[n] = s.y[n] + f * dy;
+        }
+    }
+}
+
+} // namespace bookleaf::ale

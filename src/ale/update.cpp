@@ -1,0 +1,50 @@
+/// \file update.cpp
+/// ALEUPDATE: move the state onto the target mesh and rebuild the
+/// dependent variables (geometry, density, EoS).
+
+#include "ale/remap.hpp"
+#include "geom/geometry.hpp"
+#include "util/error.hpp"
+
+namespace bookleaf::ale {
+
+void aleupdate(const hydro::Context& ctx, hydro::State& s, Workspace& w) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleupdate);
+    const auto& mesh = *ctx.mesh;
+    const auto& materials = *ctx.materials;
+
+    s.x.assign(w.xt.begin(), w.xt.end());
+    s.y.assign(w.yt.begin(), w.yt.end());
+    s.x0 = s.x;
+    s.y0 = s.y;
+
+    for (Index c = 0; c < mesh.n_cells(); ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        const auto quad = geom::gather(mesh, s.x, s.y, c);
+        const Real vol = geom::quad_area(quad);
+        if (vol <= 0.0)
+            throw util::Error("aleupdate: non-positive volume in cell " +
+                              std::to_string(c));
+        s.volume[ci] = vol;
+        s.char_len[ci] = geom::char_length(quad);
+        const auto cv = geom::corner_volumes(quad);
+        for (int k = 0; k < corners_per_cell; ++k)
+            s.cnvol[hydro::State::cidx(c, k)] = cv[static_cast<std::size_t>(k)];
+
+        s.rho[ci] = s.cell_mass[ci] / vol;
+        const Index r = mesh.cell_region[ci];
+        s.pre[ci] = materials.pressure(r, s.rho[ci], s.ein[ci]);
+        s.csqrd[ci] = materials.sound_speed2(r, s.rho[ci], s.ein[ci]);
+    }
+}
+
+void alestep(const hydro::Context& ctx, hydro::State& s, const Options& opts,
+             Workspace& w) {
+    if (opts.mode == Mode::lagrange) return;
+    alegetmesh(ctx, s, opts, w);
+    alegetfvol(ctx, s, w);
+    aleadvect(ctx, s, opts, w);
+    aleupdate(ctx, s, w);
+}
+
+} // namespace bookleaf::ale

@@ -1,0 +1,35 @@
+#include "analytic/exact.hpp"
+
+#include <cmath>
+
+namespace bookleaf::analytic {
+
+NohState noh_exact(Real r, Real t) {
+    // gamma = 5/3 constants: shock speed 1/3, jump (gamma+1)/(gamma-1) = 4,
+    // squared for the cylindrical geometric focusing -> 16.
+    const Real r_shock = t / Real(3.0);
+    if (r < r_shock) {
+        // e2 = 1/2 (all inflow kinetic energy thermalised):
+        // P = (gamma - 1) rho e = (2/3) * 16 * (1/2) = 16/3.
+        return {Real(16.0), Real(0.0), Real(16.0) / Real(3.0)};
+    }
+    return {Real(1.0) + t / r, Real(-1.0), Real(0.0)};
+}
+
+PistonSolution piston_exact(Real gamma, Real rho0, Real vp) {
+    PistonSolution s;
+    s.shock_speed = Real(0.5) * (gamma + 1) * vp;
+    s.rho_shocked = rho0 * (gamma + 1) / (gamma - 1);
+    s.p_shocked = rho0 * s.shock_speed * vp;
+    return s;
+}
+
+Real sedov_exponent(Real t1, Real r1, Real t2, Real r2) {
+    return std::log(r2 / r1) / std::log(t2 / t1);
+}
+
+Real strong_shock_density_ratio(Real gamma) {
+    return (gamma + 1) / (gamma - 1);
+}
+
+} // namespace bookleaf::analytic

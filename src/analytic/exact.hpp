@@ -1,0 +1,37 @@
+#pragma once
+/// \file exact.hpp
+/// Closed-form reference solutions for the remaining BookLeaf test
+/// problems: the cylindrical Noh implosion, the strong-shock piston
+/// (Saltzmann), and the Sedov scaling law.
+
+#include "util/types.hpp"
+
+namespace bookleaf::analytic {
+
+/// Exact cylindrical (2-D) Noh solution for gamma = 5/3, rho0 = 1,
+/// inflow speed 1: shock at r = t/3; behind it rho = 16, u = 0,
+/// P = 16/3; ahead rho = 1 + t/r, u = -1, P = 0.
+struct NohState {
+    Real rho, u_r, p;
+};
+[[nodiscard]] NohState noh_exact(Real r, Real t);
+
+/// Strong-shock piston relations: piston speed vp driving into a cold
+/// (P ~ 0) ideal gas of density rho0 at rest.
+struct PistonSolution {
+    Real shock_speed;   ///< D = (gamma + 1)/2 * vp
+    Real rho_shocked;   ///< rho0 (gamma + 1)/(gamma - 1)
+    Real p_shocked;     ///< rho0 D vp
+};
+[[nodiscard]] PistonSolution piston_exact(Real gamma, Real rho0, Real vp);
+
+/// Sedov blast in 2-D (cylindrical): R(t) = xi0 (E t^2 / rho0)^(1/4).
+/// The scaling exponent d(ln R)/d(ln t) = 1/2 is the mesh-independent
+/// check; estimate it from two (t, R) samples.
+[[nodiscard]] Real sedov_exponent(Real t1, Real r1, Real t2, Real r2);
+
+/// Post-shock density for a strong shock (Sedov front): rho2/rho1
+/// = (gamma + 1)/(gamma - 1).
+[[nodiscard]] Real strong_shock_density_ratio(Real gamma);
+
+} // namespace bookleaf::analytic

@@ -1,0 +1,40 @@
+#include "analytic/norms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bookleaf::analytic {
+
+Norms cell_error_norms(const mesh::Mesh& mesh, std::span<const Real> x,
+                       std::span<const Real> y, std::span<const Real> volume,
+                       std::span<const Real> field,
+                       const std::function<Real(Real, Real)>& reference,
+                       const std::function<bool(Real, Real)>& mask) {
+    Norms n;
+    Real total_volume = 0.0;
+    for (Index c = 0; c < mesh.n_cells(); ++c) {
+        Real cx = 0, cy = 0;
+        for (int k = 0; k < corners_per_cell; ++k) {
+            const auto node = static_cast<std::size_t>(mesh.cn(c, k));
+            cx += x[node];
+            cy += y[node];
+        }
+        cx *= Real(0.25);
+        cy *= Real(0.25);
+        if (mask && !mask(cx, cy)) continue;
+        const auto ci = static_cast<std::size_t>(c);
+        const Real err = field[ci] - reference(cx, cy);
+        const Real v = volume[ci];
+        n.l1 += std::abs(err) * v;
+        n.l2 += err * err * v;
+        n.linf = std::max(n.linf, std::abs(err));
+        total_volume += v;
+    }
+    if (total_volume > 0.0) {
+        n.l1 /= total_volume;
+        n.l2 = std::sqrt(n.l2 / total_volume);
+    }
+    return n;
+}
+
+} // namespace bookleaf::analytic

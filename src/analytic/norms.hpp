@@ -1,0 +1,29 @@
+#pragma once
+/// \file norms.hpp
+/// Error norms between a cell field and a reference function evaluated at
+/// cell centroids, volume-weighted (the standard convergence metric).
+
+#include <functional>
+#include <span>
+
+#include "mesh/mesh.hpp"
+#include "util/types.hpp"
+
+namespace bookleaf::analytic {
+
+struct Norms {
+    Real l1 = 0.0;
+    Real l2 = 0.0;
+    Real linf = 0.0;
+};
+
+/// Volume-weighted norms of (field - reference(cx, cy)) over the cells
+/// selected by `mask` (null = all cells). `x`, `y` are the *current* node
+/// positions; `volume` the current cell volumes.
+Norms cell_error_norms(const mesh::Mesh& mesh, std::span<const Real> x,
+                       std::span<const Real> y, std::span<const Real> volume,
+                       std::span<const Real> field,
+                       const std::function<Real(Real, Real)>& reference,
+                       const std::function<bool(Real, Real)>& mask = nullptr);
+
+} // namespace bookleaf::analytic

@@ -1,0 +1,122 @@
+#include "analytic/riemann.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bookleaf::analytic {
+
+namespace {
+
+/// f_K(p): velocity change across the K-wave, plus derivative (Toro §4.3).
+struct WaveFn {
+    Real f, df;
+};
+
+WaveFn wave(Real p, const PrimState& s, Real g) {
+    const Real a = std::sqrt(g * s.p / s.rho);
+    if (p > s.p) {
+        // shock
+        const Real ak = 2.0 / ((g + 1) * s.rho);
+        const Real bk = (g - 1) / (g + 1) * s.p;
+        const Real root = std::sqrt(ak / (p + bk));
+        return {(p - s.p) * root,
+                root * (1.0 - (p - s.p) / (2.0 * (bk + p)))};
+    }
+    // rarefaction
+    const Real pr = p / s.p;
+    return {2.0 * a / (g - 1) * (std::pow(pr, (g - 1) / (2 * g)) - 1.0),
+            std::pow(pr, -(g + 1) / (2 * g)) / (s.rho * a)};
+}
+
+} // namespace
+
+Riemann::Riemann(PrimState left, PrimState right, Real gamma)
+    : left_(left), right_(right), gamma_(gamma) {
+    util::require(left.rho > 0 && right.rho > 0 && left.p > 0 && right.p > 0,
+                  "riemann: states must have positive density and pressure");
+
+    // Initial guess: PVRS (primitive-variable Riemann solver), floored.
+    const Real al = std::sqrt(gamma_ * left_.p / left_.rho);
+    const Real ar = std::sqrt(gamma_ * right_.p / right_.rho);
+    Real p = Real(0.5) * (left_.p + right_.p) -
+             Real(0.125) * (right_.u - left_.u) * (left_.rho + right_.rho) *
+                 (al + ar);
+    p = std::max(p, Real(1e-8) * std::min(left_.p, right_.p));
+
+    // Newton iteration on f(p) = fL + fR + du = 0.
+    const Real du = right_.u - left_.u;
+    for (int it = 0; it < 100; ++it) {
+        const auto wl = wave(p, left_, gamma_);
+        const auto wr = wave(p, right_, gamma_);
+        const Real f = wl.f + wr.f + du;
+        const Real df = wl.df + wr.df;
+        const Real p_new = std::max(p - f / df, Real(1e-12));
+        if (std::abs(p_new - p) < 1e-14 * p) {
+            p = p_new;
+            break;
+        }
+        p = p_new;
+    }
+    p_star_ = p;
+    const auto wl = wave(p, left_, gamma_);
+    const auto wr = wave(p, right_, gamma_);
+    u_star_ = Real(0.5) * (left_.u + right_.u) + Real(0.5) * (wr.f - wl.f);
+}
+
+PrimState Riemann::sample(Real xi) const {
+    const Real g = gamma_;
+    if (xi <= u_star_) {
+        // Left of the contact.
+        const PrimState& s = left_;
+        const Real a = std::sqrt(g * s.p / s.rho);
+        if (p_star_ > s.p) {
+            // Left shock.
+            const Real ratio = p_star_ / s.p;
+            const Real sl =
+                s.u - a * std::sqrt((g + 1) / (2 * g) * ratio + (g - 1) / (2 * g));
+            if (xi <= sl) return s;
+            const Real rho = s.rho * (ratio + (g - 1) / (g + 1)) /
+                             ((g - 1) / (g + 1) * ratio + 1.0);
+            return {rho, u_star_, p_star_};
+        }
+        // Left rarefaction.
+        const Real rho_star = s.rho * std::pow(p_star_ / s.p, 1.0 / g);
+        const Real a_star = std::sqrt(g * p_star_ / rho_star);
+        const Real head = s.u - a;
+        const Real tail = u_star_ - a_star;
+        if (xi <= head) return s;
+        if (xi >= tail) return {rho_star, u_star_, p_star_};
+        // Inside the fan.
+        const Real u = 2.0 / (g + 1) * (a + (g - 1) / 2.0 * s.u + xi);
+        const Real afan = 2.0 / (g + 1) * (a + (g - 1) / 2.0 * (s.u - xi));
+        const Real rho = s.rho * std::pow(afan / a, 2.0 / (g - 1));
+        const Real p = s.p * std::pow(afan / a, 2.0 * g / (g - 1));
+        return {rho, u, p};
+    }
+    // Right of the contact (mirror).
+    const PrimState& s = right_;
+    const Real a = std::sqrt(g * s.p / s.rho);
+    if (p_star_ > s.p) {
+        const Real ratio = p_star_ / s.p;
+        const Real sr =
+            s.u + a * std::sqrt((g + 1) / (2 * g) * ratio + (g - 1) / (2 * g));
+        if (xi >= sr) return s;
+        const Real rho = s.rho * (ratio + (g - 1) / (g + 1)) /
+                         ((g - 1) / (g + 1) * ratio + 1.0);
+        return {rho, u_star_, p_star_};
+    }
+    const Real rho_star = s.rho * std::pow(p_star_ / s.p, 1.0 / g);
+    const Real a_star = std::sqrt(g * p_star_ / rho_star);
+    const Real head = s.u + a;
+    const Real tail = u_star_ + a_star;
+    if (xi >= head) return s;
+    if (xi <= tail) return {rho_star, u_star_, p_star_};
+    const Real u = 2.0 / (g + 1) * (-a + (g - 1) / 2.0 * s.u + xi);
+    const Real afan = 2.0 / (g + 1) * (a - (g - 1) / 2.0 * (s.u - xi));
+    const Real rho = s.rho * std::pow(afan / a, 2.0 / (g - 1));
+    const Real p = s.p * std::pow(afan / a, 2.0 * g / (g - 1));
+    return {rho, u, p};
+}
+
+} // namespace bookleaf::analytic

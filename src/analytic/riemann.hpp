@@ -1,0 +1,37 @@
+#pragma once
+/// \file riemann.hpp
+/// Exact Riemann solver for the 1-D Euler equations with an ideal-gas
+/// EoS (Toro's iterative two-rarefaction/two-shock scheme). Used to
+/// validate the Sod shock-tube runs against the true solution.
+
+#include "util/types.hpp"
+
+namespace bookleaf::analytic {
+
+/// Primitive state (density, velocity, pressure).
+struct PrimState {
+    Real rho = 0.0;
+    Real u = 0.0;
+    Real p = 0.0;
+};
+
+/// Exact solution of the Riemann problem (left, right, gamma). `sample`
+/// evaluates the self-similar solution at speed xi = x / t.
+class Riemann {
+public:
+    Riemann(PrimState left, PrimState right, Real gamma);
+
+    /// Pressure and velocity in the star region.
+    [[nodiscard]] Real p_star() const { return p_star_; }
+    [[nodiscard]] Real u_star() const { return u_star_; }
+
+    /// Solution at similarity coordinate xi = x / t.
+    [[nodiscard]] PrimState sample(Real xi) const;
+
+private:
+    PrimState left_, right_;
+    Real gamma_;
+    Real p_star_ = 0.0, u_star_ = 0.0;
+};
+
+} // namespace bookleaf::analytic

@@ -1,0 +1,90 @@
+#include "core/driver.hpp"
+
+#include "util/csr.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace bookleaf::core {
+
+Hydro::Hydro(setup::Problem problem) : problem_(std::move(problem)) {
+    state_ = hydro::allocate(problem_.mesh);
+    state_.rho = problem_.rho;
+    state_.ein = problem_.ein;
+    state_.u = problem_.u;
+    state_.v = problem_.v;
+    hydro::initialise(problem_.mesh, problem_.materials, state_);
+
+    ctx_.mesh = &problem_.mesh;
+    ctx_.materials = &problem_.materials;
+    ctx_.opts = problem_.hydro;
+    ctx_.profiler = &profiler_;
+    dt_ = problem_.hydro.dt_initial;
+}
+
+void Hydro::enable_colored_scatter() {
+    std::vector<std::pair<Index, Index>> pairs;
+    const auto& mesh = problem_.mesh;
+    pairs.reserve(static_cast<std::size_t>(mesh.n_cells()) * corners_per_cell);
+    for (Index c = 0; c < mesh.n_cells(); ++c)
+        for (int k = 0; k < corners_per_cell; ++k)
+            pairs.emplace_back(c, mesh.cn(c, k));
+    const auto csr = util::Csr::from_pairs(mesh.n_cells(), pairs);
+    coloring_ = par::greedy_color(csr, mesh.n_nodes());
+    ctx_.scatter_coloring = &coloring_;
+    ctx_.exec.colored_scatter = true;
+}
+
+StepInfo Hydro::step() { return step_clamped(std::nullopt); }
+
+StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
+    StepInfo info;
+    // Algorithm 1: the very first step uses dt_initial.
+    if (steps_ > 0) {
+        const auto dt_result = hydro::getdt(ctx_, state_, dt_);
+        dt_ = dt_result.dt;
+        info.dt_cell = dt_result.cell;
+        info.dt_reason = dt_result.reason;
+    } else {
+        info.dt_reason = "initial";
+    }
+    if (t_end && t_ + dt_ > *t_end) {
+        dt_ = *t_end - t_;
+        info.dt_reason = "t_end";
+    }
+
+    hydro::lagstep(ctx_, state_, dt_);
+
+    if (problem_.ale.mode != ale::Mode::lagrange) {
+        const bool due = problem_.ale.mode == ale::Mode::eulerian ||
+                         (steps_ + 1) % problem_.ale.frequency == 0;
+        if (due) {
+            ale::alestep(ctx_, state_, problem_.ale, ale_work_);
+            info.remapped = true;
+        }
+    }
+
+    t_ += dt_;
+    ++steps_;
+    info.step = steps_;
+    info.t = t_;
+    info.dt = dt_;
+    util::log_debug("step ", steps_, " t=", t_, " dt=", dt_, " (",
+                    info.dt_reason, ")");
+    return info;
+}
+
+RunSummary Hydro::run(std::optional<Real> t_end_opt, int max_steps) {
+    const Real t_end = t_end_opt.value_or(problem_.t_end);
+    RunSummary summary;
+    summary.initial = totals();
+    const util::Timer timer;
+    while (t_ < t_end * (Real(1.0) - eps) && steps_ < max_steps)
+        step_clamped(t_end);
+    summary.steps = steps_;
+    summary.t_final = t_;
+    summary.wall_seconds = timer.elapsed();
+    summary.final_ = totals();
+    return summary;
+}
+
+} // namespace bookleaf::core

@@ -1,0 +1,79 @@
+#pragma once
+/// \file driver.hpp
+/// The BookLeaf driver — Algorithm 1 of the paper:
+///   loop { if after first step: dt = GETDT(dt); LAGSTEP(dt);
+///          if remap due: ALESTEP; }
+/// This is the single-process driver (the distributed variant lives in
+/// dist/). It owns the state, the kernel context, the ALE workspace and
+/// the per-run profiler.
+
+#include <optional>
+
+#include "ale/remap.hpp"
+#include "hydro/kernels.hpp"
+#include "setup/problems.hpp"
+
+namespace bookleaf::core {
+
+/// Per-step record (what the reference code prints as its step banner).
+struct StepInfo {
+    int step = 0;
+    Real t = 0.0;
+    Real dt = 0.0;
+    Index dt_cell = no_index;
+    std::string_view dt_reason;
+    bool remapped = false;
+};
+
+/// Outcome of a full run.
+struct RunSummary {
+    int steps = 0;
+    Real t_final = 0.0;
+    Real wall_seconds = 0.0;
+    hydro::Totals initial, final_;
+};
+
+class Hydro {
+public:
+    /// Takes ownership of the problem (mesh, materials, IC, options).
+    explicit Hydro(setup::Problem problem);
+
+    /// Optional execution policy (threading) — set before stepping.
+    void set_exec(par::Exec exec) { ctx_.exec = exec; }
+    /// Enable colour-parallel acceleration scatter (builds the colouring).
+    void enable_colored_scatter();
+
+    /// One step of Algorithm 1. Returns the step record.
+    StepInfo step();
+
+    /// Run until t_end (default: the problem's t_end) or max_steps.
+    RunSummary run(std::optional<Real> t_end = std::nullopt,
+                   int max_steps = std::numeric_limits<int>::max());
+
+    [[nodiscard]] const hydro::State& state() const { return state_; }
+    [[nodiscard]] hydro::State& state() { return state_; }
+    [[nodiscard]] const mesh::Mesh& mesh() const { return problem_.mesh; }
+    [[nodiscard]] const setup::Problem& problem() const { return problem_; }
+    [[nodiscard]] const util::Profiler& profiler() const { return profiler_; }
+    [[nodiscard]] util::Profiler& profiler() { return profiler_; }
+    [[nodiscard]] Real time() const { return t_; }
+    [[nodiscard]] int steps() const { return steps_; }
+    [[nodiscard]] hydro::Totals totals() const {
+        return hydro::totals(problem_.mesh, state_);
+    }
+
+private:
+    StepInfo step_clamped(std::optional<Real> t_end);
+
+    setup::Problem problem_;
+    hydro::State state_;
+    hydro::Context ctx_;
+    ale::Workspace ale_work_;
+    util::Profiler profiler_;
+    par::Coloring coloring_;
+    Real t_ = 0.0;
+    Real dt_ = 0.0;
+    int steps_ = 0;
+};
+
+} // namespace bookleaf::core

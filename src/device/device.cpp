@@ -1,0 +1,57 @@
+#include "device/device.hpp"
+
+#include <algorithm>
+
+namespace bookleaf::device {
+
+double Device::copy_to_device(std::size_t bytes) {
+    const double t =
+        transfer_.latency_s + static_cast<double>(bytes) / transfer_.bandwidth_bps;
+    clock_s_ += t;
+    transfer_s_ += t;
+    bytes_moved_ += bytes;
+    return t;
+}
+
+double Device::copy_to_host(std::size_t bytes) {
+    const double t =
+        transfer_.latency_s + static_cast<double>(bytes) / transfer_.bandwidth_bps;
+    clock_s_ += t;
+    transfer_s_ += t;
+    bytes_moved_ += bytes;
+    return t;
+}
+
+double Device::launch(double flops_per_elem, double bytes_per_elem,
+                      double n_elems, int n_arrays, double occupancy_factor) {
+    // Roofline: compute or bandwidth bound, derated by occupancy.
+    const double flops = flops_per_elem * n_elems;
+    const double bytes = bytes_per_elem * n_elems;
+    const double t_compute =
+        std::max(flops / flop_rate_, bytes / mem_bandwidth_) * occupancy_factor;
+
+    // Fixed launch overhead plus optional dope-vector traffic (§IV-D: the
+    // Fortran runtime ships one descriptor per assumed-size array per
+    // launch — each descriptor is its own small synchronous transfer, so
+    // the *latency* dominates, which is exactly why 72-96 bytes per array
+    // "adds up to a significant time").
+    double t_overhead = launch_.launch_latency_s;
+    if (launch_.dope_vector_bytes > 0.0 && n_arrays > 0)
+        t_overhead += n_arrays * (transfer_.latency_s +
+                                  launch_.dope_vector_bytes /
+                                      transfer_.bandwidth_bps);
+
+    clock_s_ += t_compute + t_overhead;
+    compute_s_ += t_compute;
+    overhead_s_ += t_overhead;
+    ++launches_;
+    return t_compute + t_overhead;
+}
+
+void Device::reset() {
+    clock_s_ = transfer_s_ = compute_s_ = overhead_s_ = 0.0;
+    launches_ = 0;
+    bytes_moved_ = 0;
+}
+
+} // namespace bookleaf::device

@@ -1,0 +1,89 @@
+#pragma once
+/// \file device.hpp
+/// Simulated accelerator.
+///
+/// The paper evaluates BookLeaf on NVIDIA P100/V100 GPUs; none is
+/// available here, so the GPU execution model is reproduced as an
+/// explicit simulator with a virtual clock. Every mechanism the paper
+/// discusses is a *code path*, not a constant:
+///   * host/device memory spaces with PCIe-like transfer costs
+///     (latency + bytes/bandwidth),
+///   * per-launch overhead,
+///   * optional per-launch dope-vector transfers (the CUDA Fortran
+///     assumed-size-array issue of §IV-D),
+///   * a register-pressure occupancy factor (§V-B: the CUDA viscosity
+///     kernel is slower than the OpenMP-offload one because of register
+///     usage),
+///   * roofline kernel timing: max(flops / rate, bytes / bandwidth).
+
+#include <cstddef>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace bookleaf::device {
+
+/// PCIe-like transfer cost model.
+struct TransferModel {
+    double latency_s = 10e-6;       ///< per-transfer setup
+    double bandwidth_bps = 12.0e9;  ///< effective host<->device bytes/s
+};
+
+/// Kernel-launch cost model.
+struct LaunchModel {
+    double launch_latency_s = 8e-6; ///< driver + dispatch per launch
+    /// Bytes of array metadata shipped per array per launch when the
+    /// Fortran runtime transfers dope vectors (0 = fixed-size arrays).
+    double dope_vector_bytes = 0.0;
+};
+
+/// Simulated device with a virtual clock. All costs are charged in
+/// virtual seconds; nothing sleeps.
+class Device {
+public:
+    Device(std::string name, double flop_rate, double mem_bandwidth_bps,
+           TransferModel transfer = {}, LaunchModel launch = {})
+        : name_(std::move(name)), flop_rate_(flop_rate),
+          mem_bandwidth_(mem_bandwidth_bps), transfer_(transfer),
+          launch_(launch) {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] double now() const { return clock_s_; }
+
+    /// Host -> device copy; returns the charged seconds.
+    double copy_to_device(std::size_t bytes);
+    /// Device -> host copy; returns the charged seconds.
+    double copy_to_host(std::size_t bytes);
+
+    /// Launch a kernel over n_elems elements with the given per-element
+    /// work. `occupancy_factor` >= 1 derates throughput (register
+    /// pressure); `n_arrays` counts dope vectors when enabled. Returns the
+    /// charged seconds.
+    double launch(double flops_per_elem, double bytes_per_elem, double n_elems,
+                  int n_arrays = 8, double occupancy_factor = 1.0);
+
+    // --- accumulated statistics -------------------------------------------
+    [[nodiscard]] double transfer_seconds() const { return transfer_s_; }
+    [[nodiscard]] double compute_seconds() const { return compute_s_; }
+    [[nodiscard]] double overhead_seconds() const { return overhead_s_; }
+    [[nodiscard]] long launches() const { return launches_; }
+    [[nodiscard]] std::size_t bytes_moved() const { return bytes_moved_; }
+
+    void reset();
+
+private:
+    std::string name_;
+    double flop_rate_;
+    double mem_bandwidth_;
+    TransferModel transfer_;
+    LaunchModel launch_;
+
+    double clock_s_ = 0.0;
+    double transfer_s_ = 0.0;
+    double compute_s_ = 0.0;
+    double overhead_s_ = 0.0;
+    long launches_ = 0;
+    std::size_t bytes_moved_ = 0;
+};
+
+} // namespace bookleaf::device

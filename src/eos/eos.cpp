@@ -1,0 +1,88 @@
+#include "eos/eos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bookleaf::eos {
+
+namespace {
+
+struct PressureOp {
+    Real rho, ein;
+
+    Real operator()(const IdealGas& m) const {
+        return (m.gamma - Real(1.0)) * rho * ein;
+    }
+    Real operator()(const Tait& m) const {
+        return m.b * (std::pow(rho / m.rho0, m.n) - Real(1.0)) + m.p_ref;
+    }
+    Real operator()(const Jwl& m) const {
+        const Real eta = rho / m.rho0;
+        if (eta <= tiny) return 0.0;
+        const Real t1 = m.a * (Real(1.0) - m.omega * eta / m.r1) * std::exp(-m.r1 / eta);
+        const Real t2 = m.b * (Real(1.0) - m.omega * eta / m.r2) * std::exp(-m.r2 / eta);
+        return t1 + t2 + m.omega * rho * ein;
+    }
+    Real operator()(const Void&) const { return 0.0; }
+};
+
+struct SoundSpeed2Op {
+    Real rho, ein;
+
+    Real operator()(const IdealGas& m) const {
+        // c^2 = gamma P / rho = gamma (gamma-1) e.
+        return m.gamma * (m.gamma - Real(1.0)) * std::max(ein, Real(0.0));
+    }
+    Real operator()(const Tait& m) const {
+        const Real eta = rho / m.rho0;
+        return (m.b * m.n / m.rho0) * std::pow(eta, m.n - Real(1.0));
+    }
+    Real operator()(const Jwl& m) const {
+        // c^2 = (dP/drho)|_e + (P/rho^2)(dP/de)|_rho, with (dP/de) = w rho.
+        const Real eta = rho / m.rho0;
+        if (eta <= tiny) return 0.0;
+        const Real e1 = std::exp(-m.r1 / eta);
+        const Real e2 = std::exp(-m.r2 / eta);
+        // d/drho of A(1 - w eta/R1) exp(-R1/eta):
+        //   A/rho0 * exp(-R1/eta) * [ -w/R1 + (1 - w eta/R1) * R1/eta^2 ].
+        const Real d1 = m.a / m.rho0 * e1 *
+                        (-m.omega / m.r1 +
+                         (Real(1.0) - m.omega * eta / m.r1) * m.r1 / (eta * eta));
+        const Real d2 = m.b / m.rho0 * e2 *
+                        (-m.omega / m.r2 +
+                         (Real(1.0) - m.omega * eta / m.r2) * m.r2 / (eta * eta));
+        const Real dpdrho = d1 + d2 + m.omega * ein;
+        const Real p = PressureOp{rho, ein}(m);
+        return dpdrho + p / (rho * rho) * (m.omega * rho);
+    }
+    Real operator()(const Void&) const { return 0.0; }
+};
+
+} // namespace
+
+Real pressure(const Material& mat, Real rho, Real ein, const Cutoffs& cut) {
+    const Real p = std::visit(PressureOp{rho, ein}, mat);
+    return std::abs(p) < cut.pcut ? Real(0.0) : p;
+}
+
+Real sound_speed2(const Material& mat, Real rho, Real ein, const Cutoffs& cut) {
+    return std::max(std::visit(SoundSpeed2Op{rho, ein}, mat), cut.ccut);
+}
+
+Real MaterialTable::pressure(Index region, Real rho, Real ein) const {
+    BL_ASSERT(region >= 0 &&
+              region < static_cast<Index>(materials.size()));
+    return eos::pressure(materials[static_cast<std::size_t>(region)], rho, ein,
+                         cutoffs);
+}
+
+Real MaterialTable::sound_speed2(Index region, Real rho, Real ein) const {
+    BL_ASSERT(region >= 0 &&
+              region < static_cast<Index>(materials.size()));
+    return eos::sound_speed2(materials[static_cast<std::size_t>(region)], rho,
+                             ein, cutoffs);
+}
+
+} // namespace bookleaf::eos

@@ -1,0 +1,68 @@
+#pragma once
+/// \file eos.hpp
+/// Equations of state. BookLeaf provides ideal gas, Tait, and JWL, plus a
+/// void material (paper §III-A). The EoS closes Euler's equations by
+/// supplying pressure and sound speed from (density, specific internal
+/// energy).
+
+#include <variant>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bookleaf::eos {
+
+/// P = (gamma - 1) rho e;  c^2 = gamma P / rho.
+struct IdealGas {
+    Real gamma = 1.4;
+};
+
+/// Tait (stiff liquid): P = B[(rho/rho0)^n - 1] + p_ref;
+/// c^2 = dP/drho = (B n / rho0) (rho/rho0)^{n-1}.
+struct Tait {
+    Real rho0 = 1.0;
+    Real b = 1.0;  ///< bulk modulus-like coefficient B
+    Real n = 7.0;
+    Real p_ref = 0.0;
+};
+
+/// Jones-Wilkins-Lee (detonation products), eta = rho / rho0:
+/// P = A(1 - w eta/R1) exp(-R1/eta) + B(1 - w eta/R2) exp(-R2/eta)
+///     + w rho e.
+struct Jwl {
+    Real rho0 = 1.0;
+    Real a = 0.0, b = 0.0;
+    Real r1 = 1.0, r2 = 1.0;
+    Real omega = 0.3;
+};
+
+/// Void: zero pressure, floor sound speed.
+struct Void {};
+
+using Material = std::variant<IdealGas, Tait, Jwl, Void>;
+
+/// Numerical cutoffs applied uniformly (BookLeaf's pcut/ccut).
+struct Cutoffs {
+    Real pcut = 1.0e-8; ///< |P| below this is snapped to zero
+    Real ccut = 1.0e-6; ///< floor on the squared sound speed
+};
+
+/// Pressure from (rho, e) with the pcut snap applied.
+[[nodiscard]] Real pressure(const Material& mat, Real rho, Real ein,
+                            const Cutoffs& cut = {});
+
+/// Squared adiabatic sound speed, floored at ccut.
+[[nodiscard]] Real sound_speed2(const Material& mat, Real rho, Real ein,
+                                const Cutoffs& cut = {});
+
+/// Per-region material table: region r of the mesh evaluates via
+/// `materials[r]`.
+struct MaterialTable {
+    std::vector<Material> materials;
+    Cutoffs cutoffs;
+
+    [[nodiscard]] Real pressure(Index region, Real rho, Real ein) const;
+    [[nodiscard]] Real sound_speed2(Index region, Real rho, Real ein) const;
+};
+
+} // namespace bookleaf::eos

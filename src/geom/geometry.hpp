@@ -1,0 +1,67 @@
+#pragma once
+/// \file geometry.hpp
+/// Pure per-quad geometry used by the hydro kernels: shoelace areas,
+/// median-mesh corner (sub-zonal) volumes, and the exact gradients of
+/// both with respect to node positions. The compatible discretisation
+/// (Barlow [27]) takes corner forces as pressure times these gradients, so
+/// getting them exactly right is what makes total-energy conservation
+/// exact.
+
+#include <array>
+#include <span>
+
+#include "mesh/mesh.hpp"
+#include "util/types.hpp"
+
+namespace bookleaf::geom {
+
+struct Vec2 {
+    Real x = 0.0, y = 0.0;
+};
+
+/// The four corner positions of one cell, CCW.
+struct QuadPts {
+    std::array<Real, 4> x{}, y{};
+};
+
+/// Gather corner positions of cell c from node coordinate arrays.
+[[nodiscard]] QuadPts gather(const mesh::Mesh& mesh, std::span<const Real> nx,
+                             std::span<const Real> ny, Index c);
+
+/// Signed shoelace area (positive for CCW quads).
+[[nodiscard]] Real quad_area(const QuadPts& q);
+
+/// Arithmetic mean of the corners (the median-mesh cell centre).
+[[nodiscard]] Vec2 quad_centroid(const QuadPts& q);
+
+/// Gradient of the cell area w.r.t. each corner position:
+///   dA/dx_i = (y_{i+1} - y_{i-1}) / 2,  dA/dy_i = (x_{i-1} - x_{i+1}) / 2.
+[[nodiscard]] std::array<Vec2, 4> area_gradients(const QuadPts& q);
+
+/// Median-mesh corner volumes: subzone i is the quad
+/// (p_i, midpoint(i,i+1), centroid, midpoint(i-1,i)). They tile the cell:
+/// sum_i corner_volume_i == quad_area exactly.
+[[nodiscard]] std::array<Real, 4> corner_volumes(const QuadPts& q);
+
+/// d(subzone_volume_i)/d(corner_j) for all i, j. Satisfies
+/// sum_i grad[i][j] == area_gradients()[j] (subzones tile the cell).
+[[nodiscard]] std::array<std::array<Vec2, 4>, 4>
+corner_volume_gradients(const QuadPts& q);
+
+/// Characteristic length for the CFL condition. BookLeaf-style: cell area
+/// divided by the longest diagonal — reduces to ~h/sqrt(2) on squares and
+/// shrinks for needle-like cells.
+[[nodiscard]] Real char_length(const QuadPts& q);
+
+/// Shortest edge length.
+[[nodiscard]] Real min_edge_length(const QuadPts& q);
+
+/// Mesh-quality metrics for diagnostics and generator tests.
+struct Quality {
+    Real min_area = 0.0;    ///< most negative/smallest signed cell area
+    Real max_aspect = 0.0;  ///< max edge / min edge within any cell
+    Index worst_cell = no_index;
+};
+[[nodiscard]] Quality mesh_quality(const mesh::Mesh& mesh);
+
+} // namespace bookleaf::geom

@@ -1,0 +1,90 @@
+/// \file getacc.cpp
+/// Acceleration kernel. Assembles nodal masses and forces from corner
+/// data (a scatter: cells write to shared nodes), applies kinematic
+/// boundary conditions, advances velocities by dt, and forms the
+/// time-centred velocities used by the corrector's geometry and energy
+/// updates.
+///
+/// The scatter is the data dependency the paper highlights (§IV-B): the
+/// reference OpenMP port leaves this loop unparallelised. We mirror both
+/// behaviours: without a colouring the scatter runs serially even when an
+/// execution pool is present; with `exec.colored_scatter` and a colouring
+/// in the context, colour classes run in parallel (race-free because no
+/// two cells of a class share a node).
+
+#include "hydro/kernels.hpp"
+#include "util/error.hpp"
+
+namespace bookleaf::hydro {
+
+namespace {
+
+/// Scatter one cell's corner masses and forces into the nodal arrays.
+inline void scatter_cell(const mesh::Mesh& mesh, State& s, Index c,
+                         std::vector<Real>& nm) {
+    for (int k = 0; k < corners_per_cell; ++k) {
+        const auto n = static_cast<std::size_t>(mesh.cn(c, k));
+        const auto ki = State::cidx(c, k);
+        nm[n] += s.cnmass[ki];
+        s.nfx[n] += s.fx[ki];
+        s.nfy[n] += s.fy[ki];
+    }
+}
+
+} // namespace
+
+void getacc(const Context& ctx, State& s, Real dt) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    const auto& mesh = *ctx.mesh;
+    const Index n_nodes = mesh.n_nodes();
+    const Index n_cells = mesh.n_cells();
+
+    std::fill(s.nfx.begin(), s.nfx.end(), 0.0);
+    std::fill(s.nfy.begin(), s.nfy.end(), 0.0);
+    std::fill(s.node_mass.begin(), s.node_mass.end(), 0.0);
+
+    const bool use_colors = ctx.exec.colored_scatter &&
+                            ctx.scatter_coloring != nullptr &&
+                            ctx.exec.threaded();
+    if (use_colors) {
+        // Race-free parallel scatter: cells within a colour class share no
+        // node, classes run back-to-back.
+        for (const auto& cls : ctx.scatter_coloring->classes) {
+            par::for_each(ctx.exec, static_cast<Index>(cls.size()), [&](Index i) {
+                scatter_cell(mesh, s, cls[static_cast<std::size_t>(i)],
+                             s.node_mass);
+            });
+        }
+    } else {
+        // The reference behaviour: serial scatter (data dependency).
+        for (Index c = 0; c < n_cells; ++c)
+            scatter_cell(mesh, s, c, s.node_mass);
+    }
+
+    // Advance velocities; form time-centred velocities.
+    par::for_each(ctx.exec, n_nodes, [&](Index n) {
+        const auto ni = static_cast<std::size_t>(n);
+        const Real m = s.node_mass[ni];
+        Real un, vn;
+        if (m > tiny) {
+            un = s.u0[ni] + dt * s.nfx[ni] / m;
+            vn = s.v0[ni] + dt * s.nfy[ni] / m;
+        } else {
+            un = s.u0[ni];
+            vn = s.v0[ni];
+        }
+        s.u[ni] = un;
+        s.v[ni] = vn;
+    });
+
+    apply_velocity_bc(mesh, ctx.opts, s.u, s.v);
+
+    par::for_each(ctx.exec, n_nodes, [&](Index n) {
+        const auto ni = static_cast<std::size_t>(n);
+        s.ubar[ni] = Real(0.5) * (s.u0[ni] + s.u[ni]);
+        s.vbar[ni] = Real(0.5) * (s.v0[ni] + s.v[ni]);
+    });
+    apply_velocity_bc(mesh, ctx.opts, s.ubar, s.vbar);
+}
+
+} // namespace bookleaf::hydro

@@ -1,0 +1,84 @@
+/// \file getdt.cpp
+/// Timestep controller. Three candidate constraints:
+///   * CFL: dt = cfl_sf * min_c ( L_c / c_eff ), c_eff^2 = c_s^2 + 2 q/rho
+///     — the viscosity contribution follows the reference BookLeaf;
+///   * divergence: dt = div_sf / max_c |dV/dt| / V (volume-change limit);
+///   * growth: dt <= dt_growth * previous dt, and dt <= dt_max.
+/// The min-reductions carry argmin (the Fortran MINVAL/MINLOC pair whose
+/// `workshare` behaviour the paper discusses); under the hybrid artefact
+/// (`exec.serial_reductions`) they run single-threaded.
+
+#include <cmath>
+
+#include "geom/geometry.hpp"
+#include "hydro/kernels.hpp"
+#include "util/error.hpp"
+
+namespace bookleaf::hydro {
+
+DtResult getdt(const Context& ctx, const State& s, Real dt_prev) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getdt);
+    const auto& mesh = *ctx.mesh;
+    const auto& opts = ctx.opts;
+    const Index n_cells =
+        ctx.dt_cells >= 0 ? ctx.dt_cells : mesh.n_cells();
+
+    // --- CFL in squared space: minimise L^2 / c_eff^2 ----------------------
+    const auto cfl = par::reduce_min(ctx.exec, n_cells, [&](Index c) {
+        const auto ci = static_cast<std::size_t>(c);
+        const Real rho = std::max(s.rho[ci], opts.dencut);
+        const Real ceff2 = s.csqrd[ci] + Real(2.0) * s.q[ci] / rho;
+        const Real l = s.char_len[ci];
+        return l * l / std::max(ceff2, opts.cutoffs.ccut);
+    });
+
+    // --- divergence (volume-change rate) limit ------------------------------
+    // dV/dt = sum_i u_i . dV/dx_i exactly for shoelace volumes; minimise
+    // the negated magnitude to find the fastest-changing cell.
+    const auto negdiv = par::reduce_min(ctx.exec, n_cells, [&](Index c) {
+        const auto quad = geom::gather(mesh, s.x, s.y, c);
+        const auto grads = geom::area_gradients(quad);
+        Real dvdt = 0.0;
+        for (int k = 0; k < corners_per_cell; ++k) {
+            const auto n = static_cast<std::size_t>(mesh.cn(c, k));
+            dvdt += s.u[n] * grads[static_cast<std::size_t>(k)].x +
+                    s.v[n] * grads[static_cast<std::size_t>(k)].y;
+        }
+        const auto ci = static_cast<std::size_t>(c);
+        return -std::abs(dvdt) / std::max(s.volume[ci], tiny);
+    });
+
+    DtResult result;
+    result.dt = opts.cfl_sf * std::sqrt(std::max(cfl.value, Real(0.0)));
+    result.cell = cfl.index;
+    result.reason = "CFL";
+
+    const Real max_div = -negdiv.value;
+    if (max_div > tiny) {
+        const Real dt_div = opts.div_sf / max_div;
+        if (dt_div < result.dt) {
+            result.dt = dt_div;
+            result.cell = negdiv.index;
+            result.reason = "divergence";
+        }
+    }
+
+    if (dt_prev > 0.0 && opts.dt_growth * dt_prev < result.dt) {
+        result.dt = opts.dt_growth * dt_prev;
+        result.cell = no_index;
+        result.reason = "growth";
+    }
+
+    if (opts.dt_max < result.dt) {
+        result.dt = opts.dt_max;
+        result.cell = no_index;
+        result.reason = "maximum";
+    }
+
+    if (result.dt < opts.dt_min)
+        throw util::Error("getdt: timestep collapsed below dt_min (cell " +
+                          std::to_string(result.cell) + ")");
+    return result;
+}
+
+} // namespace bookleaf::hydro

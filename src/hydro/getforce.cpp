@@ -1,0 +1,86 @@
+/// \file getforce.cpp
+/// Total corner forces for the compatible discretisation:
+///   * pressure force: P times the gradient of cell volume w.r.t. the
+///     corner position (exact shoelace gradient -> exact energy
+///     conservation with the matching getein work term);
+///   * sub-zonal pressure forces (Caramana & Shashkov [25]): each median
+///     subzone evaluates its own density; the pressure *difference*
+///     delta-P acts through the exact subzone-volume gradients, resisting
+///     hourglass-pattern distortions that leave the cell volume unchanged;
+///   * Hancock hourglass filter [24]: viscous damping of the (+,-,+,-)
+///     corner velocity pattern;
+///   * the viscous corner forces computed by getq.
+
+#include <cmath>
+
+#include "geom/geometry.hpp"
+#include "hydro/kernels.hpp"
+
+namespace bookleaf::hydro {
+
+void getforce(const Context& ctx, State& s) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getforce);
+    const auto& mesh = *ctx.mesh;
+    const auto& materials = *ctx.materials;
+    const bool subzonal = ctx.opts.hourglass.subzonal_pressures;
+    const Real kappa = ctx.opts.hourglass.filter_kappa;
+
+    par::for_each(ctx.exec, mesh.n_cells(), [&](Index c) {
+        const auto ci = static_cast<std::size_t>(c);
+        const auto quad = geom::gather(mesh, s.x, s.y, c);
+        const auto grads = geom::area_gradients(quad);
+        const Real p = s.pre[ci];
+
+        std::array<Real, 4> fx{}, fy{};
+        for (std::size_t k = 0; k < 4; ++k) {
+            fx[k] = p * grads[k].x;
+            fy[k] = p * grads[k].y;
+        }
+
+        if (subzonal) {
+            const auto szgrads = geom::corner_volume_gradients(quad);
+            const Index region = mesh.cell_region[ci];
+            for (std::size_t i = 0; i < 4; ++i) {
+                const auto ii = State::cidx(c, static_cast<int>(i));
+                const Real vsz = std::max(s.cnvol[ii], tiny);
+                const Real rho_sz = s.cnmass[ii] / vsz;
+                const Real dp =
+                    materials.pressure(region, rho_sz, s.ein[ci]) - s.pre[ci];
+                if (dp == 0.0) continue;
+                for (std::size_t j = 0; j < 4; ++j) {
+                    fx[j] += dp * szgrads[i][j].x;
+                    fy[j] += dp * szgrads[i][j].y;
+                }
+            }
+        }
+
+        if (kappa > 0.0) {
+            // Hourglass mode Gamma = (+1, -1, +1, -1).
+            static constexpr std::array<Real, 4> gamma = {1.0, -1.0, 1.0, -1.0};
+            Real hg_u = 0.0, hg_v = 0.0;
+            for (std::size_t k = 0; k < 4; ++k) {
+                const auto n = static_cast<std::size_t>(
+                    mesh.cn(c, static_cast<int>(k)));
+                hg_u += gamma[k] * s.u[n];
+                hg_v += gamma[k] * s.v[n];
+            }
+            hg_u *= Real(0.25);
+            hg_v *= Real(0.25);
+            const Real cs = std::sqrt(std::max(s.csqrd[ci], Real(0.0)));
+            const Real coef =
+                kappa * s.rho[ci] * cs * std::sqrt(std::abs(s.volume[ci]));
+            for (std::size_t k = 0; k < 4; ++k) {
+                fx[k] -= coef * gamma[k] * hg_u;
+                fy[k] -= coef * gamma[k] * hg_v;
+            }
+        }
+
+        for (int k = 0; k < corners_per_cell; ++k) {
+            const auto ki = State::cidx(c, k);
+            s.fx[ki] = fx[static_cast<std::size_t>(k)] + s.qfx[ki];
+            s.fy[ki] = fy[static_cast<std::size_t>(k)] + s.qfy[ki];
+        }
+    });
+}
+
+} // namespace bookleaf::hydro

@@ -1,0 +1,96 @@
+#include <atomic>
+
+#include "geom/geometry.hpp"
+#include "hydro/kernels.hpp"
+#include "util/error.hpp"
+
+namespace bookleaf::hydro {
+
+void getgeom(const Context& ctx, State& s, std::span<const Real> wu,
+             std::span<const Real> wv, Real dt_move) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getgeom);
+    const auto& mesh = *ctx.mesh;
+
+    // Advance node positions from the step-start snapshot.
+    par::for_each(ctx.exec, mesh.n_nodes(), [&](Index n) {
+        const auto ni = static_cast<std::size_t>(n);
+        s.x[ni] = s.x0[ni] + wu[ni] * dt_move;
+        s.y[ni] = s.y0[ni] + wv[ni] * dt_move;
+    });
+
+    // Rebuild cell geometry; collect the first tangled cell (if any).
+    std::atomic<Index> bad_cell{no_index};
+    par::for_each(ctx.exec, mesh.n_cells(), [&](Index c) {
+        const auto quad = geom::gather(mesh, s.x, s.y, c);
+        const Real vol = geom::quad_area(quad);
+        const auto ci = static_cast<std::size_t>(c);
+        s.volume[ci] = vol;
+        s.char_len[ci] = geom::char_length(quad);
+        const auto cv = geom::corner_volumes(quad);
+        for (int k = 0; k < corners_per_cell; ++k)
+            s.cnvol[State::cidx(c, k)] = cv[static_cast<std::size_t>(k)];
+        if (vol <= 0.0) {
+            Index expected = no_index;
+            bad_cell.compare_exchange_strong(expected, c);
+        }
+    });
+
+    if (bad_cell.load() != no_index)
+        throw util::Error("getgeom: non-positive volume in cell " +
+                          std::to_string(bad_cell.load()) +
+                          " (mesh tangled; consider enabling ALE)");
+}
+
+void getrho(const Context& ctx, State& s) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getrho);
+    par::for_each(ctx.exec, s.n_cells(), [&](Index c) {
+        const auto ci = static_cast<std::size_t>(c);
+        s.rho[ci] = s.cell_mass[ci] / std::max(s.volume[ci], tiny);
+    });
+}
+
+void getpc(const Context& ctx, State& s) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getpc);
+    const auto& mesh = *ctx.mesh;
+    const auto& materials = *ctx.materials;
+    par::for_each(ctx.exec, s.n_cells(), [&](Index c) {
+        const auto ci = static_cast<std::size_t>(c);
+        const Index r = mesh.cell_region[ci];
+        s.pre[ci] = materials.pressure(r, s.rho[ci], s.ein[ci]);
+        s.csqrd[ci] = materials.sound_speed2(r, s.rho[ci], s.ein[ci]);
+    });
+}
+
+void getein(const Context& ctx, State& s, std::span<const Real> wu,
+            std::span<const Real> wv, Real dt_eff) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getein);
+    const auto& mesh = *ctx.mesh;
+    par::for_each(ctx.exec, s.n_cells(), [&](Index c) {
+        Real work = 0.0;
+        for (int k = 0; k < corners_per_cell; ++k) {
+            const auto n = static_cast<std::size_t>(mesh.cn(c, k));
+            const auto ki = State::cidx(c, k);
+            work += s.fx[ki] * wu[n] + s.fy[ki] * wv[n];
+        }
+        const auto ci = static_cast<std::size_t>(c);
+        s.ein[ci] = s.ein0[ci] - dt_eff * work / std::max(s.cell_mass[ci], tiny);
+    });
+}
+
+void apply_velocity_bc(const mesh::Mesh& mesh, const Options& opts,
+                       std::span<Real> u, std::span<Real> v) {
+    for (Index n = 0; n < mesh.n_nodes(); ++n) {
+        const auto mask = mesh.node_bc[static_cast<std::size_t>(n)];
+        if (mask == mesh::bc::none) continue;
+        const auto ni = static_cast<std::size_t>(n);
+        if (mask & mesh::bc::piston) {
+            u[ni] = opts.piston_u;
+            v[ni] = opts.piston_v;
+            continue;
+        }
+        if (mask & mesh::bc::fix_u) u[ni] = 0.0;
+        if (mask & mesh::bc::fix_v) v[ni] = 0.0;
+    }
+}
+
+} // namespace bookleaf::hydro

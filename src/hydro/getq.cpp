@@ -1,0 +1,134 @@
+/// \file getq.cpp
+/// Edge-centred monotonic artificial viscosity following Caramana,
+/// Shashkov & Whalen [28]. For every cell edge in compression a
+/// quadratic+linear viscosity is applied as an equal-and-opposite force
+/// pair on the edge's nodes; a van-Leer-style limiter built from the
+/// *continuation* edges (through each endpoint, into the face-neighbour
+/// cells) switches the viscosity off in smooth / uniform-strain flow.
+///
+/// This is the kernel that needs ghost data in distributed runs (the
+/// halo exchange immediately before GETQ in the paper's Algorithm 1).
+
+#include <cmath>
+
+#include "hydro/kernels.hpp"
+
+namespace bookleaf::hydro {
+
+namespace {
+
+/// Velocity difference along the continuation of edge (through `node`)
+/// inside neighbour cell `nb` (which shares face `shared_k` of cell c).
+/// Returns false if the neighbour doesn't exist.
+struct Continuation {
+    Real du = 0.0, dv = 0.0;
+    bool valid = false;
+};
+
+Continuation continuation(const mesh::Mesh& mesh, const State& s, Index cell,
+                          Index nb, Index node, bool toward_node) {
+    Continuation out;
+    if (nb == no_index) return out;
+    // Find the side of `nb` that contains `node` but is not the face
+    // shared with `cell`.
+    for (int m = 0; m < corners_per_cell; ++m) {
+        const Index a = mesh.cn(nb, m);
+        const Index b = mesh.cn(nb, (m + 1) % corners_per_cell);
+        if (a != node && b != node) continue;
+        if (mesh.neighbor(nb, m) == cell) continue; // the shared face
+        const Index other = (a == node) ? b : a;
+        const auto ni = static_cast<std::size_t>(node);
+        const auto oi = static_cast<std::size_t>(other);
+        if (toward_node) {
+            // difference from the far node *into* `node` (upstream sense)
+            out.du = s.u[ni] - s.u[oi];
+            out.dv = s.v[ni] - s.v[oi];
+        } else {
+            // difference from `node` *out* to the far node (downstream)
+            out.du = s.u[oi] - s.u[ni];
+            out.dv = s.v[oi] - s.v[ni];
+        }
+        out.valid = true;
+        return out;
+    }
+    return out;
+}
+
+} // namespace
+
+void getq(const Context& ctx, State& s) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getq);
+    const auto& mesh = *ctx.mesh;
+    const Real cq = ctx.opts.cq;
+    const Real cl = ctx.opts.cl;
+
+    par::for_each(ctx.exec, mesh.n_cells(), [&](Index c) {
+        const auto ci = static_cast<std::size_t>(c);
+        for (int k = 0; k < corners_per_cell; ++k) {
+            s.qfx[State::cidx(c, k)] = 0.0;
+            s.qfy[State::cidx(c, k)] = 0.0;
+        }
+        Real q_cell = 0.0;
+
+        for (int k = 0; k < corners_per_cell; ++k) {
+            const int k1 = (k + 1) % corners_per_cell;
+            const Index a = mesh.cn(c, k);
+            const Index b = mesh.cn(c, k1);
+            const auto ai = static_cast<std::size_t>(a);
+            const auto bi = static_cast<std::size_t>(b);
+
+            const Real du = s.u[bi] - s.u[ai];
+            const Real dv = s.v[bi] - s.v[ai];
+            const Real du2 = du * du + dv * dv;
+            if (du2 < tiny) continue;
+
+            // Compression switch: nodes approaching along the edge.
+            const Real ex = s.x[bi] - s.x[ai];
+            const Real ey = s.y[bi] - s.y[ai];
+            if (du * ex + dv * ey >= 0.0) continue;
+
+            // Monotonicity limiter from the continuation edges. The
+            // "previous" continuation passes through node a (inside the
+            // neighbour across face k-1), the "next" through node b
+            // (across face k+1).
+            const auto prev = continuation(
+                mesh, s, c, mesh.neighbor(c, (k + 3) % corners_per_cell), a,
+                /*toward_node=*/true);
+            const auto next = continuation(
+                mesh, s, c, mesh.neighbor(c, k1), b, /*toward_node=*/false);
+
+            Real psi = 0.0;
+            const bool any = prev.valid || next.valid;
+            if (any) {
+                const Real rp = prev.valid
+                                    ? (prev.du * du + prev.dv * dv) / du2
+                                    : (next.du * du + next.dv * dv) / du2;
+                const Real rn = next.valid
+                                    ? (next.du * du + next.dv * dv) / du2
+                                    : rp;
+                psi = std::min({Real(1.0), Real(0.5) * (rp + rn),
+                                Real(2.0) * rp, Real(2.0) * rn});
+                psi = std::max(psi, Real(0.0));
+            }
+
+            const Real dunorm = std::sqrt(du2);
+            const Real cs = std::sqrt(std::max(s.csqrd[ci], Real(0.0)));
+            const Real q_edge = (Real(1.0) - psi) * s.rho[ci] *
+                                (cq * du2 + cl * cs * dunorm);
+
+            const Real edge_len = std::hypot(ex, ey);
+            const Real mu = q_edge * edge_len / std::max(dunorm, tiny);
+
+            // Equal-and-opposite dissipative pair force along du.
+            s.qfx[State::cidx(c, k)] += mu * du;
+            s.qfy[State::cidx(c, k)] += mu * dv;
+            s.qfx[State::cidx(c, k1)] -= mu * du;
+            s.qfy[State::cidx(c, k1)] -= mu * dv;
+
+            q_cell = std::max(q_cell, q_edge);
+        }
+        s.q[ci] = q_cell;
+    });
+}
+
+} // namespace bookleaf::hydro

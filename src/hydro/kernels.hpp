@@ -1,0 +1,94 @@
+#pragma once
+/// \file kernels.hpp
+/// The hydrodynamics kernels, named after the reference BookLeaf routines
+/// (Algorithm 1 in the paper). Each kernel charges its wall time to the
+/// profiler under the matching Kernel id, which is what the Table II
+/// bench aggregates.
+
+#include <span>
+#include <string_view>
+
+#include "eos/eos.hpp"
+#include "hydro/options.hpp"
+#include "hydro/state.hpp"
+#include "mesh/mesh.hpp"
+#include "par/coloring.hpp"
+#include "par/exec.hpp"
+#include "util/profiler.hpp"
+
+namespace bookleaf::hydro {
+
+/// Everything a kernel needs besides the state: mesh topology, materials,
+/// options, execution policy, profiler, and (optionally) the scatter
+/// colouring for the parallel acceleration kernel.
+struct Context {
+    const mesh::Mesh* mesh = nullptr;
+    const eos::MaterialTable* materials = nullptr;
+    Options opts;
+    par::Exec exec;
+    util::Profiler* profiler = nullptr;
+    const par::Coloring* scatter_coloring = nullptr;
+    /// Distributed runs: number of *owned* cells (owned-first ordering).
+    /// getdt reduces over these only, so the post-reduction global dt is
+    /// identical to a serial run; no_index means "all cells".
+    Index dt_cells = no_index;
+};
+
+/// Move nodes to x0 + w*dt_move and rebuild geometry (volumes, corner
+/// volumes, characteristic lengths). Throws util::Error on non-positive
+/// cell volume (tangled mesh).
+void getgeom(const Context& ctx, State& s, std::span<const Real> wu,
+             std::span<const Real> wv, Real dt_move);
+
+/// Density from constant Lagrangian cell mass: rho = m / V.
+void getrho(const Context& ctx, State& s);
+
+/// Compatible internal-energy update:
+///   ein = ein0 - dt_eff * sum_i(f_i . w_i) / cell_mass
+/// using the *total* corner forces (pressure + sub-zonal + hourglass +
+/// viscous), which is what makes total energy conservation exact.
+void getein(const Context& ctx, State& s, std::span<const Real> wu,
+            std::span<const Real> wv, Real dt_eff);
+
+/// EoS evaluation: pressure and squared sound speed per cell.
+void getpc(const Context& ctx, State& s);
+
+/// Edge-centred monotonic artificial viscosity (Caramana-Shashkov-Whalen
+/// [28]). Writes the viscous corner forces (qfx, qfy) and the cell
+/// viscosity scalar q. Needs face-neighbour velocities: this is the
+/// kernel preceded by a halo exchange in distributed runs.
+void getq(const Context& ctx, State& s);
+
+/// Total corner forces: pressure gradient + sub-zonal pressures +
+/// hourglass filter + the viscous forces computed by getq.
+void getforce(const Context& ctx, State& s);
+
+/// Acceleration: scatter corner masses/forces to nodes, apply boundary
+/// conditions, advance velocities by dt and form the time-centred
+/// velocities (ubar, vbar). The corner->node scatter is the data
+/// dependency the paper discusses: it runs serially when threaded unless
+/// `ctx.scatter_coloring` is provided and `exec.colored_scatter` is set.
+void getacc(const Context& ctx, State& s, Real dt);
+
+/// Timestep-controller result. `reason` names the active constraint and
+/// `cell` the controlling cell (BookLeaf's MINLOC diagnostic).
+struct DtResult {
+    Real dt = 0.0;
+    Index cell = no_index;
+    std::string_view reason;
+};
+
+/// Timestep control: CFL on the effective sound speed (including the
+/// viscosity contribution), divergence (volume-change) limit, growth cap,
+/// dt_max clamp. Throws util::Error if dt falls below opts.dt_min.
+DtResult getdt(const Context& ctx, const State& s, Real dt_prev);
+
+/// One full predictor-corrector Lagrangian step (Algorithm 1's LAGSTEP).
+void lagstep(const Context& ctx, State& s, Real dt);
+
+/// Apply kinematic boundary conditions in place (reflective walls zero
+/// the normal component; piston nodes get the prescribed velocity).
+void apply_velocity_bc(const mesh::Mesh& mesh, const Options& opts,
+                       std::span<Real> u, std::span<Real> v);
+
+} // namespace bookleaf::hydro

@@ -1,0 +1,44 @@
+#pragma once
+/// \file options.hpp
+/// Runtime options for the hydrodynamics scheme — the knobs BookLeaf's
+/// input deck exposes (timestep control, artificial-viscosity
+/// coefficients, hourglass control, cutoffs).
+
+#include "eos/eos.hpp"
+#include "util/types.hpp"
+
+namespace bookleaf::hydro {
+
+/// Hourglass-control selection (paper §III-A: filter after Hancock [24]
+/// or sub-zonal pressures after Caramana & Shashkov [25]).
+struct HourglassControl {
+    bool subzonal_pressures = true;
+    Real filter_kappa = 0.0; ///< Hancock filter strength; 0 disables
+};
+
+struct Options {
+    // --- timestep control -------------------------------------------------
+    Real dt_initial = 1.0e-5;
+    Real dt_min = 1.0e-12; ///< below this the run aborts
+    Real dt_max = 1.0e-1;
+    Real cfl_sf = 0.5;    ///< CFL safety factor
+    Real div_sf = 0.25;   ///< volume-change (divergence) safety factor
+    Real dt_growth = 1.02; ///< max growth factor per step (BookLeaf's 1.02)
+
+    // --- artificial viscosity (Caramana-Shashkov-Whalen form) -------------
+    Real cq = 0.75; ///< quadratic coefficient
+    Real cl = 0.5;  ///< linear coefficient
+
+    // --- hourglass control -------------------------------------------------
+    HourglassControl hourglass;
+
+    // --- material cutoffs --------------------------------------------------
+    eos::Cutoffs cutoffs;
+    Real dencut = 1.0e-6; ///< density floor used in divisions
+
+    // --- boundary driving (Saltzmann piston) --------------------------------
+    Real piston_u = 0.0;
+    Real piston_v = 0.0;
+};
+
+} // namespace bookleaf::hydro

@@ -1,0 +1,112 @@
+#include "hydro/state.hpp"
+
+#include "geom/geometry.hpp"
+#include "util/error.hpp"
+
+namespace bookleaf::hydro {
+
+State allocate(const mesh::Mesh& mesh) {
+    State s;
+    const auto nn = static_cast<std::size_t>(mesh.n_nodes());
+    const auto nc = static_cast<std::size_t>(mesh.n_cells());
+    const auto nk = nc * corners_per_cell;
+
+    s.x = mesh.x;
+    s.y = mesh.y;
+    s.u.assign(nn, 0.0);
+    s.v.assign(nn, 0.0);
+    s.node_mass.assign(nn, 0.0);
+    s.nfx.assign(nn, 0.0);
+    s.nfy.assign(nn, 0.0);
+
+    s.rho.assign(nc, 0.0);
+    s.ein.assign(nc, 0.0);
+    s.pre.assign(nc, 0.0);
+    s.csqrd.assign(nc, 0.0);
+    s.q.assign(nc, 0.0);
+    s.volume.assign(nc, 0.0);
+    s.cell_mass.assign(nc, 0.0);
+    s.char_len.assign(nc, 0.0);
+
+    s.fx.assign(nk, 0.0);
+    s.fy.assign(nk, 0.0);
+    s.qfx.assign(nk, 0.0);
+    s.qfy.assign(nk, 0.0);
+    s.cnmass.assign(nk, 0.0);
+    s.cnvol.assign(nk, 0.0);
+
+    s.x0 = s.x;
+    s.y0 = s.y;
+    s.u0.assign(nn, 0.0);
+    s.v0.assign(nn, 0.0);
+    s.ein0.assign(nc, 0.0);
+    s.ubar.assign(nn, 0.0);
+    s.vbar.assign(nn, 0.0);
+    return s;
+}
+
+void initialise(const mesh::Mesh& mesh, const eos::MaterialTable& materials,
+                State& s) {
+    const Index n_cells = mesh.n_cells();
+    util::require(s.n_cells() == n_cells, "initialise: state/mesh size mismatch");
+
+    for (Index c = 0; c < n_cells; ++c) {
+        const auto q = geom::gather(mesh, s.x, s.y, c);
+        const Real vol = geom::quad_area(q);
+        util::require(vol > 0.0, "initialise: non-positive cell volume");
+        s.volume[static_cast<std::size_t>(c)] = vol;
+        s.char_len[static_cast<std::size_t>(c)] = geom::char_length(q);
+        s.cell_mass[static_cast<std::size_t>(c)] =
+            s.rho[static_cast<std::size_t>(c)] * vol;
+
+        const auto cv = geom::corner_volumes(q);
+        for (int k = 0; k < corners_per_cell; ++k) {
+            s.cnvol[State::cidx(c, k)] = cv[static_cast<std::size_t>(k)];
+            s.cnmass[State::cidx(c, k)] =
+                s.rho[static_cast<std::size_t>(c)] * cv[static_cast<std::size_t>(k)];
+        }
+
+        const Index r = mesh.cell_region[static_cast<std::size_t>(c)];
+        s.pre[static_cast<std::size_t>(c)] =
+            materials.pressure(r, s.rho[static_cast<std::size_t>(c)],
+                               s.ein[static_cast<std::size_t>(c)]);
+        s.csqrd[static_cast<std::size_t>(c)] =
+            materials.sound_speed2(r, s.rho[static_cast<std::size_t>(c)],
+                                   s.ein[static_cast<std::size_t>(c)]);
+    }
+
+    // Nodal masses: gather the corner masses of incident cells.
+    for (Index n = 0; n < mesh.n_nodes(); ++n) {
+        Real m = 0.0;
+        for (const Index c : mesh.node_cells.row(n))
+            for (int k = 0; k < corners_per_cell; ++k)
+                if (mesh.cn(c, k) == n) m += s.cnmass[State::cidx(c, k)];
+        s.node_mass[static_cast<std::size_t>(n)] = m;
+    }
+
+    s.x0 = s.x;
+    s.y0 = s.y;
+    s.u0 = s.u;
+    s.v0 = s.v;
+    s.ein0 = s.ein;
+}
+
+Totals totals(const mesh::Mesh& mesh, const State& s) {
+    Totals t;
+    for (Index c = 0; c < s.n_cells(); ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        t.mass += s.cell_mass[ci];
+        t.internal_energy += s.cell_mass[ci] * s.ein[ci];
+    }
+    for (Index n = 0; n < s.n_nodes(); ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        t.momentum_x += s.node_mass[ni] * s.u[ni];
+        t.momentum_y += s.node_mass[ni] * s.v[ni];
+        t.kinetic_energy += Real(0.5) * s.node_mass[ni] *
+                            (s.u[ni] * s.u[ni] + s.v[ni] * s.v[ni]);
+    }
+    (void)mesh;
+    return t;
+}
+
+} // namespace bookleaf::hydro

@@ -1,0 +1,77 @@
+#pragma once
+/// \file state.hpp
+/// The staggered-mesh hydrodynamic state: thermodynamic variables on
+/// cells, kinematic variables on nodes, and corner (cell x 4) work arrays
+/// for the compatible discretisation.
+
+#include <vector>
+
+#include "eos/eos.hpp"
+#include "hydro/options.hpp"
+#include "mesh/mesh.hpp"
+#include "util/types.hpp"
+
+namespace bookleaf::hydro {
+
+struct State {
+    // --- node-centred (kinematic) ----------------------------------------
+    std::vector<Real> x, y;   ///< positions (evolve; mesh keeps originals)
+    std::vector<Real> u, v;   ///< velocity
+    std::vector<Real> node_mass;
+    std::vector<Real> nfx, nfy; ///< assembled nodal forces (getacc scratch)
+
+    // --- cell-centred (thermodynamic) -------------------------------------
+    std::vector<Real> rho, ein, pre, csqrd;
+    std::vector<Real> q;          ///< cell viscosity scalar (for dt + diagnostics)
+    std::vector<Real> volume;
+    std::vector<Real> cell_mass;  ///< constant during Lagrangian motion
+    std::vector<Real> char_len;   ///< CFL characteristic length
+
+    // --- corner data [cell*4 + k] ------------------------------------------
+    std::vector<Real> fx, fy;       ///< total corner forces
+    std::vector<Real> qfx, qfy;     ///< viscous corner forces (from getq)
+    std::vector<Real> cnmass;       ///< corner masses (sub-zonal)
+    std::vector<Real> cnvol;        ///< corner volumes
+
+    // --- step scratch --------------------------------------------------------
+    std::vector<Real> x0, y0;       ///< positions at step start
+    std::vector<Real> u0, v0;       ///< velocities at step start
+    std::vector<Real> ein0;         ///< energy at step start
+    std::vector<Real> ubar, vbar;   ///< time-centred velocities (corrector)
+
+    [[nodiscard]] Index n_nodes() const { return static_cast<Index>(x.size()); }
+    [[nodiscard]] Index n_cells() const { return static_cast<Index>(rho.size()); }
+
+    /// Corner array flat index.
+    [[nodiscard]] static std::size_t cidx(Index c, int k) {
+        return static_cast<std::size_t>(c) * corners_per_cell +
+               static_cast<std::size_t>(k);
+    }
+};
+
+/// Allocate every field for the mesh and zero-initialise.
+State allocate(const mesh::Mesh& mesh);
+
+/// Finish initialisation after the caller has filled rho, ein, u, v:
+/// computes volumes, corner volumes, cell/corner/node masses, pressure and
+/// sound speed, characteristic lengths. Throws on non-positive volumes.
+void initialise(const mesh::Mesh& mesh, const eos::MaterialTable& materials,
+                State& state);
+
+/// Conserved totals used by the diagnostics and the conservation tests.
+struct Totals {
+    Real mass = 0.0;
+    Real momentum_x = 0.0;
+    Real momentum_y = 0.0;
+    Real internal_energy = 0.0;
+    Real kinetic_energy = 0.0;
+    [[nodiscard]] Real total_energy() const {
+        return internal_energy + kinetic_energy;
+    }
+};
+
+/// Compute conserved totals. Kinetic energy uses nodal masses; internal
+/// energy is mass-weighted specific internal energy.
+[[nodiscard]] Totals totals(const mesh::Mesh& mesh, const State& state);
+
+} // namespace bookleaf::hydro

@@ -1,0 +1,42 @@
+#pragma once
+/// \file csv.hpp
+/// Small CSV table writer for time histories and bench output.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace bookleaf::io {
+
+/// Column-oriented CSV writer: set a header once, append rows, flushes on
+/// destruction or close().
+class CsvWriter {
+public:
+    CsvWriter(const std::string& path, const std::vector<std::string>& header)
+        : out_(path) {
+        util::require(static_cast<bool>(out_), "CsvWriter: cannot open " + path);
+        out_.precision(12);
+        for (std::size_t i = 0; i < header.size(); ++i)
+            out_ << (i ? "," : "") << header[i];
+        out_ << '\n';
+        columns_ = header.size();
+    }
+
+    void row(const std::vector<Real>& values) {
+        util::require(values.size() == columns_, "CsvWriter: wrong arity");
+        for (std::size_t i = 0; i < values.size(); ++i)
+            out_ << (i ? "," : "") << values[i];
+        out_ << '\n';
+    }
+
+    void close() { out_.close(); }
+
+private:
+    std::ofstream out_;
+    std::size_t columns_ = 0;
+};
+
+} // namespace bookleaf::io

@@ -1,0 +1,57 @@
+#include "io/vtk.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace bookleaf::io {
+
+void write_vtk(const std::string& path, const mesh::Mesh& mesh,
+               const hydro::State& s) {
+    std::ofstream out(path);
+    util::require(static_cast<bool>(out), "write_vtk: cannot open " + path);
+    out.precision(12);
+
+    const Index n_nodes = mesh.n_nodes();
+    const Index n_cells = mesh.n_cells();
+
+    out << "# vtk DataFile Version 3.0\n"
+        << "BookLeaf-CPP output\n"
+        << "ASCII\n"
+        << "DATASET UNSTRUCTURED_GRID\n"
+        << "POINTS " << n_nodes << " double\n";
+    for (Index n = 0; n < n_nodes; ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        out << s.x[ni] << ' ' << s.y[ni] << " 0\n";
+    }
+
+    out << "CELLS " << n_cells << ' ' << n_cells * 5 << '\n';
+    for (Index c = 0; c < n_cells; ++c) {
+        out << 4;
+        for (int k = 0; k < corners_per_cell; ++k) out << ' ' << mesh.cn(c, k);
+        out << '\n';
+    }
+    out << "CELL_TYPES " << n_cells << '\n';
+    for (Index c = 0; c < n_cells; ++c) out << "9\n"; // VTK_QUAD
+
+    out << "CELL_DATA " << n_cells << '\n';
+    const auto cell_field = [&](const char* name, const std::vector<Real>& f) {
+        out << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+        for (Index c = 0; c < n_cells; ++c)
+            out << f[static_cast<std::size_t>(c)] << '\n';
+    };
+    cell_field("density", s.rho);
+    cell_field("pressure", s.pre);
+    cell_field("internal_energy", s.ein);
+    cell_field("viscosity", s.q);
+
+    out << "POINT_DATA " << n_nodes << '\n'
+        << "VECTORS velocity double\n";
+    for (Index n = 0; n < n_nodes; ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        out << s.u[ni] << ' ' << s.v[ni] << " 0\n";
+    }
+    util::require(static_cast<bool>(out), "write_vtk: write failed for " + path);
+}
+
+} // namespace bookleaf::io

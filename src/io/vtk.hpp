@@ -1,0 +1,18 @@
+#pragma once
+/// \file vtk.hpp
+/// Legacy-VTK unstructured-grid writer for visualising runs (cell fields:
+/// density, pressure, internal energy, viscosity; point field: velocity).
+
+#include <string>
+
+#include "hydro/state.hpp"
+#include "mesh/mesh.hpp"
+
+namespace bookleaf::io {
+
+/// Write the current state as an ASCII legacy .vtk file. Throws
+/// util::Error if the file cannot be opened.
+void write_vtk(const std::string& path, const mesh::Mesh& mesh,
+               const hydro::State& state);
+
+} // namespace bookleaf::io

@@ -1,0 +1,120 @@
+#include "mesh/generator.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace bookleaf::mesh {
+
+Mesh generate_rect(const RectSpec& spec) {
+    util::require(spec.nx > 0 && spec.ny > 0, "generate_rect: nx, ny must be > 0");
+    util::require(spec.x1 > spec.x0 && spec.y1 > spec.y0,
+                  "generate_rect: empty extent");
+
+    const Index nx = spec.nx;
+    const Index ny = spec.ny;
+    const Index nnx = nx + 1;
+    const Index nny = ny + 1;
+
+    Mesh m;
+    m.x.resize(static_cast<std::size_t>(nnx) * nny);
+    m.y.resize(static_cast<std::size_t>(nnx) * nny);
+    m.node_bc.assign(static_cast<std::size_t>(nnx) * nny, bc::none);
+
+    const Real dx = (spec.x1 - spec.x0) / nx;
+    const Real dy = (spec.y1 - spec.y0) / ny;
+
+    for (Index j = 0; j < nny; ++j) {
+        for (Index i = 0; i < nnx; ++i) {
+            const auto n = static_cast<std::size_t>(j) * nnx + i;
+            Real px = spec.x0 + dx * i;
+            Real py = spec.y0 + dy * j;
+            if (spec.map) std::tie(px, py) = spec.map(px, py);
+            m.x[n] = px;
+            m.y[n] = py;
+            if (spec.reflective_walls) {
+                std::uint8_t mask = bc::none;
+                if (i == 0 || i == nx) mask |= bc::fix_u;
+                if (j == 0 || j == ny) mask |= bc::fix_v;
+                m.node_bc[n] = mask;
+            }
+        }
+    }
+
+    m.cell_nodes.reserve(static_cast<std::size_t>(nx) * ny * corners_per_cell);
+    m.cell_region.reserve(static_cast<std::size_t>(nx) * ny);
+    for (Index j = 0; j < ny; ++j) {
+        for (Index i = 0; i < nx; ++i) {
+            const Index n0 = j * nnx + i;
+            // CCW: bottom-left, bottom-right, top-right, top-left.
+            m.cell_nodes.push_back(n0);
+            m.cell_nodes.push_back(n0 + 1);
+            m.cell_nodes.push_back(n0 + nnx + 1);
+            m.cell_nodes.push_back(n0 + nnx);
+            const Real cx = spec.x0 + dx * (i + Real(0.5));
+            const Real cy = spec.y0 + dy * (j + Real(0.5));
+            m.cell_region.push_back(spec.region_of ? spec.region_of(cx, cy) : 0);
+        }
+    }
+
+    build_connectivity(m);
+    return m;
+}
+
+std::pair<Real, Real> saltzmann_map(Real xi, Real eta) {
+    const Real x = xi + (Real(0.1) - eta) * std::sin(std::numbers::pi_v<Real> * xi);
+    return {x, eta};
+}
+
+Mesh permute(const Mesh& mesh, util::SplitMix64& rng) {
+    const Index n_cells = mesh.n_cells();
+    const Index n_nodes = mesh.n_nodes();
+
+    // Fisher-Yates permutations for cells and nodes.
+    std::vector<Index> cell_perm(static_cast<std::size_t>(n_cells));
+    std::vector<Index> node_perm(static_cast<std::size_t>(n_nodes));
+    std::iota(cell_perm.begin(), cell_perm.end(), 0);
+    std::iota(node_perm.begin(), node_perm.end(), 0);
+    for (Index i = n_cells - 1; i > 0; --i)
+        std::swap(cell_perm[static_cast<std::size_t>(i)],
+                  cell_perm[rng.uniform_index(static_cast<std::uint64_t>(i) + 1)]);
+    for (Index i = n_nodes - 1; i > 0; --i)
+        std::swap(node_perm[static_cast<std::size_t>(i)],
+                  node_perm[rng.uniform_index(static_cast<std::uint64_t>(i) + 1)]);
+
+    // node_perm[old] = position of old node in source ordering; we want
+    // new_id[old]. Treat node_perm as new->old and invert.
+    std::vector<Index> node_new_id(static_cast<std::size_t>(n_nodes));
+    for (Index new_id = 0; new_id < n_nodes; ++new_id)
+        node_new_id[static_cast<std::size_t>(node_perm[static_cast<std::size_t>(new_id)])] =
+            new_id;
+
+    Mesh out;
+    out.x.resize(static_cast<std::size_t>(n_nodes));
+    out.y.resize(static_cast<std::size_t>(n_nodes));
+    out.node_bc.resize(static_cast<std::size_t>(n_nodes));
+    for (Index old = 0; old < n_nodes; ++old) {
+        const auto nid = static_cast<std::size_t>(node_new_id[static_cast<std::size_t>(old)]);
+        out.x[nid] = mesh.x[static_cast<std::size_t>(old)];
+        out.y[nid] = mesh.y[static_cast<std::size_t>(old)];
+        out.node_bc[nid] = mesh.node_bc[static_cast<std::size_t>(old)];
+    }
+
+    out.cell_nodes.resize(static_cast<std::size_t>(n_cells) * corners_per_cell);
+    out.cell_region.resize(static_cast<std::size_t>(n_cells));
+    for (Index new_c = 0; new_c < n_cells; ++new_c) {
+        const Index old_c = cell_perm[static_cast<std::size_t>(new_c)];
+        for (int k = 0; k < corners_per_cell; ++k)
+            out.cell_nodes[static_cast<std::size_t>(new_c) * corners_per_cell + k] =
+                node_new_id[static_cast<std::size_t>(mesh.cn(old_c, k))];
+        out.cell_region[static_cast<std::size_t>(new_c)] =
+            mesh.cell_region[static_cast<std::size_t>(old_c)];
+    }
+
+    build_connectivity(out);
+    return out;
+}
+
+} // namespace bookleaf::mesh

@@ -1,0 +1,139 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace bookleaf::mesh {
+
+namespace {
+
+/// Key for the edge hash: unordered node pair packed into 64 bits.
+std::uint64_t edge_key(Index a, Index b) {
+    const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+    const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+    return (hi << 32) | lo;
+}
+
+} // namespace
+
+Index Mesh::n_regions() const {
+    Index max_region = -1;
+    for (const Index r : cell_region) max_region = std::max(max_region, r);
+    return max_region + 1;
+}
+
+void build_connectivity(Mesh& mesh) {
+    const Index n_cells = mesh.n_cells();
+    const Index n_nodes = mesh.n_nodes();
+    util::require(mesh.cell_nodes.size() ==
+                      static_cast<std::size_t>(n_cells) * corners_per_cell,
+                  "mesh: cell_nodes size is not 4*n_cells");
+
+    mesh.cell_neigh.assign(static_cast<std::size_t>(n_cells) * corners_per_cell,
+                           no_index);
+    mesh.cell_face.assign(static_cast<std::size_t>(n_cells) * corners_per_cell,
+                          no_index);
+    mesh.faces.clear();
+
+    // Discover faces: first sighting creates the face; second sighting
+    // links the neighbour. A third sighting is a topological error.
+    std::unordered_map<std::uint64_t, Index> open_faces;
+    open_faces.reserve(static_cast<std::size_t>(n_cells) * 2);
+
+    for (Index c = 0; c < n_cells; ++c) {
+        for (int k = 0; k < corners_per_cell; ++k) {
+            const Index a = mesh.cn(c, k);
+            const Index b = mesh.cn(c, (k + 1) % corners_per_cell);
+            util::require(a >= 0 && a < n_nodes && b >= 0 && b < n_nodes,
+                          "mesh: cell corner index out of range");
+            util::require(a != b, "mesh: degenerate cell edge");
+            const auto key = edge_key(a, b);
+            if (const auto it = open_faces.find(key); it == open_faces.end()) {
+                Face f;
+                f.a = a;
+                f.b = b;
+                f.left = c;
+                f.k_left = k;
+                const auto fid = static_cast<Index>(mesh.faces.size());
+                open_faces.emplace(key, fid);
+                mesh.faces.push_back(f);
+                mesh.cell_face[static_cast<std::size_t>(c) * corners_per_cell + k] =
+                    fid;
+            } else {
+                const Index fid = it->second;
+                Face& f = mesh.faces[static_cast<std::size_t>(fid)];
+                util::require(f.right == no_index,
+                              "mesh: face shared by more than two cells");
+                f.right = c;
+                f.k_right = k;
+                mesh.cell_face[static_cast<std::size_t>(c) * corners_per_cell + k] =
+                    fid;
+                mesh.cell_neigh[static_cast<std::size_t>(c) * corners_per_cell + k] =
+                    f.left;
+                mesh.cell_neigh[static_cast<std::size_t>(f.left) * corners_per_cell +
+                                f.k_left] = c;
+            }
+        }
+    }
+
+    // Node -> cell adjacency (arbitrary valence).
+    std::vector<std::pair<Index, Index>> pairs;
+    pairs.reserve(static_cast<std::size_t>(n_cells) * corners_per_cell);
+    for (Index c = 0; c < n_cells; ++c)
+        for (int k = 0; k < corners_per_cell; ++k)
+            pairs.emplace_back(mesh.cn(c, k), c);
+    mesh.node_cells = util::Csr::from_pairs(n_nodes, pairs);
+
+    if (mesh.cell_region.empty())
+        mesh.cell_region.assign(static_cast<std::size_t>(n_cells), 0);
+    if (mesh.node_bc.empty())
+        mesh.node_bc.assign(static_cast<std::size_t>(n_nodes), bc::none);
+}
+
+std::string check_consistency(const Mesh& mesh) {
+    const Index n_cells = mesh.n_cells();
+    const Index n_nodes = mesh.n_nodes();
+    if (mesh.x.size() != mesh.y.size()) return "x/y size mismatch";
+    if (mesh.cell_region.size() != static_cast<std::size_t>(n_cells))
+        return "cell_region size mismatch";
+    if (mesh.node_bc.size() != static_cast<std::size_t>(n_nodes))
+        return "node_bc size mismatch";
+    if (mesh.cell_neigh.size() !=
+        static_cast<std::size_t>(n_cells) * corners_per_cell)
+        return "cell_neigh size mismatch (connectivity not built?)";
+
+    for (Index c = 0; c < n_cells; ++c) {
+        for (int k = 0; k < corners_per_cell; ++k) {
+            const Index n = mesh.cn(c, k);
+            if (n < 0 || n >= n_nodes) return "corner node out of range";
+            const Index nb = mesh.neighbor(c, k);
+            if (nb == no_index) continue;
+            if (nb < 0 || nb >= n_cells) return "neighbour out of range";
+            // Reciprocity: nb must list c as one of its neighbours.
+            bool found = false;
+            for (int kk = 0; kk < corners_per_cell; ++kk)
+                if (mesh.neighbor(nb, kk) == c) found = true;
+            if (!found) return "non-reciprocal neighbour link";
+        }
+    }
+
+    for (const auto& f : mesh.faces) {
+        if (f.left == no_index) return "face without owner";
+        if (f.a == f.b) return "degenerate face";
+        if (f.right != no_index) {
+            // The shared face must use the same two nodes in both cells.
+            const Index la = mesh.cn(f.left, f.k_left);
+            const Index lb = mesh.cn(f.left, (f.k_left + 1) % corners_per_cell);
+            const Index ra = mesh.cn(f.right, f.k_right);
+            const Index rb = mesh.cn(f.right, (f.k_right + 1) % corners_per_cell);
+            if (!((la == rb && lb == ra) || (la == ra && lb == rb)))
+                return "face node mismatch between owner and neighbour";
+        }
+    }
+    return {};
+}
+
+} // namespace bookleaf::mesh

@@ -1,0 +1,60 @@
+#include "par/coloring.hpp"
+
+#include <algorithm>
+
+namespace bookleaf::par {
+
+Coloring greedy_color(const util::Csr& item_resources, Index n_resources) {
+    const Index n_items = item_resources.n_rows();
+    Coloring out;
+    out.color.assign(static_cast<std::size_t>(n_items), -1);
+
+    // Last colour-set per resource, stored as a bitmask over the first 64
+    // colours (quad meshes colour with <= 8 in practice) with a slow-path
+    // fallback for pathological inputs.
+    std::vector<std::uint64_t> resource_mask(static_cast<std::size_t>(n_resources), 0);
+
+    for (Index i = 0; i < n_items; ++i) {
+        std::uint64_t forbidden = 0;
+        for (const Index r : item_resources.row(i))
+            forbidden |= resource_mask[static_cast<std::size_t>(r)];
+        int c = 0;
+        while (c < 64 && (forbidden >> c) & 1ULL) ++c;
+        BL_ASSERT(c < 64 && "conflict degree exceeded 64 colours");
+        out.color[static_cast<std::size_t>(i)] = c;
+        const std::uint64_t bit = 1ULL << c;
+        for (const Index r : item_resources.row(i))
+            resource_mask[static_cast<std::size_t>(r)] |= bit;
+        if (static_cast<int>(out.classes.size()) <= c)
+            out.classes.resize(static_cast<std::size_t>(c) + 1);
+        out.classes[static_cast<std::size_t>(c)].push_back(i);
+    }
+    return out;
+}
+
+bool coloring_is_valid(const Coloring& coloring, const util::Csr& item_resources,
+                       Index n_resources) {
+    // For each resource collect (item, colour) pairs; a conflict is two
+    // *distinct* items with the same colour on one resource. An item may
+    // legitimately list a resource more than once.
+    std::vector<std::vector<std::pair<Index, int>>> seen(
+        static_cast<std::size_t>(n_resources));
+    const Index n_items = item_resources.n_rows();
+    if (static_cast<Index>(coloring.color.size()) != n_items) return false;
+    for (Index i = 0; i < n_items; ++i) {
+        const int c = coloring.color[static_cast<std::size_t>(i)];
+        if (c < 0) return false;
+        for (const Index r : item_resources.row(i)) {
+            auto& entries = seen[static_cast<std::size_t>(r)];
+            const bool conflict =
+                std::any_of(entries.begin(), entries.end(), [&](const auto& e) {
+                    return e.second == c && e.first != i;
+                });
+            if (conflict) return false;
+            entries.emplace_back(i, c);
+        }
+    }
+    return true;
+}
+
+} // namespace bookleaf::par

@@ -1,0 +1,119 @@
+#pragma once
+/// \file exec.hpp
+/// Execution policy threaded through every hydro kernel. Mirrors the
+/// paper's programming-model space:
+///   * serial           — pool == nullptr (one rank of the flat-MPI model)
+///   * threaded         — pool != nullptr (the OpenMP-analogue)
+/// plus the two structural artefacts §IV-B documents for the OpenMP port:
+///   * `colored_scatter`     — if false, the acceleration kernel's
+///     corner-force scatter is a data dependency and runs serially even
+///     when a pool is present (the paper left the kernel unparallelised);
+///     if true, a greedy conflict colouring parallelises it (the "fix").
+///   * `serial_reductions`   — if true, min-reductions (the Fortran
+///     MINVAL/MINLOC sites in getdt) run on one thread, mimicking the
+///     `workshare` implementations that give all work to a single thread.
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace bookleaf::par {
+
+struct Exec {
+    ThreadPool* pool = nullptr;
+    bool colored_scatter = false;
+    bool serial_reductions = false;
+
+    [[nodiscard]] bool threaded() const { return pool != nullptr && pool->size() > 1; }
+    [[nodiscard]] int width() const { return pool ? pool->size() : 1; }
+};
+
+namespace detail {
+/// Static block decomposition of [0, n) across `parts`.
+inline std::pair<Index, Index> block(Index n, int parts, int which) {
+    const Index base = n / parts;
+    const Index rem = n % parts;
+    const Index begin = static_cast<Index>(which) * base + std::min<Index>(which, rem);
+    const Index len = base + (which < rem ? 1 : 0);
+    return {begin, begin + len};
+}
+} // namespace detail
+
+/// Parallel (or serial) loop over [0, n): body(i).
+template <typename Body>
+void for_each(const Exec& ex, Index n, Body&& body) {
+    if (!ex.threaded() || n < 2) {
+        for (Index i = 0; i < n; ++i) body(i);
+        return;
+    }
+    const int parts = ex.pool->size();
+    ex.pool->run([&](int tid) {
+        const auto [begin, end] = detail::block(n, parts, tid);
+        for (Index i = begin; i < end; ++i) body(i);
+    });
+}
+
+/// Result of a min-reduction with location (the Fortran MINVAL+MINLOC
+/// pair that getdt uses to report the controlling cell).
+struct MinLoc {
+    Real value = 0.0;
+    Index index = no_index;
+};
+
+/// Minimum of value_of(i) over [0, n) with argmin. Honors
+/// `serial_reductions` (the hybrid-model artefact).
+template <typename ValueOf>
+MinLoc reduce_min(const Exec& ex, Index n, ValueOf&& value_of) {
+    auto serial = [&](Index begin, Index end) {
+        MinLoc r{std::numeric_limits<Real>::max(), no_index};
+        for (Index i = begin; i < end; ++i) {
+            const Real v = value_of(i);
+            if (v < r.value) {
+                r.value = v;
+                r.index = i;
+            }
+        }
+        return r;
+    };
+    if (!ex.threaded() || ex.serial_reductions || n < 2) return serial(0, n);
+
+    const int parts = ex.pool->size();
+    std::vector<MinLoc> partial(static_cast<std::size_t>(parts),
+                                MinLoc{std::numeric_limits<Real>::max(), no_index});
+    ex.pool->run([&](int tid) {
+        const auto [begin, end] = detail::block(n, parts, tid);
+        partial[static_cast<std::size_t>(tid)] = serial(begin, end);
+    });
+    MinLoc best = partial[0];
+    for (const auto& p : partial)
+        if (p.index != no_index && (best.index == no_index || p.value < best.value))
+            best = p;
+    return best;
+}
+
+/// Sum of value_of(i) over [0, n). Deterministic: partial sums are always
+/// combined in block order regardless of thread scheduling.
+template <typename ValueOf>
+Real reduce_sum(const Exec& ex, Index n, ValueOf&& value_of) {
+    auto serial = [&](Index begin, Index end) {
+        Real s = 0.0;
+        for (Index i = begin; i < end; ++i) s += value_of(i);
+        return s;
+    };
+    if (!ex.threaded() || ex.serial_reductions || n < 2) return serial(0, n);
+    const int parts = ex.pool->size();
+    std::vector<Real> partial(static_cast<std::size_t>(parts), 0.0);
+    ex.pool->run([&](int tid) {
+        const auto [begin, end] = detail::block(n, parts, tid);
+        partial[static_cast<std::size_t>(tid)] = serial(begin, end);
+    });
+    Real s = 0.0;
+    for (const Real p : partial) s += p;
+    return s;
+}
+
+} // namespace bookleaf::par

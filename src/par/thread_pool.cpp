@@ -1,0 +1,61 @@
+#include "par/thread_pool.hpp"
+
+namespace bookleaf::par {
+
+ThreadPool::ThreadPool(int n_threads) {
+    if (n_threads <= 0)
+        n_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (n_threads < 1) n_threads = 1;
+    workers_.reserve(static_cast<std::size_t>(n_threads - 1));
+    for (int tid = 1; tid < n_threads; ++tid)
+        workers_.emplace_back([this, tid] { worker_loop(tid); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(int)>& job) {
+    if (workers_.empty()) {
+        job(0);
+        return;
+    }
+    {
+        const std::lock_guard lock(mutex_);
+        job_ = &job;
+        ++generation_;
+        pending_ = static_cast<int>(workers_.size());
+    }
+    start_cv_.notify_all();
+    job(0);
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(int tid) {
+    long seen = 0;
+    for (;;) {
+        const std::function<void(int)>* job = nullptr;
+        {
+            std::unique_lock lock(mutex_);
+            start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+            job = job_;
+        }
+        (*job)(tid);
+        {
+            const std::lock_guard lock(mutex_);
+            --pending_;
+        }
+        done_cv_.notify_one();
+    }
+}
+
+} // namespace bookleaf::par

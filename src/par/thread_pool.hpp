@@ -1,0 +1,44 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Fork-join thread pool used by the hybrid (MPI+OpenMP-analogue)
+/// execution model. The calling thread participates as worker 0, so a
+/// pool of size N uses N-1 background threads.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bookleaf::par {
+
+class ThreadPool {
+public:
+    /// `n_threads <= 0` selects std::thread::hardware_concurrency().
+    explicit ThreadPool(int n_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total workers including the caller.
+    [[nodiscard]] int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /// Run `job(tid)` once on every worker (tid in [0, size())); blocks
+    /// until all invocations complete. The caller executes tid 0.
+    void run(const std::function<void(int)>& job);
+
+private:
+    void worker_loop(int tid);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(int)>* job_ = nullptr;
+    long generation_ = 0;
+    int pending_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace bookleaf::par

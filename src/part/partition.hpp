@@ -1,0 +1,56 @@
+#pragma once
+/// \file partition.hpp
+/// Spatial decomposition of the mesh across ranks (paper §III-A: "a
+/// simple RCB strategy or a hypergraph strategy via METIS"). Two
+/// partitioners are provided:
+///   * recursive coordinate bisection (RCB) on cell centroids;
+///   * a multilevel graph partitioner (heavy-edge matching coarsening,
+///     greedy seeded growth, Fiduccia-Mattheyses-style boundary
+///     refinement) standing in for METIS.
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "util/types.hpp"
+
+namespace bookleaf::part {
+
+/// Cell-adjacency (dual) graph in CSR form with vertex and edge weights.
+struct Graph {
+    std::vector<Index> xadj;   ///< size n_vertices + 1
+    std::vector<Index> adjncy; ///< neighbour vertex ids
+    std::vector<Index> adjwgt; ///< edge weights (parallel to adjncy)
+    std::vector<Index> vwgt;   ///< vertex weights
+
+    [[nodiscard]] Index n_vertices() const {
+        return static_cast<Index>(vwgt.size());
+    }
+    [[nodiscard]] Index total_weight() const {
+        Index t = 0;
+        for (const Index w : vwgt) t += w;
+        return t;
+    }
+};
+
+/// Face-adjacency dual graph of the mesh (unit weights).
+[[nodiscard]] Graph dual_graph(const mesh::Mesh& mesh);
+
+/// Recursive coordinate bisection: returns a part id in [0, n_parts) per
+/// cell. Handles non-power-of-two part counts by proportional splits.
+[[nodiscard]] std::vector<Index> rcb(const mesh::Mesh& mesh, int n_parts);
+
+/// Multilevel graph partitioning (the METIS-substitute).
+[[nodiscard]] std::vector<Index> multilevel(const mesh::Mesh& mesh, int n_parts,
+                                            std::uint64_t seed = 12345);
+
+/// Partition quality: edge cut (faces crossing parts) and imbalance
+/// (max part weight / ideal weight).
+struct Quality {
+    Index edge_cut = 0;
+    Real imbalance = 0.0;
+    std::vector<Index> part_cells; ///< cells per part
+};
+[[nodiscard]] Quality quality(const mesh::Mesh& mesh,
+                              const std::vector<Index>& part, int n_parts);
+
+} // namespace bookleaf::part

@@ -1,0 +1,198 @@
+#include "part/subdomain.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace bookleaf::part {
+
+std::vector<Subdomain> decompose(const mesh::Mesh& global,
+                                 const std::vector<Index>& part, int n_parts) {
+    const Index n_cells = global.n_cells();
+    const Index n_nodes = global.n_nodes();
+    util::require(part.size() == static_cast<std::size_t>(n_cells),
+                  "decompose: partition size mismatch");
+
+    // Node owners: min part over incident cells.
+    std::vector<Index> node_owner(static_cast<std::size_t>(n_nodes),
+                                  std::numeric_limits<Index>::max());
+    for (Index n = 0; n < n_nodes; ++n)
+        for (const Index c : global.node_cells.row(n))
+            node_owner[static_cast<std::size_t>(n)] =
+                std::min(node_owner[static_cast<std::size_t>(n)],
+                         part[static_cast<std::size_t>(c)]);
+
+    std::vector<Subdomain> subs(static_cast<std::size_t>(n_parts));
+
+    // Owned cell lists (ascending global id by construction).
+    std::vector<std::vector<Index>> owned(static_cast<std::size_t>(n_parts));
+    for (Index c = 0; c < n_cells; ++c)
+        owned[static_cast<std::size_t>(part[static_cast<std::size_t>(c)])]
+            .push_back(c);
+
+    // Global cell -> owner-local id (owned cells are numbered first).
+    std::vector<Index> owner_local(static_cast<std::size_t>(n_cells));
+    for (int r = 0; r < n_parts; ++r)
+        for (std::size_t i = 0; i < owned[static_cast<std::size_t>(r)].size(); ++i)
+            owner_local[static_cast<std::size_t>(
+                owned[static_cast<std::size_t>(r)][i])] = static_cast<Index>(i);
+
+    for (int r = 0; r < n_parts; ++r) {
+        auto& sub = subs[static_cast<std::size_t>(r)];
+        sub.rank = r;
+        const auto& own = owned[static_cast<std::size_t>(r)];
+        sub.n_owned_cells = static_cast<Index>(own.size());
+
+        // Ghost layer: node-adjacent foreign cells.
+        std::vector<Index> ghosts;
+        {
+            std::vector<std::uint8_t> seen(static_cast<std::size_t>(n_cells), 0);
+            for (const Index c : own) seen[static_cast<std::size_t>(c)] = 1;
+            for (const Index c : own)
+                for (int k = 0; k < corners_per_cell; ++k) {
+                    const Index node = global.cn(c, k);
+                    for (const Index adj : global.node_cells.row(node))
+                        if (!seen[static_cast<std::size_t>(adj)]) {
+                            seen[static_cast<std::size_t>(adj)] = 1;
+                            ghosts.push_back(adj);
+                        }
+                }
+        }
+        std::sort(ghosts.begin(), ghosts.end(),
+                  [&](Index a, Index b) {
+                      const Index pa = part[static_cast<std::size_t>(a)];
+                      const Index pb = part[static_cast<std::size_t>(b)];
+                      return pa != pb ? pa < pb : a < b;
+                  });
+
+        sub.local_cells = own;
+        sub.local_cells.insert(sub.local_cells.end(), ghosts.begin(),
+                               ghosts.end());
+
+        // Local nodes: union of the local cells' nodes, sorted by global id.
+        {
+            std::vector<Index> nodes;
+            nodes.reserve(sub.local_cells.size() * corners_per_cell);
+            for (const Index c : sub.local_cells)
+                for (int k = 0; k < corners_per_cell; ++k)
+                    nodes.push_back(global.cn(c, k));
+            std::sort(nodes.begin(), nodes.end());
+            nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+            sub.local_nodes = std::move(nodes);
+        }
+
+        std::unordered_map<Index, Index> node_g2l;
+        node_g2l.reserve(sub.local_nodes.size());
+        for (std::size_t i = 0; i < sub.local_nodes.size(); ++i)
+            node_g2l.emplace(sub.local_nodes[i], static_cast<Index>(i));
+
+        // Local mesh.
+        auto& lm = sub.local;
+        lm.x.resize(sub.local_nodes.size());
+        lm.y.resize(sub.local_nodes.size());
+        lm.node_bc.resize(sub.local_nodes.size());
+        sub.node_owned.resize(sub.local_nodes.size());
+        for (std::size_t i = 0; i < sub.local_nodes.size(); ++i) {
+            const auto g = static_cast<std::size_t>(sub.local_nodes[i]);
+            lm.x[i] = global.x[g];
+            lm.y[i] = global.y[g];
+            lm.node_bc[i] = global.node_bc[g];
+            sub.node_owned[i] = node_owner[g] == r ? 1 : 0;
+        }
+        lm.cell_nodes.reserve(sub.local_cells.size() * corners_per_cell);
+        lm.cell_region.reserve(sub.local_cells.size());
+        for (const Index c : sub.local_cells) {
+            for (int k = 0; k < corners_per_cell; ++k)
+                lm.cell_nodes.push_back(node_g2l.at(global.cn(c, k)));
+            lm.cell_region.push_back(
+                global.cell_region[static_cast<std::size_t>(c)]);
+        }
+        mesh::build_connectivity(lm);
+    }
+
+    // --- exchange schedules --------------------------------------------------
+    // Cell/corner: ghost cells of r owned by o; both sides ordered by global
+    // cell id (the ghost list is already (owner, id)-sorted).
+    for (int r = 0; r < n_parts; ++r) {
+        auto& sub = subs[static_cast<std::size_t>(r)];
+        std::map<int, std::vector<std::pair<Index, Index>>> by_owner; // owner -> (global, local)
+        for (Index lc = sub.n_owned_cells;
+             lc < static_cast<Index>(sub.local_cells.size()); ++lc) {
+            const Index gc = sub.local_cells[static_cast<std::size_t>(lc)];
+            by_owner[static_cast<int>(part[static_cast<std::size_t>(gc)])]
+                .emplace_back(gc, lc);
+        }
+        for (auto& [o, items] : by_owner) {
+            // items already sorted by global id (ghost ordering).
+            typhon::ExchangeSchedule::Peer recv_peer;
+            recv_peer.rank = o;
+            typhon::ExchangeSchedule::Peer send_peer;
+            send_peer.rank = r;
+            typhon::ExchangeSchedule::Peer recv_corner;
+            recv_corner.rank = o;
+            typhon::ExchangeSchedule::Peer send_corner;
+            send_corner.rank = r;
+            for (const auto& [gc, lc] : items) {
+                recv_peer.recv_items.push_back(lc);
+                const Index ol = owner_local[static_cast<std::size_t>(gc)];
+                send_peer.send_items.push_back(ol);
+                for (int k = 0; k < corners_per_cell; ++k) {
+                    recv_corner.recv_items.push_back(lc * corners_per_cell + k);
+                    send_corner.send_items.push_back(ol * corners_per_cell + k);
+                }
+            }
+            sub.cell_schedule.peers.push_back(std::move(recv_peer));
+            sub.corner_schedule.peers.push_back(std::move(recv_corner));
+            subs[static_cast<std::size_t>(o)].cell_schedule.peers.push_back(
+                std::move(send_peer));
+            subs[static_cast<std::size_t>(o)].corner_schedule.peers.push_back(
+                std::move(send_corner));
+        }
+    }
+
+    // Node schedule: ghost nodes of r receive from their owner o. Both
+    // sides ordered by global node id.
+    {
+        // Per-rank local node lookup.
+        std::vector<std::unordered_map<Index, Index>> g2l(
+            static_cast<std::size_t>(n_parts));
+        for (int r = 0; r < n_parts; ++r) {
+            auto& m = g2l[static_cast<std::size_t>(r)];
+            const auto& ln = subs[static_cast<std::size_t>(r)].local_nodes;
+            m.reserve(ln.size());
+            for (std::size_t i = 0; i < ln.size(); ++i)
+                m.emplace(ln[i], static_cast<Index>(i));
+        }
+        for (int r = 0; r < n_parts; ++r) {
+            auto& sub = subs[static_cast<std::size_t>(r)];
+            std::map<int, std::vector<Index>> by_owner; // owner -> global node
+            for (std::size_t i = 0; i < sub.local_nodes.size(); ++i) {
+                const Index gn = sub.local_nodes[i];
+                const auto o = static_cast<int>(
+                    node_owner[static_cast<std::size_t>(gn)]);
+                if (o != r) by_owner[o].push_back(gn);
+            }
+            for (auto& [o, nodes] : by_owner) {
+                typhon::ExchangeSchedule::Peer recv_peer;
+                recv_peer.rank = o;
+                typhon::ExchangeSchedule::Peer send_peer;
+                send_peer.rank = r;
+                for (const Index gn : nodes) {
+                    recv_peer.recv_items.push_back(
+                        g2l[static_cast<std::size_t>(r)].at(gn));
+                    send_peer.send_items.push_back(
+                        g2l[static_cast<std::size_t>(o)].at(gn));
+                }
+                sub.node_schedule.peers.push_back(std::move(recv_peer));
+                subs[static_cast<std::size_t>(o)].node_schedule.peers.push_back(
+                    std::move(send_peer));
+            }
+        }
+    }
+
+    return subs;
+}
+
+} // namespace bookleaf::part

@@ -1,0 +1,40 @@
+#pragma once
+/// \file subdomain.hpp
+/// Subdomain extraction: given a cell partition, build per-rank local
+/// meshes (owned cells first, then a node-adjacent ghost layer) together
+/// with the Typhon exchange schedules that refresh ghost data. The ghost
+/// layer contains *every* cell sharing a node with an owned cell, so the
+/// corner-force assembly at any node of an owned cell is complete locally
+/// once ghost corner forces are exchanged (the paper's pre-acceleration
+/// halo exchange).
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "typhon/typhon.hpp"
+#include "util/types.hpp"
+
+namespace bookleaf::part {
+
+struct Subdomain {
+    int rank = -1;
+    mesh::Mesh local; ///< owned cells in [0, n_owned_cells), ghosts after
+
+    std::vector<Index> local_cells; ///< local cell -> global cell
+    std::vector<Index> local_nodes; ///< local node -> global node
+    Index n_owned_cells = 0;
+    std::vector<std::uint8_t> node_owned; ///< 1 if this rank owns the node
+
+    typhon::ExchangeSchedule cell_schedule;   ///< ghost cell scalars
+    typhon::ExchangeSchedule corner_schedule; ///< ghost corner fields (4/cell)
+    typhon::ExchangeSchedule node_schedule;   ///< ghost node scalars
+};
+
+/// Split the global mesh into n_parts subdomains. `part[c]` is the rank
+/// owning global cell c. Node ownership: the minimum rank among the parts
+/// of the node's incident cells.
+[[nodiscard]] std::vector<Subdomain> decompose(const mesh::Mesh& global,
+                                               const std::vector<Index>& part,
+                                               int n_parts);
+
+} // namespace bookleaf::part

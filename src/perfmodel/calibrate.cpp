@@ -1,0 +1,37 @@
+#include "perfmodel/calibrate.hpp"
+
+#include "core/driver.hpp"
+#include "setup/problems.hpp"
+
+namespace bookleaf::perfmodel {
+
+Calibration calibrate_noh(Index resolution, int steps) {
+    core::Hydro h(setup::noh(resolution));
+    h.run(std::nullopt, steps);
+
+    Calibration cal;
+    cal.steps = steps;
+    cal.n_cells = h.mesh().n_cells();
+    for (const auto kernel : modelled_kernels) {
+        const auto stats = h.profiler().stats(kernel);
+        if (stats.calls == 0) continue;
+        // Wall seconds per cell per invocation.
+        cal.seconds_per_cell[kernel] =
+            stats.wall_s / static_cast<double>(stats.calls) / cal.n_cells;
+    }
+    return cal;
+}
+
+WorkTable calibrated_work(const Calibration& cal) {
+    WorkTable table = reference_work();
+    for (auto& [kernel, work] : table) {
+        const auto it = cal.seconds_per_cell.find(kernel);
+        if (it == cal.seconds_per_cell.end()) continue;
+        // Effective flops so that one host core at cal.host_rate matches
+        // the measured time.
+        work.flops = it->second * cal.host_rate;
+    }
+    return table;
+}
+
+} // namespace bookleaf::perfmodel

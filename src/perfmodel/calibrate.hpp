@@ -1,0 +1,31 @@
+#pragma once
+/// \file calibrate.hpp
+/// Calibration of the performance model against *this repository's* real
+/// kernels: run an instrumented Noh problem on the host, convert the
+/// measured per-kernel wall times into per-cell effective flop counts,
+/// and build a WorkTable from them. The EXPERIMENTS.md "paper vs
+/// measured" comparison uses this to show how the C++ kernel balance
+/// differs from the Fortran reference's.
+
+#include "perfmodel/model.hpp"
+
+namespace bookleaf::perfmodel {
+
+struct Calibration {
+    /// Measured seconds per cell per invocation for each modelled kernel.
+    std::map<util::Kernel, double> seconds_per_cell;
+    double host_rate = 3.0e9; ///< assumed effective host core flop/s
+    int steps = 0;
+    Index n_cells = 0;
+};
+
+/// Run a Noh problem of `resolution`^2 cells for `steps` Lagrangian steps
+/// with the profiler attached and extract per-kernel per-cell costs.
+[[nodiscard]] Calibration calibrate_noh(Index resolution = 60, int steps = 20);
+
+/// Build a WorkTable whose flop counts reproduce the measured host times
+/// under the model (bytes and structural fractions are inherited from the
+/// reference table).
+[[nodiscard]] WorkTable calibrated_work(const Calibration& calibration);
+
+} // namespace bookleaf::perfmodel

@@ -1,0 +1,71 @@
+#include "perfmodel/clustersim.hpp"
+
+#include <cmath>
+
+namespace bookleaf::perfmodel {
+
+double cache_factor(double working_set_bytes, double cache_bytes,
+                    double penalty) {
+    // Logistic blend centred a little above the cache size (lines and
+    // prefetch keep part of the spill cheap) with a width narrow enough
+    // that the transition completes within roughly one node-count
+    // doubling — which is what confines the superlinear window to the
+    // paper's 8->16-node interval.
+    const double centre = 1.43 * cache_bytes;
+    const double width = 0.4 * cache_bytes;
+    const double x = (working_set_bytes - centre) / width;
+    const double sigmoid = 1.0 / (1.0 + std::exp(-x));
+    return 1.0 + penalty * sigmoid;
+}
+
+std::vector<ScalingPoint> strong_scaling(const CpuPlatform& platform,
+                                         const WorkTable& work,
+                                         const ScalingWorkload& workload,
+                                         const NetworkModel& net,
+                                         const std::vector<int>& nodes) {
+    std::vector<ScalingPoint> out;
+    out.reserve(nodes.size());
+
+    for (const int p : nodes) {
+        ScalingPoint point;
+        point.nodes = p;
+
+        const double cells_per_node = workload.n_cells / p;
+        const double cells_per_core = cells_per_node / platform.cores;
+        const double ws = cells_per_core * workload.bytes_per_cell_resident;
+        point.cache_factor =
+            cache_factor(ws, platform.cache_per_core, workload.cache_penalty);
+
+        // Per-kernel compute (hybrid model, per the paper's §V-C choice),
+        // scaled by the cache factor.
+        for (const auto& [kernel, w] : work) {
+            const double t = cpu_kernel_seconds(platform, w, cells_per_node,
+                                                workload.steps, true) *
+                             point.cache_factor;
+            point.overall += t;
+            if (kernel == util::Kernel::getq) point.viscosity += t;
+            if (kernel == util::Kernel::getacc) point.acceleration += t;
+        }
+
+        // Communication: two halo exchanges per step over ~4 neighbours
+        // (the subdomain perimeter), one log2(P) min-reduction.
+        const double perimeter_cells = 4.0 * std::sqrt(cells_per_node);
+        const double halo_bytes = perimeter_cells * workload.halo_bytes_per_cell;
+        const double per_exchange =
+            4.0 * (net.latency_s + halo_bytes / net.bandwidth_bps);
+        const double reduce =
+            std::ceil(std::log2(std::max(p, 2))) * net.latency_s;
+        point.comm = workload.steps * (2.0 * per_exchange + reduce);
+
+        // The viscosity and acceleration kernels are the two that carry
+        // the halo exchanges (paper §IV-A): attribute one exchange each.
+        point.viscosity += workload.steps * per_exchange;
+        point.acceleration += workload.steps * per_exchange;
+        point.overall += point.comm;
+
+        out.push_back(point);
+    }
+    return out;
+}
+
+} // namespace bookleaf::perfmodel

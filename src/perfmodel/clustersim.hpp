@@ -1,0 +1,54 @@
+#pragma once
+/// \file clustersim.hpp
+/// Discrete cluster model for the strong-scaling study (paper §V-C,
+/// Figs 3-4): the Sod problem on 8-64 Cray XC50 nodes under the hybrid
+/// model. Per-node compute follows the same work table as the
+/// single-node model, scaled by a cache-capacity factor — the paper's
+/// stated mechanism for the superlinear 8->16-node window is
+/// "significantly better cache utilisation … once the problem set is
+/// divided to a certain size" — plus an alpha-beta (latency-bandwidth)
+/// Aries-like network for the two halo exchanges and the single dt
+/// reduction per step, which the paper observes are too small to matter.
+
+#include <vector>
+
+#include "perfmodel/model.hpp"
+
+namespace bookleaf::perfmodel {
+
+struct NetworkModel {
+    double latency_s = 1.5e-6;      ///< per-message (Aries-class)
+    double bandwidth_bps = 10.0e9;  ///< per-link bytes/s
+};
+
+struct ScalingWorkload {
+    double n_cells = 6.0e6;    ///< Sod at the model scale
+    double steps = 45000;
+    double bytes_per_cell_resident = 200.0; ///< working-set footprint
+    double halo_bytes_per_cell = 64.0;      ///< exchanged fields per ghost cell
+    /// Cache-capacity penalty: effective slowdown when the per-core
+    /// working set spills the last-level cache.
+    double cache_penalty = 1.0;
+};
+
+struct ScalingPoint {
+    int nodes = 0;
+    double overall = 0.0;
+    double viscosity = 0.0;    ///< getq (Fig 4a)
+    double acceleration = 0.0; ///< getacc (Fig 4b)
+    double comm = 0.0;         ///< halo + reduction time
+    double cache_factor = 0.0; ///< diagnostics
+};
+
+/// Smooth cache-capacity factor in [1, 1+penalty]: ~1 when the per-core
+/// working set fits in cache, 1+penalty when it spills badly.
+[[nodiscard]] double cache_factor(double working_set_bytes, double cache_bytes,
+                                  double penalty);
+
+/// Strong-scaling sweep of the Sod problem on `nodes` node counts.
+[[nodiscard]] std::vector<ScalingPoint>
+strong_scaling(const CpuPlatform& platform, const WorkTable& work,
+               const ScalingWorkload& workload, const NetworkModel& net,
+               const std::vector<int>& nodes);
+
+} // namespace bookleaf::perfmodel

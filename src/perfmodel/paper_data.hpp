@@ -1,0 +1,68 @@
+#pragma once
+/// \file paper_data.hpp
+/// The published evaluation numbers, transcribed from the paper for
+/// side-by-side comparison in the bench harness and EXPERIMENTS.md.
+/// Table II: per-kernel runtimes in seconds for the Noh problem on a
+/// single node (percentages omitted; they follow from the values).
+
+#include <map>
+
+#include "perfmodel/model.hpp"
+
+namespace bookleaf::perfmodel {
+
+/// One Table II row as published.
+struct PaperRow {
+    double overall, viscosity, acceleration, getdt, getgeom, getforce, getpc;
+};
+
+/// Table II of the paper (Truby et al. 2018).
+[[nodiscard]] inline const std::map<Config, PaperRow>& paper_table2() {
+    static const std::map<Config, PaperRow> rows = {
+        {Config::skl_mpi, {76.068, 46.365, 6.663, 8.880, 3.396, 5.364, 1.314}},
+        {Config::skl_hybrid,
+         {168.633, 52.913, 15.923, 53.086, 26.654, 4.925, 2.054}},
+        {Config::bdw_mpi, {108.978, 70.116, 8.386, 11.936, 4.834, 7.348, 1.390}},
+        {Config::bdw_hybrid,
+         {180.438, 76.387, 16.142, 45.494, 20.764, 6.501, 2.108}},
+        {Config::p100_omp,
+         {186.506, 75.873, 26.806, 12.684, 16.784, 40.853, 3.608}},
+        {Config::p100_cuda,
+         {261.183, 97.445, 21.995, 40.433, 39.448, 0.536, 17.922}},
+        {Config::v100_cuda,
+         {191.636, 44.981, 11.442, 44.401, 14.789, 0.651, 10.051}},
+    };
+    return rows;
+}
+
+/// Table I of the paper: the experimental configurations.
+struct PaperConfigRow {
+    const char* hardware;
+    const char* system;
+    const char* compiler;
+};
+[[nodiscard]] inline const std::map<Config, PaperConfigRow>& paper_table1() {
+    static const std::map<Config, PaperConfigRow> rows = {
+        {Config::skl_mpi,
+         {"Intel Xeon Platinum 8176 'Skylake' (2x28 cores)", "Cray XC50",
+          "Cray"}},
+        {Config::skl_hybrid,
+         {"Intel Xeon Platinum 8176 'Skylake' (2x28 cores)", "Cray XC50",
+          "Cray"}},
+        {Config::bdw_mpi,
+         {"Intel Xeon E5-2699 v4 'Broadwell' (2x22 cores)", "Cray XC50",
+          "Cray"}},
+        {Config::bdw_hybrid,
+         {"Intel Xeon E5-2699 v4 'Broadwell' (2x22 cores)", "Cray XC50",
+          "Cray"}},
+        {Config::p100_omp,
+         {"NVIDIA P100 (OpenMP offload)", "Cray XC50", "Cray"}},
+        {Config::p100_cuda,
+         {"NVIDIA P100 (CUDA Fortran)", "SuperMicro 2028GR-TR", "PGI"}},
+        {Config::v100_cuda,
+         {"NVIDIA V100 (CUDA Fortran)", "SuperMicro 2028GR-TR", "PGI"}},
+    };
+    return rows;
+}
+
+} // namespace bookleaf::perfmodel

@@ -1,0 +1,153 @@
+#include "setup/deck.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bookleaf::setup {
+
+namespace {
+
+std::string trim(const std::string& s) {
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) return {};
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+} // namespace
+
+Deck Deck::parse(std::istream& in) {
+    Deck deck;
+    std::string line;
+    std::string section;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments (# or ;) and whitespace.
+        if (const auto hash = line.find_first_of("#;"); hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty()) continue;
+        if (line.front() == '[') {
+            util::require(line.back() == ']',
+                          "deck: unterminated section header at line " +
+                              std::to_string(line_no));
+            section = lower(trim(line.substr(1, line.size() - 2)));
+            deck.sections_[section];
+            continue;
+        }
+        const auto eq = line.find('=');
+        util::require(eq != std::string::npos,
+                      "deck: expected key = value at line " +
+                          std::to_string(line_no));
+        const auto key = lower(trim(line.substr(0, eq)));
+        const auto value = trim(line.substr(eq + 1));
+        util::require(!key.empty(), "deck: empty key at line " +
+                                        std::to_string(line_no));
+        deck.sections_[section][key] = value;
+    }
+    return deck;
+}
+
+Deck Deck::parse_string(const std::string& text) {
+    std::istringstream in(text);
+    return parse(in);
+}
+
+Deck Deck::parse_file(const std::string& path) {
+    std::ifstream in(path);
+    util::require(static_cast<bool>(in), "deck: cannot open " + path);
+    return parse(in);
+}
+
+bool Deck::has(const std::string& section, const std::string& key) const {
+    const auto s = sections_.find(lower(section));
+    return s != sections_.end() && s->second.contains(lower(key));
+}
+
+std::string Deck::get(const std::string& section, const std::string& key,
+                      const std::string& fallback) const {
+    const auto s = sections_.find(lower(section));
+    if (s == sections_.end()) return fallback;
+    const auto k = s->second.find(lower(key));
+    return k == s->second.end() ? fallback : k->second;
+}
+
+Real Deck::get_real(const std::string& section, const std::string& key,
+                    Real fallback) const {
+    const auto v = get(section, key, "");
+    return v.empty() ? fallback : std::stod(v);
+}
+
+int Deck::get_int(const std::string& section, const std::string& key,
+                  int fallback) const {
+    const auto v = get(section, key, "");
+    return v.empty() ? fallback : std::stoi(v);
+}
+
+bool Deck::get_bool(const std::string& section, const std::string& key,
+                    bool fallback) const {
+    const auto v = lower(get(section, key, ""));
+    if (v.empty()) return fallback;
+    if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+    if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+    throw util::Error("deck: bad boolean value '" + v + "' for " + section +
+                      "." + key);
+}
+
+Problem make_problem(const Deck& deck) {
+    const auto name = deck.get("problem", "name", "sod");
+    const auto resolution =
+        static_cast<Index>(deck.get_int("problem", "resolution", 0));
+    Problem p = by_name(name, resolution);
+
+    // [control]
+    p.t_end = deck.get_real("control", "t_end", p.t_end);
+    p.hydro.dt_initial = deck.get_real("control", "dt_initial", p.hydro.dt_initial);
+    p.hydro.dt_min = deck.get_real("control", "dt_min", p.hydro.dt_min);
+    p.hydro.dt_max = deck.get_real("control", "dt_max", p.hydro.dt_max);
+    p.hydro.cfl_sf = deck.get_real("control", "cfl_sf", p.hydro.cfl_sf);
+    p.hydro.div_sf = deck.get_real("control", "div_sf", p.hydro.div_sf);
+    p.hydro.dt_growth = deck.get_real("control", "dt_growth", p.hydro.dt_growth);
+
+    // [viscosity]
+    p.hydro.cq = deck.get_real("viscosity", "cq", p.hydro.cq);
+    p.hydro.cl = deck.get_real("viscosity", "cl", p.hydro.cl);
+
+    // [hourglass]
+    p.hydro.hourglass.subzonal_pressures = deck.get_bool(
+        "hourglass", "subzonal", p.hydro.hourglass.subzonal_pressures);
+    p.hydro.hourglass.filter_kappa =
+        deck.get_real("hourglass", "kappa", p.hydro.hourglass.filter_kappa);
+
+    // [ale]
+    const auto mode = deck.get("ale", "mode", "lagrange");
+    if (mode == "lagrange")
+        p.ale.mode = ale::Mode::lagrange;
+    else if (mode == "ale")
+        p.ale.mode = ale::Mode::ale;
+    else if (mode == "eulerian")
+        p.ale.mode = ale::Mode::eulerian;
+    else
+        throw util::Error("deck: bad ale mode '" + mode + "'");
+    p.ale.frequency = deck.get_int("ale", "frequency", p.ale.frequency);
+    p.ale.smoothing_passes =
+        deck.get_int("ale", "smoothing_passes", p.ale.smoothing_passes);
+    p.ale.smoothing_weight =
+        deck.get_real("ale", "smoothing_weight", p.ale.smoothing_weight);
+    p.ale.limit = deck.get_bool("ale", "limit", p.ale.limit);
+
+    return p;
+}
+
+} // namespace bookleaf::setup

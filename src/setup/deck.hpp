@@ -1,0 +1,57 @@
+#pragma once
+/// \file deck.hpp
+/// BookLeaf-style input decks: INI-like sections of key = value pairs.
+/// A deck names a base problem and overrides run controls, mirroring how
+/// the reference code drives its four shipped test inputs.
+///
+/// Example:
+/// ```
+/// [problem]
+/// name = sod
+/// resolution = 200
+///
+/// [control]
+/// t_end = 0.2
+/// cfl_sf = 0.5
+///
+/// [ale]
+/// mode = eulerian
+/// ```
+
+#include <istream>
+#include <map>
+#include <string>
+
+#include "setup/problems.hpp"
+
+namespace bookleaf::setup {
+
+class Deck {
+public:
+    /// Parse from a stream; throws util::Error on malformed lines.
+    static Deck parse(std::istream& in);
+    static Deck parse_string(const std::string& text);
+    static Deck parse_file(const std::string& path);
+
+    [[nodiscard]] bool has(const std::string& section,
+                           const std::string& key) const;
+    [[nodiscard]] std::string get(const std::string& section,
+                                  const std::string& key,
+                                  const std::string& fallback) const;
+    [[nodiscard]] Real get_real(const std::string& section,
+                                const std::string& key, Real fallback) const;
+    [[nodiscard]] int get_int(const std::string& section, const std::string& key,
+                              int fallback) const;
+    [[nodiscard]] bool get_bool(const std::string& section,
+                                const std::string& key, bool fallback) const;
+
+private:
+    std::map<std::string, std::map<std::string, std::string>> sections_;
+};
+
+/// Build a fully-configured Problem from a deck: base problem from
+/// [problem] name/resolution, then overrides from [control], [viscosity],
+/// [hourglass] and [ale].
+Problem make_problem(const Deck& deck);
+
+} // namespace bookleaf::setup

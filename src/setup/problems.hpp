@@ -1,0 +1,53 @@
+#pragma once
+/// \file problems.hpp
+/// The four standard shock-hydrodynamics test problems BookLeaf ships
+/// with (paper §III-B): Sod's shock tube, the Noh implosion, the Sedov
+/// blast and Saltzmann's piston.
+
+#include <string>
+#include <vector>
+
+#include "ale/remap.hpp"
+#include "eos/eos.hpp"
+#include "hydro/options.hpp"
+#include "mesh/mesh.hpp"
+
+namespace bookleaf::setup {
+
+/// A fully-specified run: mesh, materials, initial condition, options.
+struct Problem {
+    std::string name;
+    mesh::Mesh mesh;
+    eos::MaterialTable materials;
+    hydro::Options hydro;
+    ale::Options ale;
+    std::vector<Real> rho, ein; ///< per cell
+    std::vector<Real> u, v;     ///< per node
+    Real t_end = 0.0;
+};
+
+/// Sod's shock tube [32] on a strip: (rho, P) = (1, 1) | (0.125, 0.1),
+/// gamma = 1.4, diaphragm at x = 0.5, run to t = 0.2.
+Problem sod(Index nx = 100, Index ny = 2);
+
+/// Noh's implosion [33] on the quarter-plane [0,1]^2: gamma = 5/3,
+/// rho = 1, cold gas, u = -r_hat, reflective axes; the shock sits at
+/// r = t/3 with a rho = 16 plateau. Run to t = 0.6.
+Problem noh(Index n = 50);
+
+/// Sedov blast [34] on [0,1.2]^2 (quarter symmetry): gamma = 1.4,
+/// internal energy 0.25 deposited in the origin cell; shock radius grows
+/// as t^(1/2) in 2-D. Run to t = 1.0.
+Problem sedov(Index n = 45);
+
+/// Saltzmann's piston [35]: [0,1]x[0,0.1] on the classic skewed 100x10
+/// mesh, gamma = 5/3, cold gas, piston driving from x = 0 at speed 1.
+/// Strong-shock limit: density jump 4, shock speed 4/3. Run to t = 0.6.
+Problem saltzmann(Index nx = 100, Index ny = 10);
+
+/// Look up by name ("sod", "noh", "sedov", "saltzmann"); throws
+/// util::Error for unknown names. `resolution` scales the default mesh
+/// (<= 0 keeps the default).
+Problem by_name(const std::string& name, Index resolution = 0);
+
+} // namespace bookleaf::setup

@@ -1,0 +1,126 @@
+#include "typhon/typhon.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace bookleaf::typhon {
+
+namespace detail {
+
+void Hub::send(int src, int dst, int tag, std::vector<Real> payload) {
+    {
+        const std::lock_guard lock(mutex_);
+        queues_[key(src, dst, tag)].push_back(std::move(payload));
+    }
+    cv_.notify_all();
+}
+
+std::vector<Real> Hub::recv(int src, int dst, int tag) {
+    std::unique_lock lock(mutex_);
+    const auto k = key(src, dst, tag);
+    cv_.wait(lock, [&] {
+        const auto it = queues_.find(k);
+        return it != queues_.end() && !it->second.empty();
+    });
+    auto& q = queues_[k];
+    std::vector<Real> out = std::move(q.front());
+    q.pop_front();
+    return out;
+}
+
+Real Collective::allreduce(int rank, Real value, Op op) {
+    std::unique_lock lock(mutex_);
+    values_[static_cast<std::size_t>(rank)] = value;
+    const long gen = generation_;
+    if (++arrived_ == n_ranks_) {
+        Real r = values_[0];
+        for (int i = 1; i < n_ranks_; ++i) {
+            const Real v = values_[static_cast<std::size_t>(i)];
+            switch (op) {
+            case Op::min: r = std::min(r, v); break;
+            case Op::max: r = std::max(r, v); break;
+            case Op::sum: r += v; break;
+            }
+        }
+        result_ = r;
+        arrived_ = 0;
+        ++generation_;
+        cv_.notify_all();
+    } else {
+        cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+    return result_;
+}
+
+void Collective::barrier(int rank) { (void)allreduce(rank, 0.0, Op::sum); }
+
+std::vector<Real> Collective::allgather(int rank, Real value) {
+    std::unique_lock lock(mutex_);
+    values_[static_cast<std::size_t>(rank)] = value;
+    const long gen = generation_;
+    if (++arrived_ == n_ranks_) {
+        gathered_ = values_;
+        arrived_ = 0;
+        ++generation_;
+        cv_.notify_all();
+    } else {
+        cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+    return gathered_;
+}
+
+} // namespace detail
+
+void run(int n_ranks, const std::function<void(Comm&)>& rank_fn) {
+    util::require(n_ranks > 0, "typhon::run: n_ranks must be positive");
+    detail::Hub hub(n_ranks);
+    detail::Collective coll(n_ranks);
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n_ranks));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n_ranks));
+    for (int r = 0; r < n_ranks; ++r) {
+        threads.emplace_back([&, r] {
+            Comm comm(r, &hub, &coll);
+            try {
+                rank_fn(comm);
+            } catch (...) {
+                errors[static_cast<std::size_t>(r)] = std::current_exception();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& e : errors)
+        if (e) std::rethrow_exception(e);
+}
+
+void exchange(Comm& comm, const ExchangeSchedule& schedule,
+              std::span<Real> field, int tag) {
+    // Post all sends first (buffered), then drain receives: deadlock-free
+    // for any peering topology.
+    std::vector<Real> pack;
+    for (const auto& peer : schedule.peers) {
+        pack.clear();
+        pack.reserve(peer.send_items.size());
+        for (const Index i : peer.send_items)
+            pack.push_back(field[static_cast<std::size_t>(i)]);
+        comm.send(peer.rank, tag, pack);
+    }
+    for (const auto& peer : schedule.peers) {
+        const auto data = comm.recv(peer.rank, tag);
+        util::require(data.size() == peer.recv_items.size(),
+                      "typhon::exchange: schedule mismatch between peers");
+        for (std::size_t i = 0; i < data.size(); ++i)
+            field[static_cast<std::size_t>(peer.recv_items[i])] = data[i];
+    }
+}
+
+void exchange_all(Comm& comm, const ExchangeSchedule& schedule,
+                  std::initializer_list<std::span<Real>> fields, int base_tag) {
+    int tag = base_tag;
+    for (const auto field : fields) exchange(comm, schedule, field, tag++);
+}
+
+} // namespace bookleaf::typhon

@@ -1,0 +1,51 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace bookleaf::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg.rfind("--", 0) == 0) {
+            const auto body = arg.substr(2);
+            const auto eq = body.find('=');
+            if (eq != std::string_view::npos) {
+                options_.emplace(std::string(body.substr(0, eq)),
+                                 std::string(body.substr(eq + 1)));
+            } else if (i + 1 < argc &&
+                       std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+                options_.emplace(std::string(body), std::string(argv[i + 1]));
+                ++i;
+            } else {
+                options_.emplace(std::string(body), "");
+            }
+        } else {
+            positional_.emplace_back(arg);
+        }
+    }
+}
+
+std::optional<std::string> Cli::lookup(const std::string& key) const {
+    if (const auto it = options_.find(key); it != options_.end()) return it->second;
+    return std::nullopt;
+}
+
+bool Cli::has(const std::string& key) const { return options_.contains(key); }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+    return lookup(key).value_or(fallback);
+}
+
+int Cli::get_int(const std::string& key, int fallback) const {
+    if (const auto v = lookup(key)) return std::atoi(v->c_str());
+    return fallback;
+}
+
+double Cli::get_real(const std::string& key, double fallback) const {
+    if (const auto v = lookup(key)) return std::atof(v->c_str());
+    return fallback;
+}
+
+} // namespace bookleaf::util

@@ -1,0 +1,34 @@
+#pragma once
+/// \file cli.hpp
+/// Tiny command-line parser for examples and bench harnesses.
+/// Understands `--key=value`, `--key value`, bare `--flag`, and
+/// positional arguments.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bookleaf::util {
+
+class Cli {
+public:
+    Cli(int argc, const char* const* argv);
+
+    [[nodiscard]] bool has(const std::string& key) const;
+    [[nodiscard]] std::string get(const std::string& key,
+                                  const std::string& fallback) const;
+    [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+    [[nodiscard]] double get_real(const std::string& key, double fallback) const;
+    [[nodiscard]] const std::vector<std::string>& positional() const {
+        return positional_;
+    }
+
+private:
+    [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;
+
+    std::unordered_map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace bookleaf::util

@@ -1,0 +1,29 @@
+#include "util/log.hpp"
+
+#include <mutex>
+
+namespace bookleaf::util {
+
+LogLevel& log_threshold() {
+    static LogLevel level = LogLevel::warn;
+    return level;
+}
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& msg) {
+    static std::mutex mutex;
+    const char* tag = "";
+    switch (level) {
+    case LogLevel::debug: tag = "[debug] "; break;
+    case LogLevel::info: tag = "[info]  "; break;
+    case LogLevel::warn: tag = "[warn]  "; break;
+    case LogLevel::error: tag = "[error] "; break;
+    case LogLevel::off: return;
+    }
+    const std::lock_guard lock(mutex);
+    std::cerr << tag << msg << '\n';
+}
+
+} // namespace detail
+} // namespace bookleaf::util

@@ -1,0 +1,42 @@
+#pragma once
+/// \file log.hpp
+/// Minimal levelled logger. BookLeaf's reference implementation prints a
+/// step banner per timestep; examples use info level for that.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace bookleaf::util {
+
+enum class LogLevel : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel& log_threshold();
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+    if (level < log_threshold()) return;
+    std::ostringstream oss;
+    (oss << ... << args);
+    emit(level, oss.str());
+}
+} // namespace detail
+
+template <typename... Args> void log_debug(Args&&... args) {
+    detail::log(LogLevel::debug, std::forward<Args>(args)...);
+}
+template <typename... Args> void log_info(Args&&... args) {
+    detail::log(LogLevel::info, std::forward<Args>(args)...);
+}
+template <typename... Args> void log_warn(Args&&... args) {
+    detail::log(LogLevel::warn, std::forward<Args>(args)...);
+}
+template <typename... Args> void log_error(Args&&... args) {
+    detail::log(LogLevel::error, std::forward<Args>(args)...);
+}
+
+} // namespace bookleaf::util

@@ -1,0 +1,71 @@
+#include "util/profiler.hpp"
+
+#include <string_view>
+
+namespace bookleaf::util {
+
+std::string_view kernel_name(Kernel k) {
+    switch (k) {
+    case Kernel::getdt: return "getdt";
+    case Kernel::getq: return "getq";
+    case Kernel::getforce: return "getforce";
+    case Kernel::getacc: return "getacc";
+    case Kernel::getgeom: return "getgeom";
+    case Kernel::getrho: return "getrho";
+    case Kernel::getein: return "getein";
+    case Kernel::getpc: return "getpc";
+    case Kernel::alegetmesh: return "alegetmesh";
+    case Kernel::alegetfvol: return "alegetfvol";
+    case Kernel::aleadvect: return "aleadvect";
+    case Kernel::aleupdate: return "aleupdate";
+    case Kernel::halo: return "halo";
+    case Kernel::reduce: return "reduce";
+    case Kernel::transfer: return "transfer";
+    case Kernel::other: return "other";
+    case Kernel::count_: break;
+    }
+    return "invalid";
+}
+
+void Profiler::add_wall(Kernel k, double seconds) {
+    const std::lock_guard lock(mutex_);
+    auto& s = stats_[static_cast<std::size_t>(k)];
+    s.wall_s += seconds;
+    s.calls += 1;
+}
+
+void Profiler::add_virtual(Kernel k, double seconds) {
+    const std::lock_guard lock(mutex_);
+    auto& s = stats_[static_cast<std::size_t>(k)];
+    s.virtual_s += seconds;
+    s.calls += 1;
+}
+
+void Profiler::reset() {
+    const std::lock_guard lock(mutex_);
+    stats_.fill(KernelStats{});
+}
+
+KernelStats Profiler::stats(Kernel k) const {
+    const std::lock_guard lock(mutex_);
+    return stats_[static_cast<std::size_t>(k)];
+}
+
+std::array<KernelStats, kernel_count> Profiler::snapshot() const {
+    const std::lock_guard lock(mutex_);
+    return stats_;
+}
+
+double Profiler::overall_s() const {
+    const std::lock_guard lock(mutex_);
+    double sum = 0.0;
+    for (const auto& s : stats_) sum += s.total_s();
+    return sum;
+}
+
+Profiler& default_profiler() {
+    static Profiler instance;
+    return instance;
+}
+
+} // namespace bookleaf::util

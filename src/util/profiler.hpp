@@ -1,0 +1,95 @@
+#pragma once
+/// \file profiler.hpp
+/// Per-kernel timing registry.
+///
+/// The paper's Table II reports a per-kernel breakdown (viscosity,
+/// acceleration, getdt, getgeom, getforce, getpc, overall). This registry
+/// accumulates both *wall* seconds (measured on the host) and *virtual*
+/// seconds (charged by the device / cluster simulators), so the same
+/// reporting code serves real runs and modelled runs.
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <string_view>
+
+#include "util/timer.hpp"
+
+namespace bookleaf::util {
+
+/// Kernel identifiers, named after the reference BookLeaf routines.
+enum class Kernel : int {
+    getdt = 0,
+    getq,       ///< artificial viscosity ("Viscosity" column in Table II)
+    getforce,
+    getacc,     ///< acceleration ("Acceleration" column in Table II)
+    getgeom,
+    getrho,
+    getein,
+    getpc,
+    alegetmesh,
+    alegetfvol,
+    aleadvect,
+    aleupdate,
+    halo,       ///< Typhon ghost exchanges
+    reduce,     ///< global reductions (dt min-reduce)
+    transfer,   ///< host<->device traffic (simulated offload builds)
+    other,
+    count_
+};
+
+inline constexpr std::size_t kernel_count = static_cast<std::size_t>(Kernel::count_);
+
+/// Human-readable kernel name (matches the paper's nomenclature).
+[[nodiscard]] std::string_view kernel_name(Kernel k);
+
+/// Accumulated timings for one kernel.
+struct KernelStats {
+    double wall_s = 0.0;    ///< measured wall-clock seconds
+    double virtual_s = 0.0; ///< simulator-charged seconds
+    long calls = 0;
+
+    /// Combined time: wall plus modelled. Real runs have virtual_s == 0,
+    /// modelled runs typically have wall_s ~ 0 for the modelled parts.
+    [[nodiscard]] double total_s() const { return wall_s + virtual_s; }
+};
+
+/// Thread-safe per-kernel accumulator. One instance per driver/run; a
+/// process-wide default instance exists for convenience in examples.
+class Profiler {
+public:
+    void add_wall(Kernel k, double seconds);
+    void add_virtual(Kernel k, double seconds);
+    void reset();
+
+    [[nodiscard]] KernelStats stats(Kernel k) const;
+    [[nodiscard]] std::array<KernelStats, kernel_count> snapshot() const;
+
+    /// Sum of total_s over all kernels.
+    [[nodiscard]] double overall_s() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::array<KernelStats, kernel_count> stats_{};
+};
+
+/// RAII scope that charges elapsed wall time to `kernel` on destruction.
+class ScopedTimer {
+public:
+    ScopedTimer(Profiler& profiler, Kernel kernel)
+        : profiler_(profiler), kernel_(kernel) {}
+    ~ScopedTimer() { profiler_.add_wall(kernel_, timer_.elapsed()); }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    Profiler& profiler_;
+    Kernel kernel_;
+    Timer timer_;
+};
+
+/// Process-wide default profiler (examples / quick use).
+Profiler& default_profiler();
+
+} // namespace bookleaf::util

@@ -1,0 +1,41 @@
+#pragma once
+/// \file random.hpp
+/// Deterministic RNG (SplitMix64) for property tests and synthetic
+/// workload generation. Deliberately not std::mt19937 so the sequence is
+/// bit-stable across standard libraries.
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace bookleaf::util {
+
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next_u64() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform in [0, 1).
+    Real next_real() {
+        return static_cast<Real>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform in [lo, hi).
+    Real uniform(Real lo, Real hi) { return lo + (hi - lo) * next_real(); }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t uniform_index(std::uint64_t n) {
+        return n == 0 ? 0 : next_u64() % n;
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace bookleaf::util

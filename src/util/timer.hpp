@@ -1,0 +1,26 @@
+#pragma once
+/// \file timer.hpp
+/// Monotonic wall-clock timer.
+
+#include <chrono>
+
+namespace bookleaf::util {
+
+/// Simple monotonic stopwatch. `elapsed()` returns seconds since
+/// construction or the last `reset()`.
+class Timer {
+public:
+    Timer() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    [[nodiscard]] double elapsed() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace bookleaf::util

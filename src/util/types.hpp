@@ -1,0 +1,33 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental scalar types and constants used across BookLeaf-CPP.
+
+#include <cstdint>
+#include <limits>
+
+namespace bookleaf {
+
+/// Floating-point type for all physics state. The reference BookLeaf is
+/// compiled with `-sreal64` / `-r8`; we fix double precision at the type
+/// level instead.
+using Real = double;
+
+/// Index type for mesh entities (nodes, cells, faces). 32-bit signed,
+/// matching the reference code's `-sinteger32` builds; negative values are
+/// reserved for "no entity" sentinels (e.g. boundary neighbours).
+using Index = std::int32_t;
+
+/// Sentinel for "no neighbour" / "no entity".
+inline constexpr Index no_index = -1;
+
+/// Corners per quadrilateral cell (the mesh is all-quad, per the paper).
+inline constexpr int corners_per_cell = 4;
+
+/// A tiny positive floor used to keep divisions well-defined on void
+/// regions and freshly-initialised state.
+inline constexpr Real tiny = 1.0e-40;
+
+/// Machine epsilon shorthand.
+inline constexpr Real eps = std::numeric_limits<Real>::epsilon();
+
+} // namespace bookleaf

@@ -1,0 +1,133 @@
+// Tests for the analytic reference solutions: exact Riemann solver
+// (validated against the canonical Sod numbers), Noh, piston relations,
+// Sedov scaling, and the error-norm helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/exact.hpp"
+#include "analytic/norms.hpp"
+#include "analytic/riemann.hpp"
+#include "mesh/generator.hpp"
+
+namespace ba = bookleaf::analytic;
+namespace bm = bookleaf::mesh;
+using bookleaf::Index;
+using bookleaf::Real;
+
+TEST(Riemann, SodStarStateMatchesToro) {
+    // Canonical Sod problem, gamma = 1.4: p* = 0.30313, u* = 0.92745
+    // (Toro, Table 4.2).
+    const ba::Riemann r({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1}, 1.4);
+    EXPECT_NEAR(r.p_star(), 0.30313, 2e-5);
+    EXPECT_NEAR(r.u_star(), 0.92745, 2e-5);
+}
+
+TEST(Riemann, SodSampledRegions) {
+    const ba::Riemann r({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1}, 1.4);
+    // Left data region.
+    EXPECT_NEAR(r.sample(-2.0).rho, 1.0, 1e-12);
+    // Contact-left star density ~ 0.42632; contact-right ~ 0.26557.
+    EXPECT_NEAR(r.sample(r.u_star() - 1e-6).rho, 0.42632, 2e-4);
+    EXPECT_NEAR(r.sample(r.u_star() + 1e-6).rho, 0.26557, 2e-4);
+    // Right data region (beyond the shock, speed ~ 1.75216).
+    EXPECT_NEAR(r.sample(1.8).rho, 0.125, 1e-12);
+    EXPECT_NEAR(r.sample(1.70).rho, 0.26557, 2e-4);
+}
+
+TEST(Riemann, SymmetricCollisionHasZeroContactVelocity) {
+    const ba::Riemann r({1.0, 1.0, 1.0}, {1.0, -1.0, 1.0}, 1.4);
+    EXPECT_NEAR(r.u_star(), 0.0, 1e-12);
+    EXPECT_GT(r.p_star(), 1.0); // compression raises pressure
+}
+
+TEST(Riemann, ExpansionLowersStarPressure) {
+    const ba::Riemann r({1.0, -0.5, 1.0}, {1.0, 0.5, 1.0}, 1.4);
+    EXPECT_LT(r.p_star(), 1.0);
+    EXPECT_NEAR(r.u_star(), 0.0, 1e-12);
+}
+
+TEST(Riemann, SolutionIsSelfSimilarAndMonotoneAcrossFan) {
+    const ba::Riemann r({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1}, 1.4);
+    // Density is non-increasing through the left rarefaction fan.
+    Real prev = r.sample(-1.2).rho;
+    for (Real xi = -1.1; xi < 0.0; xi += 0.05) {
+        const Real rho = r.sample(xi).rho;
+        EXPECT_LE(rho, prev + 1e-12);
+        prev = rho;
+    }
+}
+
+TEST(NohExact, PlateauAndPreShock) {
+    const auto inside = ba::noh_exact(0.05, 0.6);
+    EXPECT_DOUBLE_EQ(inside.rho, 16.0);
+    EXPECT_DOUBLE_EQ(inside.u_r, 0.0);
+    EXPECT_NEAR(inside.p, 16.0 / 3.0, 1e-12);
+    const auto outside = ba::noh_exact(0.5, 0.6);
+    EXPECT_NEAR(outside.rho, 1.0 + 0.6 / 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(outside.u_r, -1.0);
+    EXPECT_DOUBLE_EQ(outside.p, 0.0);
+}
+
+TEST(NohExact, ShockAtOneThirdT) {
+    const Real t = 0.6;
+    EXPECT_DOUBLE_EQ(ba::noh_exact(t / 3.0 - 1e-9, t).rho, 16.0);
+    EXPECT_LT(ba::noh_exact(t / 3.0 + 1e-3, t).rho, 16.0);
+}
+
+TEST(PistonExact, StrongShockRelations) {
+    const auto s = ba::piston_exact(5.0 / 3.0, 1.0, 1.0);
+    EXPECT_NEAR(s.shock_speed, 4.0 / 3.0, 1e-12);
+    EXPECT_NEAR(s.rho_shocked, 4.0, 1e-12);
+    EXPECT_NEAR(s.p_shocked, 4.0 / 3.0, 1e-12);
+}
+
+TEST(SedovExact, ExponentFromSamples) {
+    // R ~ t^{1/2}: two exact samples recover the exponent.
+    const Real r1 = 0.7 * std::sqrt(0.3);
+    const Real r2 = 0.7 * std::sqrt(0.9);
+    EXPECT_NEAR(ba::sedov_exponent(0.3, r1, 0.9, r2), 0.5, 1e-12);
+}
+
+TEST(StrongShock, DensityRatios) {
+    EXPECT_NEAR(ba::strong_shock_density_ratio(1.4), 6.0, 1e-12);
+    EXPECT_NEAR(ba::strong_shock_density_ratio(5.0 / 3.0), 4.0, 1e-12);
+}
+
+TEST(Norms, ExactFieldHasZeroError) {
+    const auto m = bm::generate_rect({.nx = 4, .ny = 4});
+    std::vector<Real> vol(static_cast<std::size_t>(m.n_cells()), 1.0 / 16.0);
+    std::vector<Real> field(static_cast<std::size_t>(m.n_cells()));
+    for (Index c = 0; c < m.n_cells(); ++c) {
+        Real cx = 0;
+        for (int k = 0; k < 4; ++k)
+            cx += m.x[static_cast<std::size_t>(m.cn(c, k))] / 4;
+        field[static_cast<std::size_t>(c)] = 3.0 * cx;
+    }
+    const auto n = ba::cell_error_norms(m, m.x, m.y, vol, field,
+                                        [](Real cx, Real) { return 3.0 * cx; });
+    EXPECT_NEAR(n.l1, 0.0, 1e-14);
+    EXPECT_NEAR(n.l2, 0.0, 1e-14);
+    EXPECT_NEAR(n.linf, 0.0, 1e-14);
+}
+
+TEST(Norms, ConstantOffsetGivesThatOffset) {
+    const auto m = bm::generate_rect({.nx = 3, .ny = 3});
+    std::vector<Real> vol(9, 1.0 / 9.0);
+    std::vector<Real> field(9, 2.5);
+    const auto n = ba::cell_error_norms(m, m.x, m.y, vol, field,
+                                        [](Real, Real) { return 2.0; });
+    EXPECT_NEAR(n.l1, 0.5, 1e-13);
+    EXPECT_NEAR(n.l2, 0.5, 1e-13);
+    EXPECT_NEAR(n.linf, 0.5, 1e-13);
+}
+
+TEST(Norms, MaskRestrictsWindow) {
+    const auto m = bm::generate_rect({.nx = 4, .ny = 1});
+    std::vector<Real> vol(4, 0.25);
+    std::vector<Real> field = {1.0, 1.0, 5.0, 5.0};
+    const auto n = ba::cell_error_norms(
+        m, m.x, m.y, vol, field, [](Real, Real) { return 1.0; },
+        [](Real cx, Real) { return cx < 0.5; });
+    EXPECT_NEAR(n.l1, 0.0, 1e-14); // only the matching left half counted
+}

@@ -1,0 +1,309 @@
+// Full-problem integration tests: the four BookLeaf test cases validated
+// against their analytic solutions, conservation through full runs,
+// Eulerian-mode operation, and driver behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "analytic/exact.hpp"
+#include "analytic/norms.hpp"
+#include "analytic/riemann.hpp"
+#include "core/driver.hpp"
+#include "setup/problems.hpp"
+
+namespace bc = bookleaf::core;
+namespace bs = bookleaf::setup;
+namespace ba = bookleaf::analytic;
+using bookleaf::Index;
+using bookleaf::Real;
+
+namespace {
+
+/// Centroid of a cell at the current node positions.
+std::pair<Real, Real> centroid(const bc::Hydro& h, Index c) {
+    Real cx = 0, cy = 0;
+    for (int k = 0; k < 4; ++k) {
+        const auto n = static_cast<std::size_t>(h.mesh().cn(c, k));
+        cx += h.state().x[n] / 4;
+        cy += h.state().y[n] / 4;
+    }
+    return {cx, cy};
+}
+
+} // namespace
+
+TEST(SodProblem, MatchesExactRiemannSolution) {
+    bc::Hydro h(bs::sod(100, 2));
+    const auto summary = h.run();
+    EXPECT_NEAR(summary.t_final, 0.2, 1e-12);
+
+    const ba::Riemann exact({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1}, 1.4);
+    const auto norms = ba::cell_error_norms(
+        h.mesh(), h.state().x, h.state().y, h.state().volume, h.state().rho,
+        [&](Real cx, Real) { return exact.sample((cx - 0.5) / 0.2).rho; });
+    std::cout << "[ sod ] L1(rho) = " << norms.l1 << " Linf = " << norms.linf
+              << "\n";
+    EXPECT_LT(norms.l1, 0.02);
+    // The contact and shock plateaus must be present: density between the
+    // two star values somewhere.
+    Real rho_min = 1e9, rho_max = 0;
+    for (const Real r : h.state().rho) {
+        rho_min = std::min(rho_min, r);
+        rho_max = std::max(rho_max, r);
+    }
+    EXPECT_GT(rho_max, 0.99);  // undisturbed left state retained
+    EXPECT_LT(rho_min, 0.126); // undisturbed right state retained
+}
+
+TEST(SodProblem, EnergyConservedThroughFullRun) {
+    bc::Hydro h(bs::sod(100, 2));
+    const auto summary = h.run();
+    EXPECT_NEAR(summary.final_.total_energy(), summary.initial.total_energy(),
+                1e-10 * summary.initial.total_energy());
+    EXPECT_NEAR(summary.final_.mass, summary.initial.mass,
+                1e-12 * summary.initial.mass);
+}
+
+TEST(SodProblem, EulerianModeMatchesExactToo) {
+    auto p = bs::sod(100, 2);
+    p.ale.mode = bookleaf::ale::Mode::eulerian;
+    bc::Hydro h(std::move(p));
+    h.run();
+    // Nodes remain on the generation-time mesh.
+    for (Index n = 0; n < h.mesh().n_nodes(); ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        EXPECT_NEAR(h.state().x[ni], h.mesh().x[ni], 1e-12);
+    }
+    const ba::Riemann exact({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1}, 1.4);
+    const auto norms = ba::cell_error_norms(
+        h.mesh(), h.state().x, h.state().y, h.state().volume, h.state().rho,
+        [&](Real cx, Real) { return exact.sample((cx - 0.5) / 0.2).rho; });
+    std::cout << "[ sod eulerian ] L1(rho) = " << norms.l1 << "\n";
+    EXPECT_LT(norms.l1, 0.03); // remap adds diffusion, stays close
+}
+
+TEST(NohProblem, PlateauAndPreShockProfile) {
+    bc::Hydro h(bs::noh(50));
+    h.run();
+    const Real t = 0.6;
+
+    // Pre-shock window r in [0.30, 0.42]: rho = 1 + t/r, clear of the
+    // viscosity-smeared front (which extends ~3 cells past r = 0.2) and of
+    // the outer-boundary starvation (inside r < 0.4 is clean at t = 0.6).
+    const auto pre = ba::cell_error_norms(
+        h.mesh(), h.state().x, h.state().y, h.state().volume, h.state().rho,
+        [&](Real cx, Real cy) { return ba::noh_exact(std::hypot(cx, cy), t).rho; },
+        [](Real cx, Real cy) {
+            const Real r = std::hypot(cx, cy);
+            return r > 0.30 && r < 0.42;
+        });
+    std::cout << "[ noh ] pre-shock L1 = " << pre.l1 << "\n";
+    EXPECT_LT(pre.l1, 0.1);
+
+    // Post-shock plateau (avoid the wall-heated origin): mean density in
+    // 0.05 < r < 0.15 should approach 16.
+    Real sum = 0;
+    int count = 0;
+    for (Index c = 0; c < h.mesh().n_cells(); ++c) {
+        const auto [cx, cy] = centroid(h, c);
+        const Real r = std::hypot(cx, cy);
+        if (r > 0.05 && r < 0.15) {
+            sum += h.state().rho[static_cast<std::size_t>(c)];
+            ++count;
+        }
+    }
+    ASSERT_GT(count, 0);
+    const Real plateau = sum / count;
+    std::cout << "[ noh ] plateau mean rho = " << plateau << "\n";
+    EXPECT_GT(plateau, 13.0);
+    EXPECT_LT(plateau, 17.0);
+}
+
+TEST(NohProblem, ShockPositionOneThirdT) {
+    bc::Hydro h(bs::noh(50));
+    h.run();
+    // Ring-averaged density profile; the shock is where the average drops
+    // through half the plateau value (8.0). Ring averages avoid the axis
+    // wall-heating noise.
+    constexpr int nbins = 60;
+    std::array<Real, nbins> sum{}, cnt{};
+    for (Index c = 0; c < h.mesh().n_cells(); ++c) {
+        const auto [cx, cy] = centroid(h, c);
+        const int b = static_cast<int>(std::hypot(cx, cy) / 0.6 * nbins);
+        if (b >= 0 && b < nbins) {
+            sum[static_cast<std::size_t>(b)] +=
+                h.state().rho[static_cast<std::size_t>(c)];
+            cnt[static_cast<std::size_t>(b)] += 1;
+        }
+    }
+    Real shock_r = 0.0;
+    for (int b = 0; b < nbins; ++b)
+        if (cnt[static_cast<std::size_t>(b)] > 0 &&
+            sum[static_cast<std::size_t>(b)] / cnt[static_cast<std::size_t>(b)] >
+                8.0)
+            shock_r = (b + Real(0.5)) * Real(0.01);
+    std::cout << "[ noh ] shock at r = " << shock_r << " (exact 0.2)\n";
+    EXPECT_NEAR(shock_r, 0.2, 0.05);
+}
+
+TEST(NohProblem, WallHeatingArtifactIsPresent) {
+    // The paper (§III-B): "Noh's problem is used to highlight the
+    // wall-heating issue commonly found with artificial viscosity
+    // methods." The signature is a density deficit along the reflective
+    // axes relative to the ring average at the same radius.
+    // The signature is at the focus: the innermost cell shows an internal
+    // energy EXCESS (the spurious "heating") and a matching density
+    // deficit, while the pressure stays near the exact 16/3.
+    bc::Hydro h(bs::noh(50));
+    h.run();
+    Index innermost = 0;
+    Real best_r = std::numeric_limits<Real>::max();
+    for (Index c = 0; c < h.mesh().n_cells(); ++c) {
+        const auto [cx, cy] = centroid(h, c);
+        const Real r = std::hypot(cx, cy);
+        if (r < best_r) {
+            best_r = r;
+            innermost = c;
+        }
+    }
+    const Real rho0 = h.state().rho[static_cast<std::size_t>(innermost)];
+    const Real ein0 = h.state().ein[static_cast<std::size_t>(innermost)];
+    std::cout << "[ noh ] origin rho = " << rho0 << " (exact 16), ein = "
+              << ein0 << " (exact 0.5)\n";
+    EXPECT_LT(rho0, 13.0); // density deficit
+    EXPECT_GT(ein0, 0.6);  // spurious heating
+}
+
+TEST(SedovProblem, ShockRadiusScalesAsSqrtT) {
+    bc::Hydro h(bs::sedov(40));
+    // Shock radius at two times via the peak-density ring on the x-axis.
+    auto shock_radius = [&]() {
+        Real best_r = 0, best_rho = 0;
+        for (Index c = 0; c < h.mesh().n_cells(); ++c) {
+            const auto [cx, cy] = centroid(h, c);
+            if (cy > 0.05) continue; // x-axis row
+            const Real rho = h.state().rho[static_cast<std::size_t>(c)];
+            if (rho > best_rho) {
+                best_rho = rho;
+                best_r = cx;
+            }
+        }
+        return best_r;
+    };
+    h.run(0.3);
+    const Real r1 = shock_radius();
+    h.run(0.9);
+    const Real r2 = shock_radius();
+    const Real exponent = ba::sedov_exponent(0.3, r1, 0.9, r2);
+    std::cout << "[ sedov ] R(0.3) = " << r1 << " R(0.9) = " << r2
+              << " exponent = " << exponent << " (exact 0.5)\n";
+    EXPECT_NEAR(exponent, 0.5, 0.12);
+    EXPECT_GT(r1, 0.1);
+}
+
+TEST(SedovProblem, BlastIsDiagonallySymmetric) {
+    bc::Hydro h(bs::sedov(30));
+    h.run(0.3);
+    // rho(x, y) == rho(y, x) on the Cartesian mesh (cell (i,j) <-> (j,i)).
+    const Index n = 30;
+    for (Index j = 0; j < n; ++j)
+        for (Index i = 0; i < j; ++i) {
+            const Real a = h.state().rho[static_cast<std::size_t>(j * n + i)];
+            const Real b = h.state().rho[static_cast<std::size_t>(i * n + j)];
+            EXPECT_NEAR(a, b, 1e-9) << i << "," << j;
+        }
+}
+
+TEST(SaltzmannProblem, StrongShockStateBehindPiston) {
+    bc::Hydro h(bs::saltzmann(100, 10));
+    h.run();
+    const auto exact = ba::piston_exact(5.0 / 3.0, 1.0, 1.0);
+    // At t = 0.6 the piston sits at x = 0.6, the shock at x = 0.8. The
+    // shocked region (0.62 < x < 0.76, margins for smearing) must be near
+    // rho = 4 with u ~ 1.
+    Real sum_rho = 0;
+    int count = 0;
+    for (Index c = 0; c < h.mesh().n_cells(); ++c) {
+        const auto [cx, cy] = centroid(h, c);
+        if (cx > 0.64 && cx < 0.76) {
+            sum_rho += h.state().rho[static_cast<std::size_t>(c)];
+            ++count;
+        }
+    }
+    ASSERT_GT(count, 0);
+    const Real rho_mean = sum_rho / count;
+    std::cout << "[ saltzmann ] shocked rho mean = " << rho_mean
+              << " (exact " << exact.rho_shocked << ")\n";
+    EXPECT_NEAR(rho_mean, exact.rho_shocked, 0.5);
+
+    // Shock position: outermost x with rho > 2.
+    Real shock_x = 0;
+    for (Index c = 0; c < h.mesh().n_cells(); ++c) {
+        const auto [cx, cy] = centroid(h, c);
+        if (h.state().rho[static_cast<std::size_t>(c)] > 2.0)
+            shock_x = std::max(shock_x, cx);
+    }
+    std::cout << "[ saltzmann ] shock at x = " << shock_x << " (exact 0.8)\n";
+    EXPECT_NEAR(shock_x, 0.8, 0.05);
+
+    // No tangling: every volume positive (the hourglass control held).
+    for (const Real v : h.state().volume) EXPECT_GT(v, 0.0);
+}
+
+TEST(Driver, StepInfoSequence) {
+    bc::Hydro h(bs::sod(32, 2));
+    const auto s1 = h.step();
+    EXPECT_EQ(s1.step, 1);
+    EXPECT_EQ(s1.dt_reason, "initial");
+    EXPECT_DOUBLE_EQ(s1.dt, h.problem().hydro.dt_initial);
+    const auto s2 = h.step();
+    EXPECT_EQ(s2.step, 2);
+    EXPECT_NE(s2.dt_reason, "initial");
+    EXPECT_GT(s2.t, s1.t);
+}
+
+TEST(Driver, MaxStepsRespected) {
+    bc::Hydro h(bs::sod(32, 2));
+    const auto summary = h.run(std::nullopt, 5);
+    EXPECT_EQ(summary.steps, 5);
+    EXPECT_LT(summary.t_final, 0.2);
+}
+
+TEST(Driver, RunStopsExactlyAtTEnd) {
+    bc::Hydro h(bs::sod(32, 2));
+    const auto summary = h.run(0.05);
+    EXPECT_NEAR(summary.t_final, 0.05, 1e-12);
+}
+
+TEST(Driver, ProfilerCoversAllLagrangianKernels) {
+    bc::Hydro h(bs::sod(32, 2));
+    h.run(std::nullopt, 10);
+    using K = bookleaf::util::Kernel;
+    for (const auto k : {K::getdt, K::getq, K::getforce, K::getacc, K::getgeom,
+                         K::getrho, K::getein, K::getpc})
+        EXPECT_GT(h.profiler().stats(k).calls, 0)
+            << bookleaf::util::kernel_name(k);
+}
+
+TEST(Driver, ThreadedRunMatchesSerialOnFullProblem) {
+    auto run_with = [](bookleaf::par::ThreadPool* pool, bool colored) {
+        bc::Hydro h(bs::sod(64, 2));
+        if (pool) {
+            bookleaf::par::Exec ex;
+            ex.pool = pool;
+            h.set_exec(ex);
+            if (colored) h.enable_colored_scatter();
+        }
+        h.run(0.05);
+        return h.state().rho;
+    };
+    const auto serial = run_with(nullptr, false);
+    bookleaf::par::ThreadPool pool(4);
+    const auto hybrid = run_with(&pool, false);
+    const auto colored = run_with(&pool, true);
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+        EXPECT_DOUBLE_EQ(hybrid[c], serial[c]);
+        EXPECT_NEAR(colored[c], serial[c], 1e-10);
+    }
+}

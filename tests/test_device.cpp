@@ -1,0 +1,63 @@
+// Tests for the simulated accelerator: transfer costs, roofline launches,
+// dope-vector overheads, occupancy derating, statistics.
+#include <gtest/gtest.h>
+
+#include "device/device.hpp"
+
+namespace bd = bookleaf::device;
+
+TEST(Device, TransferCostIsLatencyPlusBandwidth) {
+    bd::Device dev("gpu", 1e12, 500e9, {.latency_s = 1e-5, .bandwidth_bps = 1e10});
+    const double t = dev.copy_to_device(1e8); // 100 MB
+    EXPECT_NEAR(t, 1e-5 + 1e8 / 1e10, 1e-12);
+    EXPECT_NEAR(dev.now(), t, 1e-15);
+    EXPECT_EQ(dev.bytes_moved(), std::size_t{100000000});
+}
+
+TEST(Device, LaunchRooflineComputeBound) {
+    bd::Device dev("gpu", 1e12, 1e15, {}, {.launch_latency_s = 0.0});
+    // 1000 flops x 1e6 elems at 1e12 flop/s = 1e-3 s; bytes negligible.
+    const double t = dev.launch(1000, 8, 1e6);
+    EXPECT_NEAR(t, 1e-3, 1e-9);
+}
+
+TEST(Device, LaunchRooflineBandwidthBound) {
+    bd::Device dev("gpu", 1e18, 1e11, {}, {.launch_latency_s = 0.0});
+    // 800 bytes x 1e6 elems at 1e11 B/s = 8e-3 s; flops negligible.
+    const double t = dev.launch(10, 800, 1e6);
+    EXPECT_NEAR(t, 8e-3, 1e-9);
+}
+
+TEST(Device, OccupancyFactorDeratesThroughput) {
+    bd::Device dev("gpu", 1e12, 1e15, {}, {.launch_latency_s = 0.0});
+    const double t1 = dev.launch(1000, 8, 1e6, 8, 1.0);
+    const double t2 = dev.launch(1000, 8, 1e6, 8, 1.3);
+    EXPECT_NEAR(t2 / t1, 1.3, 1e-9);
+}
+
+TEST(Device, DopeVectorsChargePerArrayPerLaunch) {
+    const bd::TransferModel pcie{.latency_s = 1e-5, .bandwidth_bps = 1e10};
+    bd::Device plain("gpu", 1e12, 1e15, pcie, {.launch_latency_s = 1e-6});
+    bd::Device doped("gpu", 1e12, 1e15, pcie,
+                     {.launch_latency_s = 1e-6, .dope_vector_bytes = 84});
+    const double t_plain = plain.launch(100, 8, 1e5, /*n_arrays=*/10);
+    const double t_doped = doped.launch(100, 8, 1e5, /*n_arrays=*/10);
+    // Extra cost: one small synchronous transfer per array descriptor.
+    EXPECT_NEAR(t_doped - t_plain, 10 * (1e-5 + 84.0 / 1e10), 1e-12);
+}
+
+TEST(Device, StatisticsAccumulateAndReset) {
+    bd::Device dev("gpu", 1e12, 1e12);
+    dev.copy_to_device(1000);
+    dev.launch(100, 8, 1e5);
+    dev.launch(100, 8, 1e5);
+    EXPECT_EQ(dev.launches(), 2);
+    EXPECT_GT(dev.compute_seconds(), 0.0);
+    EXPECT_GT(dev.transfer_seconds(), 0.0);
+    EXPECT_NEAR(dev.now(), dev.compute_seconds() + dev.transfer_seconds() +
+                               dev.overhead_seconds(),
+                1e-15);
+    dev.reset();
+    EXPECT_EQ(dev.launches(), 0);
+    EXPECT_DOUBLE_EQ(dev.now(), 0.0);
+}

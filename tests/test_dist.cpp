@@ -1,0 +1,151 @@
+// Integration tests for the distributed (flat-MPI analogue) driver:
+// rank-count invariance of the physics, both partitioners, conservation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/distributed.hpp"
+#include "mesh/generator.hpp"
+#include "part/partition.hpp"
+
+namespace bd = bookleaf::dist;
+namespace bh = bookleaf::hydro;
+namespace bm = bookleaf::mesh;
+namespace be = bookleaf::eos;
+namespace bp = bookleaf::part;
+using bookleaf::Index;
+using bookleaf::Real;
+
+namespace {
+
+struct Problem {
+    bm::Mesh mesh;
+    be::MaterialTable materials;
+    std::vector<Real> rho, ein, u, v;
+};
+
+/// A miniature Sod-like two-state problem on a strip.
+Problem sod_like(Index nx, Index ny) {
+    Problem p;
+    bm::RectSpec spec{.x0 = 0, .x1 = 1, .y0 = 0, .y1 = 0.1,
+                      .nx = nx, .ny = ny};
+    spec.region_of = [](Real cx, Real) { return cx < 0.5 ? 0 : 1; };
+    p.mesh = bm::generate_rect(spec);
+    p.materials.materials = {be::IdealGas{1.4}, be::IdealGas{1.4}};
+    p.rho.resize(static_cast<std::size_t>(p.mesh.n_cells()));
+    p.ein.resize(p.rho.size());
+    for (Index c = 0; c < p.mesh.n_cells(); ++c) {
+        const bool left = p.mesh.cell_region[static_cast<std::size_t>(c)] == 0;
+        p.rho[static_cast<std::size_t>(c)] = left ? 1.0 : 0.125;
+        // e = P / ((gamma-1) rho): left P=1, right P=0.1.
+        p.ein[static_cast<std::size_t>(c)] = left ? 2.5 : 2.0;
+    }
+    p.u.assign(static_cast<std::size_t>(p.mesh.n_nodes()), 0.0);
+    p.v.assign(p.u.size(), 0.0);
+    return p;
+}
+
+bd::Result run_ranks(const Problem& p, int n_ranks, Real t_end,
+                     bool use_multilevel = false) {
+    bd::Options opts;
+    opts.n_ranks = n_ranks;
+    opts.t_end = t_end;
+    opts.hydro.dt_initial = 1e-4;
+    if (use_multilevel)
+        opts.partitioner = [](const bm::Mesh& m, int n) {
+            return bp::multilevel(m, n);
+        };
+    return bd::run(p.mesh, p.materials, p.rho, p.ein, p.u, p.v, opts);
+}
+
+} // namespace
+
+TEST(Distributed, SingleRankRuns) {
+    const auto p = sod_like(32, 2);
+    const auto r = run_ranks(p, 1, 0.02);
+    EXPECT_GT(r.steps, 0);
+    EXPECT_NEAR(r.t_final, 0.02, 1e-12);
+    // The shock tube has begun to evolve: density between states appears.
+    Real rho_min = 1e9, rho_max = 0;
+    for (const Real rho : r.rho) {
+        rho_min = std::min(rho_min, rho);
+        rho_max = std::max(rho_max, rho);
+    }
+    EXPECT_LT(rho_min, 0.13);
+    EXPECT_GT(rho_max, 0.9);
+}
+
+TEST(Distributed, FourRanksMatchOneRank) {
+    const auto p = sod_like(48, 2);
+    const auto r1 = run_ranks(p, 1, 0.05);
+    const auto r4 = run_ranks(p, 4, 0.05);
+    ASSERT_EQ(r1.steps, r4.steps);
+    ASSERT_EQ(r1.rho.size(), r4.rho.size());
+    for (std::size_t c = 0; c < r1.rho.size(); ++c) {
+        EXPECT_NEAR(r4.rho[c], r1.rho[c], 1e-10) << "cell " << c;
+        EXPECT_NEAR(r4.ein[c], r1.ein[c], 1e-10) << "cell " << c;
+    }
+    for (std::size_t n = 0; n < r1.u.size(); ++n)
+        EXPECT_NEAR(r4.u[n], r1.u[n], 1e-10) << "node " << n;
+}
+
+TEST(Distributed, RankCountSweepIsInvariant) {
+    const auto p = sod_like(40, 4);
+    const auto ref = run_ranks(p, 1, 0.03);
+    for (const int n_ranks : {2, 3, 5, 8}) {
+        const auto r = run_ranks(p, n_ranks, 0.03);
+        ASSERT_EQ(r.steps, ref.steps) << n_ranks << " ranks";
+        Real max_err = 0;
+        for (std::size_t c = 0; c < ref.rho.size(); ++c)
+            max_err = std::max(max_err, std::abs(r.rho[c] - ref.rho[c]));
+        EXPECT_LT(max_err, 1e-9) << n_ranks << " ranks";
+    }
+}
+
+TEST(Distributed, MultilevelPartitionGivesSamePhysics) {
+    const auto p = sod_like(40, 4);
+    const auto r_rcb = run_ranks(p, 4, 0.03, false);
+    const auto r_ml = run_ranks(p, 4, 0.03, true);
+    ASSERT_EQ(r_rcb.steps, r_ml.steps);
+    for (std::size_t c = 0; c < r_rcb.rho.size(); ++c)
+        EXPECT_NEAR(r_ml.rho[c], r_rcb.rho[c], 1e-9);
+}
+
+TEST(Distributed, ConservationAcrossRanks) {
+    // Total mass and energy from gathered fields must match the initial
+    // totals (reflective box, no piston).
+    const auto p = sod_like(32, 4);
+    // Initial totals on the global mesh:
+    bh::State s0 = bh::allocate(p.mesh);
+    s0.rho = p.rho;
+    s0.ein = p.ein;
+    bh::initialise(p.mesh, p.materials, s0);
+    const auto before = bh::totals(p.mesh, s0);
+
+    const auto r = run_ranks(p, 4, 0.04);
+    // Rebuild totals: mass = sum rho*V is unavailable without volumes, so
+    // use the dist internal energy directly via mass-weighted e: masses are
+    // Lagrangian-constant, equal to the initial cell masses.
+    Real internal = 0.0;
+    for (std::size_t c = 0; c < r.ein.size(); ++c)
+        internal += s0.cell_mass[c] * r.ein[c];
+    Real kinetic = 0.0;
+    for (std::size_t n = 0; n < r.u.size(); ++n)
+        kinetic += Real(0.5) * s0.node_mass[n] *
+                   (r.u[n] * r.u[n] + r.v[n] * r.v[n]);
+    EXPECT_NEAR(internal + kinetic, before.total_energy(),
+                1e-9 * std::abs(before.total_energy()));
+}
+
+TEST(Distributed, ProfilerSeesHaloAndReduce) {
+    const auto p = sod_like(24, 2);
+    const auto r = run_ranks(p, 2, 0.01);
+    for (const auto& prof : r.profiles) {
+        EXPECT_GT(prof[static_cast<std::size_t>(bookleaf::util::Kernel::halo)]
+                      .calls,
+                  0);
+        EXPECT_GT(prof[static_cast<std::size_t>(bookleaf::util::Kernel::getq)]
+                      .calls,
+                  0);
+    }
+}

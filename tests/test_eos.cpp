@@ -1,0 +1,133 @@
+// Tests for the equations of state: closed forms, thermodynamic
+// consistency (c^2 vs finite-difference of P), cutoffs, region table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eos/eos.hpp"
+
+namespace be = bookleaf::eos;
+using bookleaf::Real;
+
+TEST(IdealGas, PressureClosedForm) {
+    const be::Material m = be::IdealGas{1.4};
+    EXPECT_NEAR(be::pressure(m, 1.0, 2.5), 1.0, 1e-12);         // Sod left state
+    EXPECT_NEAR(be::pressure(m, 0.125, 2.0), 0.1, 1e-12);       // Sod right state
+}
+
+TEST(IdealGas, SoundSpeedClosedForm) {
+    const be::Material m = be::IdealGas{1.4};
+    // c^2 = gamma P / rho = 1.4 for Sod left state.
+    EXPECT_NEAR(be::sound_speed2(m, 1.0, 2.5), 1.4, 1e-12);
+}
+
+TEST(Tait, ReferenceStateGivesReferencePressure) {
+    const be::Material m = be::Tait{.rho0 = 1.0, .b = 3.0, .n = 7.0, .p_ref = 0.5};
+    EXPECT_NEAR(be::pressure(m, 1.0, 0.0), 0.5, 1e-12);
+}
+
+TEST(Tait, StiffensWithCompression) {
+    const be::Material m = be::Tait{.rho0 = 1.0, .b = 3.0, .n = 7.0};
+    const Real p1 = be::pressure(m, 1.1, 0.0);
+    const Real p2 = be::pressure(m, 1.2, 0.0);
+    EXPECT_GT(p1, 0.0);
+    EXPECT_GT(p2 - p1, p1); // convex stiffening
+}
+
+TEST(Jwl, ReducesToOmegaTermWithZeroAB) {
+    const be::Material m = be::Jwl{.rho0 = 1.6, .a = 0, .b = 0, .omega = 0.3};
+    EXPECT_NEAR(be::pressure(m, 2.0, 5.0), 0.3 * 2.0 * 5.0, 1e-12);
+}
+
+TEST(Jwl, TypicalHighExplosiveState) {
+    // LX-type parameter magnitudes; P must be positive and finite at the
+    // reference density with modest energy.
+    const be::Material m = be::Jwl{.rho0 = 1.84,
+                                   .a = 854.5,
+                                   .b = 20.5,
+                                   .r1 = 4.6,
+                                   .r2 = 1.35,
+                                   .omega = 0.25};
+    const Real p = be::pressure(m, 1.84, 10.0);
+    EXPECT_GT(p, 0.0);
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GT(be::sound_speed2(m, 1.84, 10.0), 0.0);
+}
+
+TEST(Void, ZeroPressureFlooredSoundSpeed) {
+    const be::Material m = be::Void{};
+    const be::Cutoffs cut;
+    EXPECT_DOUBLE_EQ(be::pressure(m, 1.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(be::sound_speed2(m, 1.0, 1.0), cut.ccut);
+}
+
+TEST(Cutoffs, PressureSnapsToZeroBelowPcut) {
+    const be::Material m = be::IdealGas{1.4};
+    be::Cutoffs cut;
+    cut.pcut = 1e-3;
+    EXPECT_DOUBLE_EQ(be::pressure(m, 1.0, 1e-4, cut), 0.0);
+    EXPECT_GT(be::pressure(m, 1.0, 1.0, cut), 0.0);
+}
+
+TEST(Cutoffs, SoundSpeedFloorApplies) {
+    const be::Material m = be::IdealGas{1.4};
+    be::Cutoffs cut;
+    cut.ccut = 0.123;
+    EXPECT_DOUBLE_EQ(be::sound_speed2(m, 1.0, 0.0, cut), 0.123);
+}
+
+/// Thermodynamic consistency sweep: for each EoS, the analytic c^2 must
+/// match (dP/drho)|_e + (P/rho^2)(dP/de)|_rho by finite differences.
+class SoundSpeedConsistency
+    : public ::testing::TestWithParam<std::tuple<be::Material, Real, Real>> {};
+
+TEST_P(SoundSpeedConsistency, MatchesFiniteDifference) {
+    const auto& [mat, rho, ein] = GetParam();
+    be::Cutoffs cut;
+    cut.pcut = 0.0; // snap would corrupt derivatives
+    cut.ccut = 0.0;
+    const Real h_rho = 1e-6 * rho;
+    const Real h_e = std::max(1e-6 * std::abs(ein), 1e-9);
+    const Real dpdrho = (be::pressure(mat, rho + h_rho, ein, cut) -
+                         be::pressure(mat, rho - h_rho, ein, cut)) /
+                        (2 * h_rho);
+    const Real dpde = (be::pressure(mat, rho, ein + h_e, cut) -
+                       be::pressure(mat, rho, ein - h_e, cut)) /
+                      (2 * h_e);
+    const Real p = be::pressure(mat, rho, ein, cut);
+    const Real c2_fd = dpdrho + p / (rho * rho) * dpde;
+    const Real c2 = be::sound_speed2(mat, rho, ein, cut);
+    EXPECT_NEAR(c2, c2_fd, 1e-4 * std::max(std::abs(c2_fd), Real(1.0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SoundSpeedConsistency,
+    ::testing::Values(
+        std::make_tuple(be::Material{be::IdealGas{1.4}}, 1.0, 2.5),
+        std::make_tuple(be::Material{be::IdealGas{5.0 / 3.0}}, 16.0, 0.5),
+        std::make_tuple(be::Material{be::Tait{.rho0 = 1.0, .b = 3.0, .n = 7.0}},
+                        1.05, 0.0),
+        std::make_tuple(be::Material{be::Tait{.rho0 = 2.0, .b = 10.0, .n = 5.0}},
+                        2.2, 0.0),
+        std::make_tuple(be::Material{be::Jwl{.rho0 = 1.84,
+                                             .a = 854.5,
+                                             .b = 20.5,
+                                             .r1 = 4.6,
+                                             .r2 = 1.35,
+                                             .omega = 0.25}},
+                        1.84, 10.0),
+        std::make_tuple(be::Material{be::Jwl{.rho0 = 1.6,
+                                             .a = 600.0,
+                                             .b = 13.0,
+                                             .r1 = 4.5,
+                                             .r2 = 1.5,
+                                             .omega = 0.3}},
+                        1.2, 7.0)));
+
+TEST(MaterialTable, RoutesByRegion) {
+    be::MaterialTable table;
+    table.materials = {be::IdealGas{1.4}, be::IdealGas{5.0 / 3.0}, be::Void{}};
+    EXPECT_NEAR(table.pressure(0, 1.0, 2.5), 1.0, 1e-12);
+    EXPECT_NEAR(table.pressure(1, 1.0, 2.5), (5.0 / 3.0 - 1.0) * 2.5, 1e-12);
+    EXPECT_DOUBLE_EQ(table.pressure(2, 1.0, 2.5), 0.0);
+}

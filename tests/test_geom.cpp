@@ -1,0 +1,174 @@
+// Tests for per-quad geometry: areas, gradients (checked against finite
+// differences), corner-volume tiling, characteristic lengths, quality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/geometry.hpp"
+#include "mesh/generator.hpp"
+#include "util/random.hpp"
+
+namespace bg = bookleaf::geom;
+namespace bm = bookleaf::mesh;
+namespace bu = bookleaf::util;
+using bookleaf::Index;
+using bookleaf::Real;
+
+namespace {
+
+bg::QuadPts unit_square() {
+    return {.x = {0, 1, 1, 0}, .y = {0, 0, 1, 1}};
+}
+
+bg::QuadPts random_convexish_quad(bu::SplitMix64& rng) {
+    // Perturbed unit square: stays simple (non-self-intersecting) for
+    // perturbations < 0.3.
+    bg::QuadPts q = unit_square();
+    for (int k = 0; k < 4; ++k) {
+        q.x[static_cast<std::size_t>(k)] += rng.uniform(-0.25, 0.25);
+        q.y[static_cast<std::size_t>(k)] += rng.uniform(-0.25, 0.25);
+    }
+    return q;
+}
+
+} // namespace
+
+TEST(QuadArea, UnitSquare) { EXPECT_DOUBLE_EQ(bg::quad_area(unit_square()), 1.0); }
+
+TEST(QuadArea, OrientationSign) {
+    bg::QuadPts cw = {.x = {0, 0, 1, 1}, .y = {0, 1, 1, 0}};
+    EXPECT_DOUBLE_EQ(bg::quad_area(cw), -1.0);
+}
+
+TEST(QuadArea, TranslationInvariant) {
+    bu::SplitMix64 rng(5);
+    auto q = random_convexish_quad(rng);
+    const Real a0 = bg::quad_area(q);
+    for (auto& v : q.x) v += 17.5;
+    for (auto& v : q.y) v -= 3.25;
+    EXPECT_NEAR(bg::quad_area(q), a0, 1e-12);
+}
+
+TEST(QuadCentroid, UnitSquareCentre) {
+    const auto c = bg::quad_centroid(unit_square());
+    EXPECT_DOUBLE_EQ(c.x, 0.5);
+    EXPECT_DOUBLE_EQ(c.y, 0.5);
+}
+
+TEST(CornerVolumes, TileTheCell) {
+    bu::SplitMix64 rng(42);
+    for (int rep = 0; rep < 50; ++rep) {
+        const auto q = random_convexish_quad(rng);
+        const auto cv = bg::corner_volumes(q);
+        const Real sum = cv[0] + cv[1] + cv[2] + cv[3];
+        EXPECT_NEAR(sum, bg::quad_area(q), 1e-12) << "rep " << rep;
+    }
+}
+
+TEST(CornerVolumes, EqualOnSquare) {
+    const auto cv = bg::corner_volumes(unit_square());
+    for (const Real v : cv) EXPECT_NEAR(v, 0.25, 1e-14);
+}
+
+TEST(AreaGradients, MatchFiniteDifferences) {
+    bu::SplitMix64 rng(7);
+    const Real h = 1e-6;
+    for (int rep = 0; rep < 20; ++rep) {
+        const auto q = random_convexish_quad(rng);
+        const auto g = bg::area_gradients(q);
+        for (int k = 0; k < 4; ++k) {
+            auto qp = q;
+            qp.x[static_cast<std::size_t>(k)] += h;
+            auto qm = q;
+            qm.x[static_cast<std::size_t>(k)] -= h;
+            const Real fd_x = (bg::quad_area(qp) - bg::quad_area(qm)) / (2 * h);
+            EXPECT_NEAR(g[static_cast<std::size_t>(k)].x, fd_x, 1e-7);
+
+            qp = q;
+            qp.y[static_cast<std::size_t>(k)] += h;
+            qm = q;
+            qm.y[static_cast<std::size_t>(k)] -= h;
+            const Real fd_y = (bg::quad_area(qp) - bg::quad_area(qm)) / (2 * h);
+            EXPECT_NEAR(g[static_cast<std::size_t>(k)].y, fd_y, 1e-7);
+        }
+    }
+}
+
+TEST(CornerVolumeGradients, MatchFiniteDifferences) {
+    bu::SplitMix64 rng(11);
+    const Real h = 1e-6;
+    const auto q = random_convexish_quad(rng);
+    const auto g = bg::corner_volume_gradients(q);
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            auto qp = q;
+            qp.x[static_cast<std::size_t>(j)] += h;
+            auto qm = q;
+            qm.x[static_cast<std::size_t>(j)] -= h;
+            const Real fd_x = (bg::corner_volumes(qp)[static_cast<std::size_t>(i)] -
+                               bg::corner_volumes(qm)[static_cast<std::size_t>(i)]) /
+                              (2 * h);
+            EXPECT_NEAR(g[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)].x,
+                        fd_x, 1e-7)
+                << "i=" << i << " j=" << j;
+        }
+    }
+}
+
+TEST(CornerVolumeGradients, SumToAreaGradients) {
+    // Because subzones tile the cell, sum_i d(Vsz_i)/dp_j == dA/dp_j — the
+    // identity that keeps sub-zonal forces momentum-conserving.
+    bu::SplitMix64 rng(13);
+    for (int rep = 0; rep < 20; ++rep) {
+        const auto q = random_convexish_quad(rng);
+        const auto g = bg::corner_volume_gradients(q);
+        const auto ga = bg::area_gradients(q);
+        for (std::size_t j = 0; j < 4; ++j) {
+            Real sx = 0, sy = 0;
+            for (std::size_t i = 0; i < 4; ++i) {
+                sx += g[i][j].x;
+                sy += g[i][j].y;
+            }
+            EXPECT_NEAR(sx, ga[j].x, 1e-12);
+            EXPECT_NEAR(sy, ga[j].y, 1e-12);
+        }
+    }
+}
+
+TEST(CharLength, SquareAndNeedle) {
+    // Square of side h: diagonals h*sqrt(2), area h^2 -> L = h/sqrt(2).
+    const Real L = bg::char_length(unit_square());
+    EXPECT_NEAR(L, 1.0 / std::sqrt(2.0), 1e-12);
+    // Needle 1 x 0.01: area 0.01, diag ~1 -> L ~ 0.01 (shrinks correctly).
+    bg::QuadPts needle = {.x = {0, 1, 1, 0}, .y = {0, 0, 0.01, 0.01}};
+    EXPECT_LT(bg::char_length(needle), 0.02);
+}
+
+TEST(MinEdge, UnitSquare) {
+    EXPECT_DOUBLE_EQ(bg::min_edge_length(unit_square()), 1.0);
+}
+
+TEST(Quality, UniformGridIsPerfect) {
+    const auto m = bm::generate_rect({.nx = 8, .ny = 8});
+    const auto q = bg::mesh_quality(m);
+    EXPECT_NEAR(q.min_area, 1.0 / 64.0, 1e-12);
+    EXPECT_NEAR(q.max_aspect, 1.0, 1e-12);
+}
+
+TEST(Quality, SaltzmannIsSkewedButValid) {
+    bm::RectSpec spec{.x0 = 0, .x1 = 1, .y0 = 0, .y1 = 0.1, .nx = 100, .ny = 10};
+    spec.map = bm::saltzmann_map;
+    const auto m = bm::generate_rect(spec);
+    const auto q = bg::mesh_quality(m);
+    EXPECT_GT(q.min_area, 0.0);     // no inverted cells
+    EXPECT_GT(q.max_aspect, 1.5);   // visibly distorted
+}
+
+TEST(Gather, ReadsCellCorners) {
+    const auto m = bm::generate_rect({.nx = 2, .ny = 1});
+    const auto q = bg::gather(m, m.x, m.y, 1);
+    EXPECT_DOUBLE_EQ(q.x[0], 0.5);
+    EXPECT_DOUBLE_EQ(q.x[1], 1.0);
+    EXPECT_DOUBLE_EQ(q.y[2], 1.0);
+    EXPECT_NEAR(bg::quad_area(q), 0.5, 1e-14);
+}

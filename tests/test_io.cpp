@@ -1,0 +1,69 @@
+// Tests for the VTK and CSV writers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/driver.hpp"
+#include "io/csv.hpp"
+#include "io/vtk.hpp"
+#include "setup/problems.hpp"
+#include "util/error.hpp"
+
+namespace bi = bookleaf::io;
+namespace bu = bookleaf::util;
+using bookleaf::Real;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+TEST(Vtk, WritesWellFormedLegacyFile) {
+    bookleaf::core::Hydro h(bookleaf::setup::sod(8, 2));
+    h.run(std::nullopt, 2);
+    const std::string path = "/tmp/bookleaf_test_sod.vtk";
+    bi::write_vtk(path, h.mesh(), h.state());
+    const auto text = slurp(path);
+    EXPECT_NE(text.find("# vtk DataFile Version 3.0"), std::string::npos);
+    EXPECT_NE(text.find("DATASET UNSTRUCTURED_GRID"), std::string::npos);
+    EXPECT_NE(text.find("POINTS 27 double"), std::string::npos); // 9*3 nodes
+    EXPECT_NE(text.find("CELLS 16 80"), std::string::npos);
+    EXPECT_NE(text.find("SCALARS density double 1"), std::string::npos);
+    EXPECT_NE(text.find("SCALARS pressure double 1"), std::string::npos);
+    EXPECT_NE(text.find("VECTORS velocity double"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Vtk, FailsLoudlyOnBadPath) {
+    bookleaf::core::Hydro h(bookleaf::setup::sod(4, 2));
+    EXPECT_THROW(bi::write_vtk("/nonexistent/dir/x.vtk", h.mesh(), h.state()),
+                 bu::Error);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+    const std::string path = "/tmp/bookleaf_test.csv";
+    {
+        bi::CsvWriter csv(path, {"t", "dt", "mass"});
+        csv.row({0.0, 1e-4, 1.0});
+        csv.row({1e-4, 2e-4, 1.0});
+    }
+    const auto text = slurp(path);
+    EXPECT_NE(text.find("t,dt,mass"), std::string::npos);
+    EXPECT_NE(text.find("0.0001"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWrongArity) {
+    const std::string path = "/tmp/bookleaf_test2.csv";
+    bi::CsvWriter csv(path, {"a", "b"});
+    EXPECT_THROW(csv.row({1.0}), bu::Error);
+    std::remove(path.c_str());
+}

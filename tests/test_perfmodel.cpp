@@ -1,0 +1,237 @@
+// Tests for the performance model: every shape criterion of the paper's
+// evaluation (DESIGN.md §4) plus the cluster-scaling behaviour and the
+// calibration pipeline.
+#include <gtest/gtest.h>
+
+#include "perfmodel/calibrate.hpp"
+#include "perfmodel/clustersim.hpp"
+#include "perfmodel/model.hpp"
+
+namespace pm = bookleaf::perfmodel;
+using bookleaf::util::Kernel;
+
+namespace {
+
+pm::Breakdown model(pm::Config c) {
+    return pm::model_noh(c, pm::reference_work());
+}
+
+} // namespace
+
+// --- Table II / Fig 1 shape criteria ---------------------------------------
+
+TEST(Table2, FlatMpiBeatsHybridOnBothCpus) {
+    EXPECT_LT(model(pm::Config::skl_mpi).overall,
+              model(pm::Config::skl_hybrid).overall);
+    EXPECT_LT(model(pm::Config::bdw_mpi).overall,
+              model(pm::Config::bdw_hybrid).overall);
+}
+
+TEST(Table2, ViscosityDominatesFlatMpi) {
+    const auto b = model(pm::Config::skl_mpi);
+    const double share = b.at(Kernel::getq) / b.overall;
+    // Paper: 70% of the Skylake MPI runtime is the viscosity kernel.
+    EXPECT_GT(share, 0.5);
+    EXPECT_LT(share, 0.75);
+    // And it dominates every other kernel outright.
+    for (const auto k : pm::modelled_kernels) {
+        if (k != Kernel::getq) {
+            EXPECT_GT(b.at(Kernel::getq), b.at(k));
+        }
+    }
+}
+
+TEST(Table2, HybridViscosityWithinAFewPercentOfFlat) {
+    // Paper §V-B: "the hybrid solution is within 5% of the performance of
+    // the flat MPI solution" for the viscosity kernel. Allow 15% for the
+    // model.
+    const auto flat = model(pm::Config::skl_mpi).at(Kernel::getq);
+    const auto hybrid = model(pm::Config::skl_hybrid).at(Kernel::getq);
+    EXPECT_LT(hybrid / flat, 1.15);
+}
+
+TEST(Table2, HybridAccelerationAndGetdtBlowUp) {
+    // The structural artefacts: acceleration ~2x, getdt >3x under hybrid.
+    const auto flat = model(pm::Config::skl_mpi);
+    const auto hybrid = model(pm::Config::skl_hybrid);
+    EXPECT_GT(hybrid.at(Kernel::getacc) / flat.at(Kernel::getacc), 1.8);
+    EXPECT_GT(hybrid.at(Kernel::getdt) / flat.at(Kernel::getdt), 3.0);
+    // getgeom blows up through the NUMA bandwidth path.
+    EXPECT_GT(hybrid.at(Kernel::getgeom) / flat.at(Kernel::getgeom), 4.0);
+}
+
+TEST(Table2, SkylakeFasterThanBroadwell) {
+    EXPECT_LT(model(pm::Config::skl_mpi).overall,
+              model(pm::Config::bdw_mpi).overall);
+    EXPECT_LT(model(pm::Config::skl_mpi).at(Kernel::getq),
+              model(pm::Config::bdw_mpi).at(Kernel::getq));
+}
+
+TEST(Table2, GpusSlowerThanCpusOverall) {
+    // Paper §V-B: "the performance on GPUs is shown to be slightly worse
+    // overall than that of the CPUs."
+    const auto best_cpu = model(pm::Config::skl_mpi).overall;
+    EXPECT_GT(model(pm::Config::p100_omp).overall, best_cpu);
+    EXPECT_GT(model(pm::Config::p100_cuda).overall, best_cpu);
+    EXPECT_GT(model(pm::Config::v100_cuda).overall, best_cpu);
+}
+
+TEST(Table2, OpenMpOffloadBeatsCudaOnP100) {
+    // Paper §V-B: host-side getdt penalises CUDA; OpenMP offload reduces
+    // on the device and wins overall.
+    EXPECT_LT(model(pm::Config::p100_omp).overall,
+              model(pm::Config::p100_cuda).overall);
+    // And specifically for the viscosity kernel (register pressure).
+    EXPECT_LT(model(pm::Config::p100_omp).at(Kernel::getq),
+              model(pm::Config::p100_cuda).at(Kernel::getq));
+}
+
+TEST(Table2, V100BeatsP100Cuda) {
+    EXPECT_LT(model(pm::Config::v100_cuda).overall,
+              model(pm::Config::p100_cuda).overall);
+    EXPECT_LT(model(pm::Config::v100_cuda).at(Kernel::getq),
+              model(pm::Config::p100_cuda).at(Kernel::getq));
+}
+
+TEST(Table2, HostSideGetdtDoesNotSpeedUpWithGpuGeneration) {
+    // The time differential runs on the host under CUDA, so upgrading the
+    // GPU barely changes it (paper: 40.4 s vs 44.4 s).
+    const auto p100 = model(pm::Config::p100_cuda).at(Kernel::getdt);
+    const auto v100 = model(pm::Config::v100_cuda).at(Kernel::getdt);
+    EXPECT_NEAR(v100 / p100, 1.0, 0.05);
+}
+
+TEST(Table2, CudaGetforceNearFreeOpenMpGetforceExpensive) {
+    // Paper Table II: P100 CUDA getforce 0.5 s vs P100 OpenMP 40.9 s.
+    EXPECT_LT(model(pm::Config::p100_cuda).at(Kernel::getforce), 5.0);
+    EXPECT_GT(model(pm::Config::p100_omp).at(Kernel::getforce), 20.0);
+}
+
+TEST(Table2, AbsoluteValuesNearPaper) {
+    // Anchoring sanity: Skylake MPI overall ~76 s, viscosity ~46 s; the
+    // other configs within +-30% of the published values.
+    EXPECT_NEAR(model(pm::Config::skl_mpi).overall, 76.0, 8.0);
+    EXPECT_NEAR(model(pm::Config::skl_mpi).at(Kernel::getq), 46.4, 3.0);
+    EXPECT_NEAR(model(pm::Config::bdw_mpi).overall, 109.0, 33.0);
+    EXPECT_NEAR(model(pm::Config::skl_hybrid).overall, 168.6, 50.0);
+    EXPECT_NEAR(model(pm::Config::p100_cuda).overall, 261.2, 78.0);
+    EXPECT_NEAR(model(pm::Config::p100_omp).overall, 186.5, 56.0);
+}
+
+TEST(Table2, DopeVectorAblationSlowsKernels) {
+    // §IV-D: dope-vector transfers per launch cost real time; removing
+    // them "improves performance dramatically" (4.23 -> 2.2 s for one
+    // problem set). Check the mechanism: dope vectors on > off.
+    const auto work = pm::reference_work();
+    pm::Breakdown with_fix = pm::model_noh(pm::Config::p100_cuda, work);
+    // Build the un-fixed backend by hand.
+    const auto backend = pm::p100_cuda(/*dope_vectors=*/true);
+    EXPECT_GT(backend.launch.dope_vector_bytes, 0.0);
+    // Model through the generic path with a custom device run: compare the
+    // per-launch overhead directly.
+    bookleaf::device::Device plain("p", backend.rate, backend.bandwidth,
+                                   backend.pcie, {});
+    bookleaf::device::Device doped("d", backend.rate, backend.bandwidth,
+                                   backend.pcie, backend.launch);
+    const double t_plain = plain.launch(650, 160, pm::table2_cells);
+    const double t_doped = doped.launch(650, 160, pm::table2_cells);
+    EXPECT_GT(t_doped, t_plain);
+    (void)with_fix;
+}
+
+// --- Fig 3/4 scaling shape ---------------------------------------------------
+
+namespace {
+
+std::vector<pm::ScalingPoint> scaling(const pm::CpuPlatform& p) {
+    return pm::strong_scaling(p, pm::reference_work(), {}, {}, {8, 16, 32, 64});
+}
+
+} // namespace
+
+TEST(Scaling, SuperlinearBetweenEightAndSixteenNodes) {
+    for (const auto& platform : {pm::skylake(), pm::broadwell()}) {
+        const auto pts = scaling(platform);
+        const double speedup = pts[0].overall / pts[1].overall;
+        EXPECT_GT(speedup, 2.2) << platform.name; // superlinear
+    }
+}
+
+TEST(Scaling, NearLinearBeyondSixteenNodes) {
+    for (const auto& platform : {pm::skylake(), pm::broadwell()}) {
+        const auto pts = scaling(platform);
+        const double s32 = pts[1].overall / pts[2].overall;
+        const double s64 = pts[2].overall / pts[3].overall;
+        EXPECT_GT(s32, 1.7) << platform.name;
+        EXPECT_LT(s32, 2.4) << platform.name;
+        EXPECT_GT(s64, 1.7) << platform.name;
+        EXPECT_LT(s64, 2.2) << platform.name;
+    }
+}
+
+TEST(Scaling, MonotoneDecreaseAndSkylakeBelowBroadwell) {
+    const auto skl = scaling(pm::skylake());
+    const auto bdw = scaling(pm::broadwell());
+    for (std::size_t i = 0; i + 1 < skl.size(); ++i) {
+        EXPECT_GT(skl[i].overall, skl[i + 1].overall);
+        EXPECT_GT(bdw[i].overall, bdw[i + 1].overall);
+    }
+    for (std::size_t i = 0; i < skl.size(); ++i)
+        EXPECT_LT(skl[i].overall, bdw[i].overall);
+}
+
+TEST(Scaling, KernelCurvesFollowOverall) {
+    // Fig 4: the viscosity and acceleration kernels show the same shape.
+    const auto pts = scaling(pm::skylake());
+    EXPECT_GT(pts[0].viscosity / pts[1].viscosity, 2.0);
+    EXPECT_GT(pts[0].acceleration / pts[1].acceleration, 2.0);
+    for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+        EXPECT_GT(pts[i].viscosity, pts[i + 1].viscosity);
+        EXPECT_GT(pts[i].acceleration, pts[i + 1].acceleration);
+    }
+}
+
+TEST(Scaling, CommunicationStaysNegligible) {
+    // Paper §V-C: "the communication overhead for these kernels does not
+    // cause a significant issue when increasing node counts."
+    for (const auto& point : scaling(pm::skylake()))
+        EXPECT_LT(point.comm / point.overall, 0.05);
+}
+
+TEST(CacheFactor, MonotoneInWorkingSet) {
+    const double cache = 1.4e6;
+    double prev = pm::cache_factor(0.1 * cache, cache, 1.0);
+    for (double ws = 0.2 * cache; ws < 5 * cache; ws += 0.2 * cache) {
+        const double f = pm::cache_factor(ws, cache, 1.0);
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+    EXPECT_NEAR(pm::cache_factor(0.01 * cache, cache, 1.0), 1.0, 0.05);
+    EXPECT_NEAR(pm::cache_factor(100 * cache, cache, 1.0), 2.0, 0.05);
+}
+
+// --- calibration -------------------------------------------------------------
+
+TEST(Calibrate, MeasuresAllModelledKernels) {
+    const auto cal = pm::calibrate_noh(30, 5);
+    EXPECT_EQ(cal.n_cells, 900);
+    for (const auto kernel : pm::modelled_kernels)
+        EXPECT_TRUE(cal.seconds_per_cell.contains(kernel))
+            << bookleaf::util::kernel_name(kernel);
+    // Sanity: per-cell per-invocation times are sub-microsecond.
+    for (const auto& [k, t] : cal.seconds_per_cell) {
+        EXPECT_GT(t, 0.0);
+        EXPECT_LT(t, 1e-5);
+    }
+}
+
+TEST(Calibrate, CalibratedWorkReflectsMeasurements) {
+    const auto cal = pm::calibrate_noh(30, 5);
+    const auto work = pm::calibrated_work(cal);
+    // Our C++ getq is the most expensive cell kernel, as in the paper.
+    const double f_q = work.at(Kernel::getq).flops;
+    EXPECT_GT(f_q, work.at(Kernel::getrho).flops);
+    EXPECT_GT(f_q, work.at(Kernel::getpc).flops);
+    // Structural fields are inherited from the reference table.
+    EXPECT_DOUBLE_EQ(work.at(Kernel::getdt).hybrid_serial, 0.15);
+}

@@ -1,0 +1,181 @@
+// Tests for the problem factories and the input-deck parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "setup/deck.hpp"
+#include "setup/problems.hpp"
+#include "util/error.hpp"
+
+namespace bs = bookleaf::setup;
+namespace bm = bookleaf::mesh;
+namespace bu = bookleaf::util;
+using bookleaf::Index;
+using bookleaf::Real;
+
+TEST(Problems, SodTwoStates) {
+    const auto p = bs::sod(50, 2);
+    EXPECT_EQ(p.mesh.n_cells(), 100);
+    EXPECT_EQ(p.mesh.n_regions(), 2);
+    // Left state (rho, P) = (1, 1), right (0.125, 0.1).
+    int left = 0, right = 0;
+    for (Index c = 0; c < p.mesh.n_cells(); ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        if (p.mesh.cell_region[ci] == 0) {
+            EXPECT_DOUBLE_EQ(p.rho[ci], 1.0);
+            EXPECT_DOUBLE_EQ(p.ein[ci], 2.5);
+            ++left;
+        } else {
+            EXPECT_DOUBLE_EQ(p.rho[ci], 0.125);
+            EXPECT_DOUBLE_EQ(p.ein[ci], 2.0);
+            ++right;
+        }
+    }
+    EXPECT_EQ(left, right);
+    EXPECT_DOUBLE_EQ(p.t_end, 0.2);
+}
+
+TEST(Problems, NohRadialInflow) {
+    const auto p = bs::noh(10);
+    for (Index n = 0; n < p.mesh.n_nodes(); ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        const Real r = std::hypot(p.mesh.x[ni], p.mesh.y[ni]);
+        if (r < 1e-12) continue;
+        const auto mask = p.mesh.node_bc[ni];
+        if (mask == bm::bc::none) {
+            // Interior: unit speed pointing at the origin.
+            EXPECT_NEAR(std::hypot(p.u[ni], p.v[ni]), 1.0, 1e-12) << n;
+            EXPECT_NEAR(p.u[ni] * p.mesh.y[ni] - p.v[ni] * p.mesh.x[ni], 0.0,
+                        1e-12);
+            EXPECT_LE(p.u[ni] * p.mesh.x[ni] + p.v[ni] * p.mesh.y[ni], 0.0);
+        } else {
+            // Boundary: wall-normal component clamped at setup so the
+            // kinematic BCs hold from t = 0 (energy bookkeeping).
+            if (mask & bm::bc::fix_u) {
+                EXPECT_DOUBLE_EQ(p.u[ni], 0.0);
+            }
+            if (mask & bm::bc::fix_v) {
+                EXPECT_DOUBLE_EQ(p.v[ni], 0.0);
+            }
+        }
+    }
+}
+
+TEST(Problems, SedovEnergySpikeAtOrigin) {
+    const auto p = bs::sedov(15);
+    Index spike = bookleaf::no_index;
+    int n_hot = 0;
+    for (Index c = 0; c < p.mesh.n_cells(); ++c)
+        if (p.ein[static_cast<std::size_t>(c)] > 1.0) {
+            spike = c;
+            ++n_hot;
+        }
+    ASSERT_EQ(n_hot, 1);
+    // Total deposited energy = rho * V * e = 0.25.
+    const Real cell_area = (1.2 / 15) * (1.2 / 15);
+    EXPECT_NEAR(p.ein[static_cast<std::size_t>(spike)] * cell_area, 0.25, 1e-12);
+}
+
+TEST(Problems, SaltzmannPistonNodes) {
+    const auto p = bs::saltzmann(50, 5);
+    int pistons = 0;
+    for (Index n = 0; n < p.mesh.n_nodes(); ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        if (p.mesh.node_bc[ni] & bm::bc::piston) {
+            EXPECT_NEAR(p.mesh.x[ni], 0.0, 1e-12);
+            EXPECT_DOUBLE_EQ(p.u[ni], 1.0);
+            ++pistons;
+        }
+    }
+    EXPECT_EQ(pistons, 6); // ny + 1 nodes on the piston wall
+    EXPECT_DOUBLE_EQ(p.hydro.piston_u, 1.0);
+}
+
+TEST(Problems, SaltzmannMeshIsSkewed) {
+    const auto p = bs::saltzmann(50, 5);
+    // The distorted mesh must still be valid (positive volumes) — checked
+    // by initialising state on it in the driver; here check skew exists.
+    bool skewed = false;
+    for (Index n = 0; n < p.mesh.n_nodes(); ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        if (p.mesh.y[ni] > 0.01 && p.mesh.y[ni] < 0.09 &&
+            std::abs(std::remainder(p.mesh.x[ni], 0.02)) > 1e-6)
+            skewed = true;
+    }
+    EXPECT_TRUE(skewed);
+}
+
+TEST(Problems, ByNameDispatchAndErrors) {
+    EXPECT_EQ(bs::by_name("sod").name, "sod");
+    EXPECT_EQ(bs::by_name("noh", 12).mesh.n_cells(), 144);
+    EXPECT_THROW(bs::by_name("kelvin-helmholtz"), bu::Error);
+}
+
+TEST(Deck, ParsesSectionsKeysComments) {
+    const auto deck = bs::Deck::parse_string(R"(
+# a comment
+[problem]
+name = noh        ; trailing comment
+resolution = 20
+
+[Control]
+T_END = 0.3
+)");
+    EXPECT_EQ(deck.get("problem", "name", ""), "noh");
+    EXPECT_EQ(deck.get_int("problem", "resolution", 0), 20);
+    // Sections and keys are case-insensitive.
+    EXPECT_DOUBLE_EQ(deck.get_real("control", "t_end", 0.0), 0.3);
+    EXPECT_FALSE(deck.has("control", "missing"));
+    EXPECT_EQ(deck.get("nosection", "x", "dflt"), "dflt");
+}
+
+TEST(Deck, RejectsMalformedInput) {
+    EXPECT_THROW(bs::Deck::parse_string("[unterminated\n"), bu::Error);
+    EXPECT_THROW(bs::Deck::parse_string("keywithoutvalue\n"), bu::Error);
+    EXPECT_THROW(bs::Deck::parse_string("= value\n"), bu::Error);
+}
+
+TEST(Deck, BooleansParseStrictly) {
+    const auto deck = bs::Deck::parse_string("[a]\nx = yes\ny = off\nz = maybe\n");
+    EXPECT_TRUE(deck.get_bool("a", "x", false));
+    EXPECT_FALSE(deck.get_bool("a", "y", true));
+    EXPECT_THROW((void)deck.get_bool("a", "z", true), bu::Error);
+}
+
+TEST(Deck, MakeProblemAppliesOverrides) {
+    const auto deck = bs::Deck::parse_string(R"(
+[problem]
+name = sod
+resolution = 64
+
+[control]
+t_end = 0.1
+cfl_sf = 0.25
+
+[viscosity]
+cq = 1.5
+cl = 0.25
+
+[hourglass]
+subzonal = off
+kappa = 0.7
+
+[ale]
+mode = eulerian
+)");
+    const auto p = bs::make_problem(deck);
+    EXPECT_EQ(p.name, "sod");
+    EXPECT_EQ(p.mesh.n_cells(), 64 * 2);
+    EXPECT_DOUBLE_EQ(p.t_end, 0.1);
+    EXPECT_DOUBLE_EQ(p.hydro.cfl_sf, 0.25);
+    EXPECT_DOUBLE_EQ(p.hydro.cq, 1.5);
+    EXPECT_DOUBLE_EQ(p.hydro.cl, 0.25);
+    EXPECT_FALSE(p.hydro.hourglass.subzonal_pressures);
+    EXPECT_DOUBLE_EQ(p.hydro.hourglass.filter_kappa, 0.7);
+    EXPECT_EQ(p.ale.mode, bookleaf::ale::Mode::eulerian);
+}
+
+TEST(Deck, MakeProblemBadAleModeThrows) {
+    const auto deck = bs::Deck::parse_string("[ale]\nmode = warp\n");
+    EXPECT_THROW(bs::make_problem(deck), bu::Error);
+}

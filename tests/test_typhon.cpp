@@ -1,0 +1,208 @@
+// Tests for the Typhon communication substrate: P2P ordering, collectives,
+// ghost-exchange schedules, stress under many ranks and repeated rounds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "typhon/typhon.hpp"
+#include "util/error.hpp"
+
+namespace bt = bookleaf::typhon;
+namespace bu = bookleaf::util;
+using bookleaf::Index;
+using bookleaf::Real;
+
+TEST(Typhon, RunLaunchesAllRanks) {
+    std::atomic<int> count{0};
+    bt::run(5, [&](bt::Comm& comm) {
+        EXPECT_EQ(comm.size(), 5);
+        EXPECT_GE(comm.rank(), 0);
+        EXPECT_LT(comm.rank(), 5);
+        count++;
+    });
+    EXPECT_EQ(count.load(), 5);
+}
+
+TEST(Typhon, RankExceptionPropagates) {
+    // (Other ranks must not block on a collective here: a dead rank never
+    // arrives — matching MPI semantics where that would hang.)
+    EXPECT_THROW(bt::run(3,
+                         [](bt::Comm& comm) {
+                             if (comm.rank() == 1)
+                                 throw bu::Error("rank 1 failed");
+                         }),
+                 bu::Error);
+}
+
+TEST(Typhon, PointToPointRoundTrip) {
+    bt::run(2, [](bt::Comm& comm) {
+        if (comm.rank() == 0) {
+            const std::vector<Real> msg = {1.5, 2.5, 3.5};
+            comm.send(1, 7, msg);
+            const auto back = comm.recv(1, 8);
+            ASSERT_EQ(back.size(), 3u);
+            EXPECT_DOUBLE_EQ(back[0], 3.0);
+        } else {
+            auto msg = comm.recv(0, 7);
+            for (auto& v : msg) v *= 2;
+            comm.send(0, 8, msg);
+        }
+    });
+}
+
+TEST(Typhon, MessagesWithSameTagPreserveFifoOrder) {
+    bt::run(2, [](bt::Comm& comm) {
+        if (comm.rank() == 0) {
+            for (int i = 0; i < 50; ++i)
+                comm.send(1, 3, std::vector<Real>{static_cast<Real>(i)});
+        } else {
+            for (int i = 0; i < 50; ++i) {
+                const auto m = comm.recv(0, 3);
+                ASSERT_EQ(m.size(), 1u);
+                EXPECT_DOUBLE_EQ(m[0], static_cast<Real>(i));
+            }
+        }
+    });
+}
+
+TEST(Typhon, TagsAreIndependentChannels) {
+    bt::run(2, [](bt::Comm& comm) {
+        if (comm.rank() == 0) {
+            comm.send(1, 1, std::vector<Real>{1.0});
+            comm.send(1, 2, std::vector<Real>{2.0});
+        } else {
+            // Receive in the opposite order of sending: must still match.
+            EXPECT_DOUBLE_EQ(comm.recv(0, 2)[0], 2.0);
+            EXPECT_DOUBLE_EQ(comm.recv(0, 1)[0], 1.0);
+        }
+    });
+}
+
+TEST(Typhon, AllreduceMinMaxSum) {
+    bt::run(7, [](bt::Comm& comm) {
+        const Real v = static_cast<Real>(comm.rank() + 1);
+        EXPECT_DOUBLE_EQ(comm.allreduce_min(v), 1.0);
+        EXPECT_DOUBLE_EQ(comm.allreduce_max(v), 7.0);
+        EXPECT_DOUBLE_EQ(comm.allreduce_sum(v), 28.0);
+    });
+}
+
+TEST(Typhon, RepeatedCollectivesDoNotInterfere) {
+    bt::run(4, [](bt::Comm& comm) {
+        for (int round = 0; round < 200; ++round) {
+            const Real v = static_cast<Real>(comm.rank() + round);
+            const Real mn = comm.allreduce_min(v);
+            EXPECT_DOUBLE_EQ(mn, static_cast<Real>(round));
+        }
+    });
+}
+
+TEST(Typhon, AllgatherCollectsInRankOrder) {
+    bt::run(4, [](bt::Comm& comm) {
+        const auto all = comm.allgather(static_cast<Real>(comm.rank() * 10));
+        ASSERT_EQ(all.size(), 4u);
+        for (int r = 0; r < 4; ++r)
+            EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)], 10.0 * r);
+    });
+}
+
+TEST(Typhon, BarrierSynchronises) {
+    std::atomic<int> phase1{0};
+    std::vector<int> seen_after(4, -1);
+    bt::run(4, [&](bt::Comm& comm) {
+        phase1++;
+        comm.barrier();
+        seen_after[static_cast<std::size_t>(comm.rank())] = phase1.load();
+    });
+    for (const int s : seen_after) EXPECT_EQ(s, 4);
+}
+
+TEST(TyphonExchange, RingGhostExchange) {
+    // 4 ranks in a ring; each rank's field: [own_value, ghost_from_left,
+    // ghost_from_right]. After exchange the ghosts hold the neighbours'
+    // own values.
+    bt::run(4, [](bt::Comm& comm) {
+        const int r = comm.rank();
+        const int left = (r + 3) % 4;
+        const int right = (r + 1) % 4;
+        std::vector<Real> field = {static_cast<Real>(r * 100), -1.0, -1.0};
+
+        bt::ExchangeSchedule sched;
+        // Entry order must be globally consistent: lower peer rank first.
+        bt::ExchangeSchedule::Peer a, b;
+        a.rank = left;
+        a.send_items = {0};
+        a.recv_items = {1};
+        b.rank = right;
+        b.send_items = {0};
+        b.recv_items = {2};
+        if (left <= right) {
+            sched.peers = {a, b};
+        } else {
+            sched.peers = {b, a};
+        }
+        bt::exchange(comm, sched, field, 42);
+        EXPECT_DOUBLE_EQ(field[1], 100.0 * left);
+        EXPECT_DOUBLE_EQ(field[2], 100.0 * right);
+        EXPECT_DOUBLE_EQ(field[0], 100.0 * r);
+    });
+}
+
+TEST(TyphonExchange, ExchangeAllUsesDistinctTags) {
+    bt::run(2, [](bt::Comm& comm) {
+        const int r = comm.rank();
+        std::vector<Real> f1 = {static_cast<Real>(r + 1), 0.0};
+        std::vector<Real> f2 = {static_cast<Real>((r + 1) * 10), 0.0};
+        bt::ExchangeSchedule sched;
+        bt::ExchangeSchedule::Peer p;
+        p.rank = 1 - r;
+        p.send_items = {0};
+        p.recv_items = {1};
+        sched.peers = {p};
+        bt::exchange_all(comm, sched, {std::span<Real>(f1), std::span<Real>(f2)},
+                         10);
+        EXPECT_DOUBLE_EQ(f1[1], static_cast<Real>(2 - r));
+        EXPECT_DOUBLE_EQ(f2[1], static_cast<Real>((2 - r) * 10));
+    });
+}
+
+TEST(TyphonExchange, MismatchedScheduleThrows) {
+    EXPECT_THROW(
+        bt::run(2,
+                [](bt::Comm& comm) {
+                    std::vector<Real> field = {1.0, 2.0, 3.0};
+                    bt::ExchangeSchedule sched;
+                    bt::ExchangeSchedule::Peer p;
+                    p.rank = 1 - comm.rank();
+                    // Rank 0 sends 1 item but expects 2; rank 1 sends 1 and
+                    // expects 1 -> rank 0's recv length check fails.
+                    p.send_items = {0};
+                    p.recv_items = comm.rank() == 0
+                                       ? std::vector<Index>{1, 2}
+                                       : std::vector<Index>{1};
+                    sched.peers = {p};
+                    bt::exchange(comm, sched, field, 5);
+                }),
+        bu::Error);
+}
+
+TEST(TyphonStress, ManyRanksManyRounds) {
+    // 16 ranks, 50 rounds of neighbour exchange + allreduce; checksum
+    // must match the serial recurrence.
+    const int n = 16;
+    bt::run(n, [n](bt::Comm& comm) {
+        const int r = comm.rank();
+        Real value = static_cast<Real>(r);
+        for (int round = 0; round < 50; ++round) {
+            const int right = (r + 1) % n;
+            const int left = (r + n - 1) % n;
+            comm.send(right, 9, std::vector<Real>{value});
+            const auto m = comm.recv(left, 9);
+            value = Real(0.5) * (value + m[0]);
+            const Real sum = comm.allreduce_sum(value);
+            // Total is invariant under the averaging recurrence.
+            EXPECT_NEAR(sum, n * (n - 1) / 2.0, 1e-9);
+        }
+    });
+}
