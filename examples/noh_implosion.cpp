@@ -31,8 +31,7 @@ int main(int argc, char** argv) {
     if (threads > 1) {
         par::Exec exec;
         exec.pool = &pool;
-        hydro.set_exec(exec);
-        hydro.enable_colored_scatter();
+        hydro.set_exec(exec); // gather assembly (the default) is race-free
     }
 
     const auto summary = hydro.run();

@@ -21,6 +21,7 @@ void aleupdate(const hydro::Context& ctx, hydro::State& s, Workspace& w) {
     for (Index c = 0; c < mesh.n_cells(); ++c) {
         const auto ci = static_cast<std::size_t>(c);
         const auto quad = geom::gather(mesh, s.x, s.y, c);
+        s.cache_geometry(c, quad); // remap moved the nodes
         const Real vol = geom::quad_area(quad);
         if (vol <= 0.0)
             throw util::Error("aleupdate: non-positive volume in cell " +

@@ -21,17 +21,15 @@ Hydro::Hydro(setup::Problem problem) : problem_(std::move(problem)) {
     dt_ = problem_.hydro.dt_initial;
 }
 
-void Hydro::enable_colored_scatter() {
-    std::vector<std::pair<Index, Index>> pairs;
-    const auto& mesh = problem_.mesh;
-    pairs.reserve(static_cast<std::size_t>(mesh.n_cells()) * corners_per_cell);
-    for (Index c = 0; c < mesh.n_cells(); ++c)
-        for (int k = 0; k < corners_per_cell; ++k)
-            pairs.emplace_back(c, mesh.cn(c, k));
-    const auto csr = util::Csr::from_pairs(mesh.n_cells(), pairs);
-    coloring_ = par::greedy_color(csr, mesh.n_nodes());
-    ctx_.scatter_coloring = &coloring_;
-    ctx_.exec.colored_scatter = true;
+void Hydro::set_assembly(par::Assembly assembly) {
+    if (assembly == par::Assembly::colored_scatter &&
+        ctx_.scatter_coloring == nullptr) {
+        coloring_ = par::build_scatter_coloring(problem_.mesh);
+        ctx_.scatter_coloring = &coloring_;
+    }
+    ctx_.exec.assembly = assembly;
+    chosen_assembly_ = assembly;
+    assembly_chosen_ = true;
 }
 
 StepInfo Hydro::step() { return step_clamped(std::nullopt); }

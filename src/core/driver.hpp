@@ -38,10 +38,20 @@ public:
     /// Takes ownership of the problem (mesh, materials, IC, options).
     explicit Hydro(setup::Problem problem);
 
-    /// Optional execution policy (threading) — set before stepping.
-    void set_exec(par::Exec exec) { ctx_.exec = exec; }
+    /// Optional execution policy (threading) — set before stepping. An
+    /// assembly strategy chosen via set_assembly() survives this call
+    /// (set_exec configures the pool, not the assembly ablation).
+    void set_exec(par::Exec exec) {
+        ctx_.exec = exec;
+        if (assembly_chosen_) ctx_.exec.assembly = chosen_assembly_;
+    }
+    /// Select the acceleration nodal-assembly strategy (default: gather).
+    /// `colored_scatter` builds the conflict colouring on first use.
+    void set_assembly(par::Assembly assembly);
     /// Enable colour-parallel acceleration scatter (builds the colouring).
-    void enable_colored_scatter();
+    void enable_colored_scatter() {
+        set_assembly(par::Assembly::colored_scatter);
+    }
 
     /// One step of Algorithm 1. Returns the step record.
     StepInfo step();
@@ -71,6 +81,8 @@ private:
     ale::Workspace ale_work_;
     util::Profiler profiler_;
     par::Coloring coloring_;
+    par::Assembly chosen_assembly_ = par::Assembly::gather;
+    bool assembly_chosen_ = false;
     Real t_ = 0.0;
     Real dt_ = 0.0;
     int steps_ = 0;

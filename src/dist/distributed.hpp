@@ -1,0 +1,56 @@
+#pragma once
+/// \file distributed.hpp
+/// The flat-MPI analogue driver (paper §III-A / §IV-A): the global mesh is
+/// partitioned across in-process ranks (typhon threads), each rank runs
+/// Algorithm 1 on its subdomain (owned cells first, node-adjacent ghost
+/// layer after), and the paper's communication pattern is reproduced
+/// exactly — two ghost exchanges per Lagrangian step (state before GETQ,
+/// corner forces before GETACC) plus one global dt min-reduction.
+///
+/// Rank-count invariance: every owned cell and every node of an owned cell
+/// sees bitwise the same *inputs* as a serial run (ghost corner forces come
+/// from their owning rank), so physics differences across rank counts are
+/// pure summation-order round-off.
+
+#include <functional>
+#include <vector>
+
+#include "hydro/kernels.hpp"
+#include "mesh/mesh.hpp"
+#include "part/partition.hpp"
+#include "util/profiler.hpp"
+
+namespace bookleaf::dist {
+
+/// Cell partitioner callback: global mesh + rank count -> part id per cell.
+using Partitioner =
+    std::function<std::vector<Index>(const mesh::Mesh&, int)>;
+
+struct Options {
+    int n_ranks = 1;
+    Real t_end = 0.0;
+    hydro::Options hydro;
+    /// nullptr selects recursive coordinate bisection (part::rcb).
+    Partitioner partitioner;
+    int max_steps = std::numeric_limits<int>::max();
+};
+
+/// Gathered (global-numbering) result of a distributed run.
+struct Result {
+    int steps = 0;
+    Real t_final = 0.0;
+    std::vector<Real> rho, ein; ///< per global cell
+    std::vector<Real> u, v;     ///< per global node
+    /// Per-rank kernel timing snapshots (halo / reduce included).
+    std::vector<std::array<util::KernelStats, util::kernel_count>> profiles;
+};
+
+/// Partition, run Algorithm 1 to t_end on every rank, gather owned fields
+/// back to the global numbering. Lagrange-only (no ALE remap), matching
+/// the paper's distributed experiments.
+Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
+           const std::vector<Real>& rho, const std::vector<Real>& ein,
+           const std::vector<Real>& u, const std::vector<Real>& v,
+           const Options& opts);
+
+} // namespace bookleaf::dist

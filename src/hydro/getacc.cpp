@@ -1,16 +1,25 @@
 /// \file getacc.cpp
 /// Acceleration kernel. Assembles nodal masses and forces from corner
-/// data (a scatter: cells write to shared nodes), applies kinematic
-/// boundary conditions, advances velocities by dt, and forms the
-/// time-centred velocities used by the corrector's geometry and energy
-/// updates.
+/// data, applies kinematic boundary conditions, advances velocities by dt,
+/// and forms the time-centred velocities used by the corrector's geometry
+/// and energy updates.
 ///
-/// The scatter is the data dependency the paper highlights (§IV-B): the
-/// reference OpenMP port leaves this loop unparallelised. We mirror both
-/// behaviours: without a colouring the scatter runs serially even when an
-/// execution pool is present; with `exec.colored_scatter` and a colouring
-/// in the context, colour classes run in parallel (race-free because no
-/// two cells of a class share a node).
+/// The corner->node assembly is the data dependency the paper highlights
+/// (§IV-B): written as a scatter (cells deposit into shared nodes) it
+/// races under threading, so the reference OpenMP port leaves the loop
+/// unparallelised. The default here transposes the assembly into a gather
+/// over nodes using the mesh's node->(cell, corner) CSR: each node sums
+/// its incident corner contributions independently — embarrassingly
+/// parallel, no colouring barriers, and bitwise identical to the serial
+/// scatter at any thread count because CSR rows list corners in exactly
+/// the scatter's deposition order. The gather also fuses the zeroing of
+/// node_mass/nfx/nfy into the assembly loop (the scatter paths must
+/// pre-zero in a separate parallel pass).
+///
+/// The paper-faithful behaviours remain selectable through
+/// `Exec::assembly` as ablation baselines: `serial_scatter` (the reference
+/// data dependency) and `colored_scatter` (greedy conflict colouring, the
+/// "fix" §IV-B alludes to; requires `ctx.scatter_coloring`).
 
 #include "hydro/kernels.hpp"
 #include "util/error.hpp"
@@ -31,6 +40,55 @@ inline void scatter_cell(const mesh::Mesh& mesh, State& s, Index c,
     }
 }
 
+/// Gather-based assembly: one pass over nodes, zero+accumulate fused.
+void assemble_gather(const Context& ctx, State& s, Index n_nodes) {
+    const auto& nc = ctx.mesh->node_corners;
+    par::for_each(ctx.exec, n_nodes, [&](Index n) {
+        Real m = 0.0, fx = 0.0, fy = 0.0;
+        for (const Index ck : nc.row(n)) {
+            const auto ki = static_cast<std::size_t>(ck);
+            m += s.cnmass[ki];
+            fx += s.fx[ki];
+            fy += s.fy[ki];
+        }
+        const auto ni = static_cast<std::size_t>(n);
+        s.node_mass[ni] = m;
+        s.nfx[ni] = fx;
+        s.nfy[ni] = fy;
+    });
+}
+
+/// Legacy scatter assembly (serial or coloured), for the §IV-B ablations.
+void assemble_scatter(const Context& ctx, State& s, Index n_nodes,
+                      Index n_cells) {
+    // Zero in parallel (the legacy paths previously paid three serial
+    // std::fill passes here even with a pool present).
+    par::for_each(ctx.exec, n_nodes, [&](Index n) {
+        const auto ni = static_cast<std::size_t>(n);
+        s.node_mass[ni] = 0.0;
+        s.nfx[ni] = 0.0;
+        s.nfy[ni] = 0.0;
+    });
+
+    const bool use_colors = ctx.exec.assembly == par::Assembly::colored_scatter &&
+                            ctx.scatter_coloring != nullptr &&
+                            ctx.exec.threaded();
+    if (use_colors) {
+        // Race-free parallel scatter: cells within a colour class share no
+        // node, classes run back-to-back.
+        for (const auto& cls : ctx.scatter_coloring->classes) {
+            par::for_each(ctx.exec, static_cast<Index>(cls.size()), [&](Index i) {
+                scatter_cell(*ctx.mesh, s, cls[static_cast<std::size_t>(i)],
+                             s.node_mass);
+            });
+        }
+    } else {
+        // The reference behaviour: serial scatter (data dependency).
+        for (Index c = 0; c < n_cells; ++c)
+            scatter_cell(*ctx.mesh, s, c, s.node_mass);
+    }
+}
+
 } // namespace
 
 void getacc(const Context& ctx, State& s, Real dt) {
@@ -39,27 +97,10 @@ void getacc(const Context& ctx, State& s, Real dt) {
     const Index n_nodes = mesh.n_nodes();
     const Index n_cells = mesh.n_cells();
 
-    std::fill(s.nfx.begin(), s.nfx.end(), 0.0);
-    std::fill(s.nfy.begin(), s.nfy.end(), 0.0);
-    std::fill(s.node_mass.begin(), s.node_mass.end(), 0.0);
-
-    const bool use_colors = ctx.exec.colored_scatter &&
-                            ctx.scatter_coloring != nullptr &&
-                            ctx.exec.threaded();
-    if (use_colors) {
-        // Race-free parallel scatter: cells within a colour class share no
-        // node, classes run back-to-back.
-        for (const auto& cls : ctx.scatter_coloring->classes) {
-            par::for_each(ctx.exec, static_cast<Index>(cls.size()), [&](Index i) {
-                scatter_cell(mesh, s, cls[static_cast<std::size_t>(i)],
-                             s.node_mass);
-            });
-        }
-    } else {
-        // The reference behaviour: serial scatter (data dependency).
-        for (Index c = 0; c < n_cells; ++c)
-            scatter_cell(mesh, s, c, s.node_mass);
-    }
+    if (ctx.exec.assembly == par::Assembly::gather)
+        assemble_gather(ctx, s, n_nodes);
+    else
+        assemble_scatter(ctx, s, n_nodes, n_cells);
 
     // Advance velocities; form time-centred velocities.
     par::for_each(ctx.exec, n_nodes, [&](Index n) {

@@ -36,13 +36,14 @@ DtResult getdt(const Context& ctx, const State& s, Real dt_prev) {
     // dV/dt = sum_i u_i . dV/dx_i exactly for shoelace volumes; minimise
     // the negated magnitude to find the fastest-changing cell.
     const auto negdiv = par::reduce_min(ctx.exec, n_cells, [&](Index c) {
-        const auto quad = geom::gather(mesh, s.x, s.y, c);
-        const auto grads = geom::area_gradients(quad);
+        // Area gradients from the gathered-geometry cache (getgeom keeps
+        // it in sync with the current node positions).
+        const std::size_t base = State::cidx(c, 0);
         Real dvdt = 0.0;
         for (int k = 0; k < corners_per_cell; ++k) {
             const auto n = static_cast<std::size_t>(mesh.cn(c, k));
-            dvdt += s.u[n] * grads[static_cast<std::size_t>(k)].x +
-                    s.v[n] * grads[static_cast<std::size_t>(k)].y;
+            const auto bk = base + static_cast<std::size_t>(k);
+            dvdt += s.u[n] * s.cngx[bk] + s.v[n] * s.cngy[bk];
         }
         const auto ci = static_cast<std::size_t>(c);
         return -std::abs(dvdt) / std::max(s.volume[ci], tiny);

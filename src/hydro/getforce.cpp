@@ -27,18 +27,20 @@ void getforce(const Context& ctx, State& s) {
 
     par::for_each(ctx.exec, mesh.n_cells(), [&](Index c) {
         const auto ci = static_cast<std::size_t>(c);
-        const auto quad = geom::gather(mesh, s.x, s.y, c);
-        const auto grads = geom::area_gradients(quad);
+        // Pressure force = P * dA/dx_i, both read straight from the
+        // gathered-geometry cache getgeom filled (no per-cell re-gather).
+        const std::size_t base = State::cidx(c, 0);
         const Real p = s.pre[ci];
 
         std::array<Real, 4> fx{}, fy{};
         for (std::size_t k = 0; k < 4; ++k) {
-            fx[k] = p * grads[k].x;
-            fy[k] = p * grads[k].y;
+            fx[k] = p * s.cngx[base + k];
+            fy[k] = p * s.cngy[base + k];
         }
 
         if (subzonal) {
-            const auto szgrads = geom::corner_volume_gradients(quad);
+            const auto szgrads =
+                geom::corner_volume_gradients(s.cached_quad(c));
             const Index region = mesh.cell_region[ci];
             for (std::size_t i = 0; i < 4; ++i) {
                 const auto ii = State::cidx(c, static_cast<int>(i));

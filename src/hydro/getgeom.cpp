@@ -19,9 +19,14 @@ void getgeom(const Context& ctx, State& s, std::span<const Real> wu,
     });
 
     // Rebuild cell geometry; collect the first tangled cell (if any).
+    // This is the one place the corner coordinates are gathered per step:
+    // the quad and its area gradients are written to the state's
+    // gathered-geometry cache, which getforce/getq/getdt then read
+    // contiguously instead of re-gathering through cell_nodes.
     std::atomic<Index> bad_cell{no_index};
     par::for_each(ctx.exec, mesh.n_cells(), [&](Index c) {
         const auto quad = geom::gather(mesh, s.x, s.y, c);
+        s.cache_geometry(c, quad);
         const Real vol = geom::quad_area(quad);
         const auto ci = static_cast<std::size_t>(c);
         s.volume[ci] = vol;

@@ -82,9 +82,14 @@ void getq(const Context& ctx, State& s) {
             const Real du2 = du * du + dv * dv;
             if (du2 < tiny) continue;
 
-            // Compression switch: nodes approaching along the edge.
-            const Real ex = s.x[bi] - s.x[ai];
-            const Real ey = s.y[bi] - s.y[ai];
+            // Compression switch: nodes approaching along the edge. Edge
+            // vectors come from the gathered-geometry cache (contiguous),
+            // not from indirect node loads.
+            const std::size_t base = State::cidx(c, 0);
+            const auto kk = static_cast<std::size_t>(k);
+            const auto kk1 = static_cast<std::size_t>(k1);
+            const Real ex = s.cnx[base + kk1] - s.cnx[base + kk];
+            const Real ey = s.cny[base + kk1] - s.cny[base + kk];
             if (du * ex + dv * ey >= 0.0) continue;
 
             // Monotonicity limiter from the continuation edges. The

@@ -20,7 +20,8 @@ namespace bookleaf::hydro {
 
 /// Everything a kernel needs besides the state: mesh topology, materials,
 /// options, execution policy, profiler, and (optionally) the scatter
-/// colouring for the parallel acceleration kernel.
+/// colouring for the `Assembly::colored_scatter` ablation path of the
+/// acceleration kernel.
 struct Context {
     const mesh::Mesh* mesh = nullptr;
     const eos::MaterialTable* materials = nullptr;
@@ -63,11 +64,13 @@ void getq(const Context& ctx, State& s);
 /// hourglass filter + the viscous forces computed by getq.
 void getforce(const Context& ctx, State& s);
 
-/// Acceleration: scatter corner masses/forces to nodes, apply boundary
+/// Acceleration: assemble corner masses/forces onto nodes, apply boundary
 /// conditions, advance velocities by dt and form the time-centred
-/// velocities (ubar, vbar). The corner->node scatter is the data
-/// dependency the paper discusses: it runs serially when threaded unless
-/// `ctx.scatter_coloring` is provided and `exec.colored_scatter` is set.
+/// velocities (ubar, vbar). The assembly strategy follows
+/// `exec.assembly`: the default gather over the node->(cell, corner) CSR
+/// is race-free and bitwise thread-count independent; `serial_scatter`
+/// and `colored_scatter` reproduce the paper's §IV-B behaviours (the
+/// latter needs `ctx.scatter_coloring`).
 void getacc(const Context& ctx, State& s, Real dt);
 
 /// Timestep-controller result. `reason` names the active constraint and

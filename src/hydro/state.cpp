@@ -35,6 +35,11 @@ State allocate(const mesh::Mesh& mesh) {
     s.cnmass.assign(nk, 0.0);
     s.cnvol.assign(nk, 0.0);
 
+    s.cnx.assign(nk, 0.0);
+    s.cny.assign(nk, 0.0);
+    s.cngx.assign(nk, 0.0);
+    s.cngy.assign(nk, 0.0);
+
     s.x0 = s.x;
     s.y0 = s.y;
     s.u0.assign(nn, 0.0);
@@ -52,6 +57,7 @@ void initialise(const mesh::Mesh& mesh, const eos::MaterialTable& materials,
 
     for (Index c = 0; c < n_cells; ++c) {
         const auto q = geom::gather(mesh, s.x, s.y, c);
+        s.cache_geometry(c, q);
         const Real vol = geom::quad_area(q);
         util::require(vol > 0.0, "initialise: non-positive cell volume");
         s.volume[static_cast<std::size_t>(c)] = vol;

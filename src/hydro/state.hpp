@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "eos/eos.hpp"
+#include "geom/geometry.hpp"
 #include "hydro/options.hpp"
 #include "mesh/mesh.hpp"
 #include "util/types.hpp"
@@ -33,6 +34,17 @@ struct State {
     std::vector<Real> cnmass;       ///< corner masses (sub-zonal)
     std::vector<Real> cnvol;        ///< corner volumes
 
+    // --- gathered-geometry cache [cell*4 + k] --------------------------------
+    // Corner coordinates and exact area gradients, written by getgeom (and
+    // initialise / aleupdate) alongside the volumes it already derives
+    // from the same gather. getforce, getq and getdt read these
+    // contiguously instead of re-gathering node coordinates per cell per
+    // invocation — the corrector hot path does no indirect coordinate
+    // loads at all. Always consistent with the state's x/y: every code
+    // path that moves nodes refreshes the cache before a kernel reads it.
+    std::vector<Real> cnx, cny;     ///< corner positions (gathered)
+    std::vector<Real> cngx, cngy;   ///< d(cell area)/d(corner position)
+
     // --- step scratch --------------------------------------------------------
     std::vector<Real> x0, y0;       ///< positions at step start
     std::vector<Real> u0, v0;       ///< velocities at step start
@@ -46,6 +58,30 @@ struct State {
     [[nodiscard]] static std::size_t cidx(Index c, int k) {
         return static_cast<std::size_t>(c) * corners_per_cell +
                static_cast<std::size_t>(k);
+    }
+
+    /// Reconstruct one cell's corner quad from the gathered-geometry
+    /// cache (contiguous loads; no node indirection).
+    [[nodiscard]] geom::QuadPts cached_quad(Index c) const {
+        geom::QuadPts q;
+        const std::size_t base = cidx(c, 0);
+        for (std::size_t k = 0; k < 4; ++k) {
+            q.x[k] = cnx[base + k];
+            q.y[k] = cny[base + k];
+        }
+        return q;
+    }
+
+    /// Write one cell's gathered geometry into the cache.
+    void cache_geometry(Index c, const geom::QuadPts& q) {
+        const std::size_t base = cidx(c, 0);
+        const auto grads = geom::area_gradients(q);
+        for (std::size_t k = 0; k < 4; ++k) {
+            cnx[base + k] = q.x[k];
+            cny[base + k] = q.y[k];
+            cngx[base + k] = grads[k].x;
+            cngy[base + k] = grads[k].y;
+        }
     }
 };
 

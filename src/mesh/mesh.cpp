@@ -79,13 +79,22 @@ void build_connectivity(Mesh& mesh) {
         }
     }
 
-    // Node -> cell adjacency (arbitrary valence).
+    // Node -> cell and node -> (cell, corner) adjacency (arbitrary
+    // valence). Pairs are emitted in ascending (cell, corner) order, which
+    // from_pairs preserves within each row — the ordering contract the
+    // gather-based nodal assembly relies on for bitwise determinism.
     std::vector<std::pair<Index, Index>> pairs;
     pairs.reserve(static_cast<std::size_t>(n_cells) * corners_per_cell);
     for (Index c = 0; c < n_cells; ++c)
         for (int k = 0; k < corners_per_cell; ++k)
             pairs.emplace_back(mesh.cn(c, k), c);
     mesh.node_cells = util::Csr::from_pairs(n_nodes, pairs);
+    for (Index c = 0; c < n_cells; ++c)
+        for (int k = 0; k < corners_per_cell; ++k)
+            pairs[static_cast<std::size_t>(c) * corners_per_cell +
+                  static_cast<std::size_t>(k)] = {
+                mesh.cn(c, k), c * corners_per_cell + k};
+    mesh.node_corners = util::Csr::from_pairs(n_nodes, pairs);
 
     if (mesh.cell_region.empty())
         mesh.cell_region.assign(static_cast<std::size_t>(n_cells), 0);
@@ -117,6 +126,32 @@ std::string check_consistency(const Mesh& mesh) {
             for (int kk = 0; kk < corners_per_cell; ++kk)
                 if (mesh.neighbor(nb, kk) == c) found = true;
             if (!found) return "non-reciprocal neighbour link";
+        }
+    }
+
+    // node_corners: every (cell, corner) appears exactly once, under the
+    // node the corner actually references, in ascending flat-id order.
+    if (mesh.node_corners.n_rows() != n_nodes)
+        return "node_corners row count mismatch (connectivity not built?)";
+    if (mesh.node_corners.items.size() !=
+        static_cast<std::size_t>(n_cells) * corners_per_cell)
+        return "node_corners item count is not 4*n_cells";
+    {
+        std::vector<std::uint8_t> seen(
+            static_cast<std::size_t>(n_cells) * corners_per_cell, 0);
+        for (Index n = 0; n < n_nodes; ++n) {
+            Index prev = no_index;
+            for (const Index ck : mesh.node_corners.row(n)) {
+                if (ck < 0 ||
+                    ck >= n_cells * static_cast<Index>(corners_per_cell))
+                    return "node_corners flat id out of range";
+                if (ck <= prev) return "node_corners row not strictly ascending";
+                prev = ck;
+                if (seen[static_cast<std::size_t>(ck)]++)
+                    return "duplicate (cell, corner) in node_corners";
+                if (mesh.cn(ck / corners_per_cell, ck % corners_per_cell) != n)
+                    return "node_corners entry under the wrong node";
+            }
         }
     }
 

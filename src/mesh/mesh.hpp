@@ -49,6 +49,14 @@ struct Mesh {
     std::vector<Index> cell_face;  ///< 4 * n_cells; global face id of local face k
     std::vector<Face> faces;       ///< unique faces
     util::Csr node_cells;          ///< node -> incident cells
+    /// Node -> incident (cell, corner) pairs, packed as the flat corner id
+    /// `cell * corners_per_cell + k` (the same index that addresses the
+    /// corner arrays in hydro::State). Row order is ascending flat id, i.e.
+    /// ascending (cell, corner) — so a gather over a row visits corner
+    /// contributions in exactly the order a cell-loop scatter would deposit
+    /// them, making the gather-based nodal assembly bitwise identical to
+    /// the serial scatter at any thread count.
+    util::Csr node_corners;
 
     [[nodiscard]] Index n_nodes() const { return static_cast<Index>(x.size()); }
     [[nodiscard]] Index n_cells() const {

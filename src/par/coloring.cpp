@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "mesh/mesh.hpp"
+
 namespace bookleaf::par {
+
+Coloring build_scatter_coloring(const mesh::Mesh& mesh) {
+    std::vector<std::pair<Index, Index>> pairs;
+    pairs.reserve(static_cast<std::size_t>(mesh.n_cells()) * corners_per_cell);
+    for (Index c = 0; c < mesh.n_cells(); ++c)
+        for (int k = 0; k < corners_per_cell; ++k)
+            pairs.emplace_back(c, mesh.cn(c, k));
+    return greedy_color(util::Csr::from_pairs(mesh.n_cells(), pairs),
+                        mesh.n_nodes());
+}
 
 Coloring greedy_color(const util::Csr& item_resources, Index n_resources) {
     const Index n_items = item_resources.n_rows();

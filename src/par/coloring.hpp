@@ -13,6 +13,10 @@
 #include "util/csr.hpp"
 #include "util/types.hpp"
 
+namespace bookleaf::mesh {
+struct Mesh;
+}
+
 namespace bookleaf::par {
 
 struct Coloring {
@@ -29,5 +33,10 @@ Coloring greedy_color(const util::Csr& item_resources, Index n_resources);
 /// True iff no two items of the same colour share a resource.
 bool coloring_is_valid(const Coloring& coloring, const util::Csr& item_resources,
                        Index n_resources);
+
+/// The acceleration-scatter colouring: cells conflict when they share a
+/// node. Single construction recipe shared by the driver and the
+/// benchmarks so ablations measure exactly the production colouring.
+Coloring build_scatter_coloring(const mesh::Mesh& mesh);
 
 } // namespace bookleaf::par

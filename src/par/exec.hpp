@@ -4,16 +4,23 @@
 /// paper's programming-model space:
 ///   * serial           — pool == nullptr (one rank of the flat-MPI model)
 ///   * threaded         — pool != nullptr (the OpenMP-analogue)
-/// plus the two structural artefacts §IV-B documents for the OpenMP port:
-///   * `colored_scatter`     — if false, the acceleration kernel's
-///     corner-force scatter is a data dependency and runs serially even
-///     when a pool is present (the paper left the kernel unparallelised);
-///     if true, a greedy conflict colouring parallelises it (the "fix").
-///   * `serial_reductions`   — if true, min-reductions (the Fortran
-///     MINVAL/MINLOC sites in getdt) run on one thread, mimicking the
-///     `workshare` implementations that give all work to a single thread.
+/// plus the nodal-assembly strategy for the acceleration kernel, the
+/// structural artefact §IV-B documents for the OpenMP port:
+///   * `Assembly::gather`  (default) — the corner-force scatter is
+///     transposed into a race-free gather over nodes via the mesh's
+///     node->(cell, corner) CSR: embarrassingly parallel and bitwise
+///     deterministic at any thread count;
+///   * `Assembly::serial_scatter` — the reference behaviour: the scatter
+///     is a data dependency and runs serially even when a pool is present
+///     (the paper left the kernel unparallelised);
+///   * `Assembly::colored_scatter` — a greedy conflict colouring
+///     parallelises the scatter class-by-class (the "fix" the paper
+///     alludes to); kept as an ablation baseline.
+/// `serial_reductions` mimics the `workshare` implementations that give
+/// all reduction work to a single thread (the MINVAL/MINLOC sites).
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -23,10 +30,21 @@
 
 namespace bookleaf::par {
 
+/// Nodal-assembly strategy for the acceleration kernel (§IV-B).
+enum class Assembly {
+    gather,          ///< node-centred gather (default; race-free, bitwise)
+    serial_scatter,  ///< paper-faithful serial corner scatter
+    colored_scatter, ///< conflict-coloured parallel scatter (ablation)
+};
+
 struct Exec {
     ThreadPool* pool = nullptr;
-    bool colored_scatter = false;
+    Assembly assembly = Assembly::gather;
     bool serial_reductions = false;
+    /// Minimum iterations handed to a worker per chunk in for_each; 0
+    /// selects an automatic grain (~4 chunks per worker for dynamic load
+    /// balance on irregular meshes without starving the fast threads).
+    Index grain = 0;
 
     [[nodiscard]] bool threaded() const { return pool != nullptr && pool->size() > 1; }
     [[nodiscard]] int width() const { return pool ? pool->size() : 1; }
@@ -41,19 +59,40 @@ inline std::pair<Index, Index> block(Index n, int parts, int which) {
     const Index len = base + (which < rem ? 1 : 0);
     return {begin, begin + len};
 }
+
+/// Chunk size for dynamic scheduling: aim for ~4 chunks per worker so
+/// irregular per-iteration cost balances, floor at 64 iterations so chunk
+/// hand-off (one atomic fetch_add) stays negligible.
+inline Index auto_grain(Index n, int parts) {
+    const Index target = n / (static_cast<Index>(parts) * 4);
+    return std::max<Index>(Index{64}, target);
+}
 } // namespace detail
 
-/// Parallel (or serial) loop over [0, n): body(i).
+/// Parallel (or serial) loop over [0, n): body(i). Threaded execution uses
+/// dynamic chunk scheduling: workers pull `grain`-sized chunks off a
+/// shared atomic counter, so uneven iteration costs (boundary cells, mixed
+/// valence) balance without a static decomposition. Results are
+/// scheduling-independent because bodies write disjoint slots.
 template <typename Body>
 void for_each(const Exec& ex, Index n, Body&& body) {
-    if (!ex.threaded() || n < 2) {
+    if (n <= 0) return;
+    const Index grain =
+        ex.grain > 0 ? ex.grain : detail::auto_grain(n, ex.width());
+    if (!ex.threaded() || n <= grain) {
         for (Index i = 0; i < n; ++i) body(i);
         return;
     }
-    const int parts = ex.pool->size();
-    ex.pool->run([&](int tid) {
-        const auto [begin, end] = detail::block(n, parts, tid);
-        for (Index i = begin; i < end; ++i) body(i);
+    const Index n_chunks = (n + grain - 1) / grain;
+    std::atomic<Index> next{0};
+    ex.pool->run([&](int) {
+        for (;;) {
+            const Index chunk = next.fetch_add(1, std::memory_order_relaxed);
+            if (chunk >= n_chunks) break;
+            const Index begin = chunk * grain;
+            const Index end = std::min(n, begin + grain);
+            for (Index i = begin; i < end; ++i) body(i);
+        }
     });
 }
 
@@ -65,7 +104,9 @@ struct MinLoc {
 };
 
 /// Minimum of value_of(i) over [0, n) with argmin. Honors
-/// `serial_reductions` (the hybrid-model artefact).
+/// `serial_reductions` (the hybrid-model artefact). Partial results use a
+/// static block decomposition and combine in block order, so the result is
+/// identical at any thread count.
 template <typename ValueOf>
 MinLoc reduce_min(const Exec& ex, Index n, ValueOf&& value_of) {
     auto serial = [&](Index begin, Index end) {

@@ -2,6 +2,12 @@
 
 namespace bookleaf::par {
 
+namespace {
+/// Bounded spin before falling back to a condition-variable sleep. Sized
+/// for micro-loops: a few microseconds of polling, then park.
+constexpr int spin_iterations = 4096;
+} // namespace
+
 ThreadPool::ThreadPool(int n_threads) {
     if (n_threads <= 0)
         n_threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -14,47 +20,66 @@ ThreadPool::ThreadPool(int n_threads) {
 ThreadPool::~ThreadPool() {
     {
         const std::lock_guard lock(mutex_);
-        stop_ = true;
+        stop_.store(true, std::memory_order_relaxed);
     }
     start_cv_.notify_all();
     for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run(const std::function<void(int)>& job) {
-    if (workers_.empty()) {
-        job(0);
-        return;
-    }
+void ThreadPool::dispatch(Trampoline fn, void* ctx) {
     {
         const std::lock_guard lock(mutex_);
-        job_ = &job;
-        ++generation_;
-        pending_ = static_cast<int>(workers_.size());
+        job_fn_ = fn;
+        job_ctx_ = ctx;
+        pending_.store(static_cast<int>(workers_.size()),
+                       std::memory_order_relaxed);
+        generation_.fetch_add(1, std::memory_order_release);
     }
     start_cv_.notify_all();
-    job(0);
+
+    fn(ctx, 0); // the caller is worker 0
+
+    // Join: spin first (micro-loops finish in microseconds), then sleep.
+    for (int i = 0; i < spin_iterations; ++i) {
+        if (pending_.load(std::memory_order_acquire) == 0) return;
+    }
     std::unique_lock lock(mutex_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
-    job_ = nullptr;
+    done_cv_.wait(lock,
+                  [this] { return pending_.load(std::memory_order_acquire) == 0; });
 }
 
 void ThreadPool::worker_loop(int tid) {
     long seen = 0;
     for (;;) {
-        const std::function<void(int)>* job = nullptr;
+        // Spin briefly for the next generation, then park on the cv.
+        bool armed = false;
+        for (int i = 0; i < spin_iterations; ++i) {
+            if (stop_.load(std::memory_order_relaxed)) return;
+            if (generation_.load(std::memory_order_acquire) != seen) {
+                armed = true;
+                break;
+            }
+        }
+        Trampoline fn;
+        void* ctx;
         {
             std::unique_lock lock(mutex_);
-            start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
-            if (stop_) return;
-            seen = generation_;
-            job = job_;
+            if (!armed)
+                start_cv_.wait(lock, [&] {
+                    return stop_.load(std::memory_order_relaxed) ||
+                           generation_.load(std::memory_order_acquire) != seen;
+                });
+            if (stop_.load(std::memory_order_relaxed)) return;
+            seen = generation_.load(std::memory_order_relaxed);
+            fn = job_fn_;
+            ctx = job_ctx_;
         }
-        (*job)(tid);
-        {
-            const std::lock_guard lock(mutex_);
-            --pending_;
+        fn(ctx, tid);
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last worker out: wake the caller if it went to sleep.
+            { const std::lock_guard lock(mutex_); }
+            done_cv_.notify_one();
         }
-        done_cv_.notify_one();
     }
 }
 

@@ -3,11 +3,20 @@
 /// Fork-join thread pool used by the hybrid (MPI+OpenMP-analogue)
 /// execution model. The calling thread participates as worker 0, so a
 /// pool of size N uses N-1 background threads.
+///
+/// Dispatch is type-erasure-free: `run(job)` passes the callable through a
+/// raw (function-pointer, context) pair, so launching a parallel loop
+/// performs no heap allocation — the per-loop overhead the paper's hybrid
+/// model pays on every `!$OMP PARALLEL` region is reduced to one
+/// notify/acknowledge round trip. The join spins briefly before sleeping
+/// (workers finish micro-loops in microseconds; parking the caller on a
+/// condition variable for those costs more than the loop body).
 
+#include <atomic>
 #include <condition_variable>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace bookleaf::par {
@@ -25,20 +34,36 @@ public:
     [[nodiscard]] int size() const { return static_cast<int>(workers_.size()) + 1; }
 
     /// Run `job(tid)` once on every worker (tid in [0, size())); blocks
-    /// until all invocations complete. The caller executes tid 0.
-    void run(const std::function<void(int)>& job);
+    /// until all invocations complete. The caller executes tid 0. Accepts
+    /// any callable; no std::function, no allocation.
+    template <typename Job>
+    void run(Job&& job) {
+        if (workers_.empty()) {
+            job(0);
+            return;
+        }
+        using Fn = std::remove_reference_t<Job>;
+        dispatch(
+            [](void* ctx, int tid) { (*static_cast<Fn*>(ctx))(tid); },
+            const_cast<std::remove_const_t<Fn>*>(std::addressof(job)));
+    }
 
 private:
+    using Trampoline = void (*)(void*, int);
+
+    /// Publish (fn, ctx) to the workers, run the tid-0 share inline, join.
+    void dispatch(Trampoline fn, void* ctx);
     void worker_loop(int tid);
 
     std::vector<std::thread> workers_;
     std::mutex mutex_;
     std::condition_variable start_cv_;
     std::condition_variable done_cv_;
-    const std::function<void(int)>* job_ = nullptr;
-    long generation_ = 0;
-    int pending_ = 0;
-    bool stop_ = false;
+    Trampoline job_fn_ = nullptr;
+    void* job_ctx_ = nullptr;
+    std::atomic<long> generation_{0};
+    std::atomic<int> pending_{0};
+    std::atomic<bool> stop_{false};
 };
 
 } // namespace bookleaf::par

@@ -9,6 +9,7 @@
 #include "hydro/kernels.hpp"
 #include "mesh/generator.hpp"
 #include "par/coloring.hpp"
+#include "setup/problems.hpp"
 #include "util/csr.hpp"
 #include "util/random.hpp"
 
@@ -260,6 +261,7 @@ TEST(GetAcc, ColoredScatterMatchesSerialScatter) {
     bh::getforce(rig.ctx, rig.state);
 
     // Serial scatter reference.
+    rig.ctx.exec.assembly = bp::Assembly::serial_scatter;
     bh::getacc(rig.ctx, rig.state, 1e-3);
     const auto u_ref = rig.state.u;
     const auto v_ref = rig.state.v;
@@ -271,7 +273,8 @@ TEST(GetAcc, ColoredScatterMatchesSerialScatter) {
     ASSERT_TRUE(bp::coloring_is_valid(coloring, csr, rig.mesh.n_nodes()));
     bp::ThreadPool pool(4);
     rig.ctx.exec.pool = &pool;
-    rig.ctx.exec.colored_scatter = true;
+    rig.ctx.exec.grain = 1; // force real parallel scatter on a small mesh
+    rig.ctx.exec.assembly = bp::Assembly::colored_scatter;
     rig.ctx.scatter_coloring = &coloring;
     rig.state.u = rig.state.u0;
     rig.state.v = rig.state.v0;
@@ -281,6 +284,57 @@ TEST(GetAcc, ColoredScatterMatchesSerialScatter) {
         EXPECT_NEAR(rig.state.u[i], u_ref[i], 1e-13);
         EXPECT_NEAR(rig.state.v[i], v_ref[i], 1e-13);
         EXPECT_NEAR(rig.state.node_mass[i], nm_ref[i], 1e-13);
+    }
+}
+
+TEST(GetAcc, GatherMatchesSerialScatterBitwiseAcrossThreadCounts) {
+    // The tentpole guarantee: the gather-based assembly reproduces the
+    // serial scatter's node_mass/nfx/nfy *bitwise* on the Noh problem, at
+    // 1, 2 and 8 threads — each node_corners CSR row lists corners in the
+    // scatter's deposition order, so the floating-point sums are identical
+    // term by term, independent of scheduling.
+    auto problem = bookleaf::setup::noh(16);
+    bh::State s = bh::allocate(problem.mesh);
+    s.rho = problem.rho;
+    s.ein = problem.ein;
+    s.u = problem.u;
+    s.v = problem.v;
+    bh::initialise(problem.mesh, problem.materials, s);
+    bu::Profiler prof;
+    bh::Context ctx;
+    ctx.mesh = &problem.mesh;
+    ctx.materials = &problem.materials;
+    ctx.opts = problem.hydro;
+    ctx.profiler = &prof;
+    s.u0 = s.u;
+    s.v0 = s.v;
+    bh::getq(ctx, s);
+    bh::getforce(ctx, s);
+
+    // Serial scatter reference.
+    ctx.exec.assembly = bp::Assembly::serial_scatter;
+    bh::getacc(ctx, s, 1e-3);
+    const auto nm_ref = s.node_mass;
+    const auto nfx_ref = s.nfx;
+    const auto nfy_ref = s.nfy;
+    const auto u_ref = s.u;
+
+    ctx.exec.assembly = bp::Assembly::gather;
+    ctx.exec.grain = 16; // many chunks even on the small mesh
+    for (const int threads : {1, 2, 8}) {
+        bp::ThreadPool pool(threads);
+        ctx.exec.pool = &pool;
+        s.u = s.u0;
+        s.v = s.v0;
+        bh::getacc(ctx, s, 1e-3);
+        for (std::size_t i = 0; i < nm_ref.size(); ++i) {
+            ASSERT_EQ(s.node_mass[i], nm_ref[i])
+                << threads << " threads, node " << i;
+            ASSERT_EQ(s.nfx[i], nfx_ref[i]) << threads << " threads, node " << i;
+            ASSERT_EQ(s.nfy[i], nfy_ref[i]) << threads << " threads, node " << i;
+            ASSERT_EQ(s.u[i], u_ref[i]) << threads << " threads, node " << i;
+        }
+        ctx.exec.pool = nullptr;
     }
 }
 

@@ -115,6 +115,39 @@ TEST(MeshConnectivity, NodeCellsValence) {
     EXPECT_EQ(valences.count(4), 4u);
 }
 
+TEST(MeshConnectivity, NodeCornersCoverEveryCornerExactlyOnce) {
+    // The gather-based nodal assembly depends on this invariant: every
+    // (cell, corner) pair appears in node_corners exactly once, under the
+    // node that corner references, and rows ascend in flat-id order (the
+    // serial-scatter deposition order).
+    const auto m = bm::generate_rect({.nx = 7, .ny = 5});
+    std::vector<int> seen(static_cast<std::size_t>(m.n_cells()) * 4, 0);
+    for (Index n = 0; n < m.n_nodes(); ++n) {
+        Index prev = bookleaf::no_index;
+        for (const Index ck : m.node_corners.row(n)) {
+            EXPECT_GT(ck, prev) << "row of node " << n << " not ascending";
+            prev = ck;
+            seen[static_cast<std::size_t>(ck)]++;
+            EXPECT_EQ(m.cn(ck / 4, ck % 4), n) << "flat corner " << ck;
+        }
+    }
+    for (std::size_t ck = 0; ck < seen.size(); ++ck)
+        EXPECT_EQ(seen[ck], 1) << "flat corner " << ck;
+    // Rows agree with node_cells (same cells, same valence).
+    for (Index n = 0; n < m.n_nodes(); ++n) {
+        ASSERT_EQ(m.node_corners.row(n).size(), m.node_cells.row(n).size());
+        for (std::size_t i = 0; i < m.node_corners.row(n).size(); ++i)
+            EXPECT_EQ(m.node_corners.row(n)[i] / 4, m.node_cells.row(n)[i]);
+    }
+}
+
+TEST(MeshConsistency, DetectsCorruptNodeCorners) {
+    auto m = bm::generate_rect({.nx = 3, .ny = 2});
+    ASSERT_EQ(check_consistency(m), "");
+    std::swap(m.node_corners.items[0], m.node_corners.items[1]);
+    EXPECT_NE(check_consistency(m), "");
+}
+
 TEST(MeshConnectivity, FacesHaveConsistentEndpoints) {
     const auto m = bm::generate_rect({.nx = 4, .ny = 3});
     for (const auto& f : m.faces) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <vector>
 
@@ -58,6 +59,50 @@ TEST(Exec, ForEachCoversRangeExactlyOnceThreaded) {
     std::vector<std::atomic<int>> counts(10007);
     bp::for_each(ex, 10007, [&](Index i) { counts[static_cast<std::size_t>(i)]++; });
     for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, RunAcceptsMoveOnlyCallable) {
+    // The templated dispatch must not require copyable callables (no
+    // std::function round trip).
+    bp::ThreadPool pool(3);
+    auto owned = std::make_unique<std::atomic<int>>(0);
+    auto job = [p = std::move(owned)](int) { p->fetch_add(1); };
+    pool.run(job);
+    // `job` still owns the counter (run takes it by reference).
+    pool.run(job);
+}
+
+TEST(Exec, ForEachChunkedCoversRangeExactlyOnce) {
+    // Dynamic chunk scheduling with a tiny grain: every index still
+    // executes exactly once, whatever the chunk interleaving.
+    bp::ThreadPool pool(4);
+    bp::Exec ex;
+    ex.pool = &pool;
+    for (const bookleaf::Index grain : {1, 3, 64, 1000, 100000}) {
+        ex.grain = grain;
+        std::vector<std::atomic<int>> counts(9973);
+        bp::for_each(ex, 9973,
+                     [&](Index i) { counts[static_cast<std::size_t>(i)]++; });
+        for (const auto& c : counts) ASSERT_EQ(c.load(), 1) << "grain " << grain;
+    }
+}
+
+TEST(Exec, ForEachChunkedBalancesIrregularWork) {
+    // Iterations with wildly uneven cost: dynamic chunking must still
+    // complete and cover the range (a static decomposition would too, but
+    // this exercises the chunk hand-off path under contention).
+    bp::ThreadPool pool(4);
+    bp::Exec ex;
+    ex.pool = &pool;
+    ex.grain = 8;
+    std::atomic<long> total{0};
+    bp::for_each(ex, 2048, [&](Index i) {
+        long local = 0;
+        const int reps = (i % 97 == 0) ? 2000 : 1; // rare expensive iterations
+        for (int r = 0; r < reps; ++r) local += r ^ i;
+        total += local;
+    });
+    EXPECT_GT(total.load(), 0);
 }
 
 TEST(Exec, ForEachEmptyRange) {
