@@ -1,0 +1,75 @@
+/// \file bench_ablation_overlap.cpp
+/// Ablation for the distributed driver's halo/compute overlap: the same
+/// Sod and Noh rigs run through the blocking two-exchange schedule (the
+/// paper's) and the nonblocking request-based schedule that hides both
+/// halos behind interior kernels. Reports wall time and the per-rank time
+/// charged to the halo kernel (the overlapped schedule's halo bucket only
+/// pays packing/posting plus whatever wait the interior work could not
+/// hide), and verifies the bitwise-identity contract between the two
+/// schedules on every rig.
+
+#include <cmath>
+#include <cstdio>
+
+#include "dist/distributed.hpp"
+#include "setup/problems.hpp"
+#include "util/timer.hpp"
+
+using namespace bookleaf;
+
+namespace {
+
+struct RigResult {
+    double wall = 0.0;
+    double halo_max = 0.0; ///< max per-rank halo seconds
+    dist::Result fields;
+};
+
+RigResult run_rig(const setup::Problem& p, int ranks, Real t_end,
+                  bool overlap) {
+    dist::Options opts;
+    opts.n_ranks = ranks;
+    opts.t_end = t_end;
+    opts.hydro = p.hydro;
+    opts.overlap = overlap;
+    RigResult out;
+    const util::Timer timer;
+    out.fields = dist::run(p.mesh, p.materials, p.rho, p.ein, p.u, p.v, opts);
+    out.wall = timer.elapsed();
+    for (const auto& prof : out.fields.profiles)
+        out.halo_max = std::max(
+            out.halo_max,
+            prof[static_cast<std::size_t>(util::Kernel::halo)].wall_s);
+    return out;
+}
+
+void rig(const char* name, const setup::Problem& p, Real t_end) {
+    std::printf("%s, 4 ranks:\n", name);
+    std::printf("  %-22s %10s %14s\n", "schedule", "wall(s)", "max halo(s)");
+    const auto blocking = run_rig(p, 4, t_end, false);
+    const auto overlap = run_rig(p, 4, t_end, true);
+    std::printf("  %-22s %10.3f %14.4f\n", "blocking (paper)", blocking.wall,
+                blocking.halo_max);
+    std::printf("  %-22s %10.3f %14.4f\n", "overlap (nonblocking)",
+                overlap.wall, overlap.halo_max);
+    std::printf("  speedup %.2fx, halo bucket %.2fx smaller, results %s\n\n",
+                blocking.wall / overlap.wall,
+                blocking.halo_max / std::max(overlap.halo_max, 1e-12),
+                dist::bitwise_equal(blocking.fields, overlap.fields)
+                    ? "bitwise identical"
+                    : "MISMATCH (contract violated!)");
+}
+
+} // namespace
+
+int main() {
+    std::printf("=== Ablation: halo/compute overlap in the distributed "
+                "driver ===\n\n");
+    std::printf("Both schedules move the same ghost bytes; the overlapped\n"
+                "one posts each exchange through typhon's request layer and\n"
+                "runs interior cells/nodes while the messages are in "
+                "flight.\n\n");
+    rig("Sod 200x4", setup::sod(200, 4), 0.2);
+    rig("Noh 64x64", setup::noh(64), 0.3);
+    return 0;
+}

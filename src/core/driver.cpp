@@ -19,6 +19,20 @@ Hydro::Hydro(setup::Problem problem) : problem_(std::move(problem)) {
     ctx_.opts = problem_.hydro;
     ctx_.profiler = &profiler_;
     dt_ = problem_.hydro.dt_initial;
+
+    if (!problem_.history.empty()) {
+        history_ = std::make_unique<io::CsvWriter>(
+            problem_.history,
+            std::vector<std::string>{"step", "t", "dt", "mass",
+                                     "internal_energy", "kinetic_energy"});
+        write_history_row(0.0);
+    }
+}
+
+void Hydro::write_history_row(Real dt) {
+    const auto tot = totals();
+    history_->row({static_cast<Real>(steps_), t_, dt, tot.mass,
+                   tot.internal_energy, tot.kinetic_energy});
 }
 
 void Hydro::set_assembly(par::Assembly assembly) {
@@ -63,6 +77,7 @@ StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
 
     t_ += dt_;
     ++steps_;
+    if (history_) write_history_row(dt_);
     info.step = steps_;
     info.t = t_;
     info.dt = dt_;

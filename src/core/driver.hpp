@@ -7,10 +7,12 @@
 /// dist/). It owns the state, the kernel context, the ALE workspace and
 /// the per-run profiler.
 
+#include <memory>
 #include <optional>
 
 #include "ale/remap.hpp"
 #include "hydro/kernels.hpp"
+#include "io/csv.hpp"
 #include "setup/problems.hpp"
 
 namespace bookleaf::core {
@@ -74,12 +76,17 @@ public:
 
 private:
     StepInfo step_clamped(std::optional<Real> t_end);
+    void write_history_row(Real dt);
 
     setup::Problem problem_;
     hydro::State state_;
     hydro::Context ctx_;
     ale::Workspace ale_work_;
     util::Profiler profiler_;
+    /// Time-history CSV (deck `[io] history = <path>`): one row per step
+    /// of t, dt, total mass, internal and kinetic energy, plus a step-0
+    /// baseline row. Null when disabled.
+    std::unique_ptr<io::CsvWriter> history_;
     par::Coloring coloring_;
     par::Assembly chosen_assembly_ = par::Assembly::gather;
     bool assembly_chosen_ = false;

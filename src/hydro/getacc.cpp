@@ -40,22 +40,26 @@ inline void scatter_cell(const mesh::Mesh& mesh, State& s, Index c,
     }
 }
 
+/// Gather one node's corner masses and forces (fused zero+accumulate).
+inline void gather_node(const util::Csr& nc, State& s, Index n) {
+    Real m = 0.0, fx = 0.0, fy = 0.0;
+    for (const Index ck : nc.row(n)) {
+        const auto ki = static_cast<std::size_t>(ck);
+        m += s.cnmass[ki];
+        fx += s.fx[ki];
+        fy += s.fy[ki];
+    }
+    const auto ni = static_cast<std::size_t>(n);
+    s.node_mass[ni] = m;
+    s.nfx[ni] = fx;
+    s.nfy[ni] = fy;
+}
+
 /// Gather-based assembly: one pass over nodes, zero+accumulate fused.
 void assemble_gather(const Context& ctx, State& s, Index n_nodes) {
     const auto& nc = ctx.mesh->node_corners;
-    par::for_each(ctx.exec, n_nodes, [&](Index n) {
-        Real m = 0.0, fx = 0.0, fy = 0.0;
-        for (const Index ck : nc.row(n)) {
-            const auto ki = static_cast<std::size_t>(ck);
-            m += s.cnmass[ki];
-            fx += s.fx[ki];
-            fy += s.fy[ki];
-        }
-        const auto ni = static_cast<std::size_t>(n);
-        s.node_mass[ni] = m;
-        s.nfx[ni] = fx;
-        s.nfy[ni] = fy;
-    });
+    par::for_each(ctx.exec, n_nodes,
+                  [&](Index n) { gather_node(nc, s, n); });
 }
 
 /// Legacy scatter assembly (serial or coloured), for the §IV-B ablations.
@@ -91,16 +95,23 @@ void assemble_scatter(const Context& ctx, State& s, Index n_nodes,
 
 } // namespace
 
-void getacc(const Context& ctx, State& s, Real dt) {
+void getacc_assemble(const Context& ctx, State& s,
+                     std::span<const Index> nodes) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    const auto& nc = ctx.mesh->node_corners;
+    par::for_each(ctx.exec, static_cast<Index>(nodes.size()), [&](Index i) {
+        gather_node(nc, s, nodes[static_cast<std::size_t>(i)]);
+    });
+}
+
+namespace {
+
+/// Velocity advance + BCs + time-centred velocities (untimed core shared
+/// by getacc and getacc_advance so the full kernel charges one profiler
+/// call, not two).
+void advance_nodes(const Context& ctx, State& s, Real dt) {
     const auto& mesh = *ctx.mesh;
     const Index n_nodes = mesh.n_nodes();
-    const Index n_cells = mesh.n_cells();
-
-    if (ctx.exec.assembly == par::Assembly::gather)
-        assemble_gather(ctx, s, n_nodes);
-    else
-        assemble_scatter(ctx, s, n_nodes, n_cells);
 
     // Advance velocities; form time-centred velocities.
     par::for_each(ctx.exec, n_nodes, [&](Index n) {
@@ -126,6 +137,23 @@ void getacc(const Context& ctx, State& s, Real dt) {
         s.vbar[ni] = Real(0.5) * (s.v0[ni] + s.v[ni]);
     });
     apply_velocity_bc(mesh, ctx.opts, s.ubar, s.vbar);
+}
+
+} // namespace
+
+void getacc_advance(const Context& ctx, State& s, Real dt) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    advance_nodes(ctx, s, dt);
+}
+
+void getacc(const Context& ctx, State& s, Real dt) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    const auto& mesh = *ctx.mesh;
+    if (ctx.exec.assembly == par::Assembly::gather)
+        assemble_gather(ctx, s, mesh.n_nodes());
+    else
+        assemble_scatter(ctx, s, mesh.n_nodes(), mesh.n_cells());
+    advance_nodes(ctx, s, dt);
 }
 
 } // namespace bookleaf::hydro

@@ -54,85 +54,100 @@ Continuation continuation(const mesh::Mesh& mesh, const State& s, Index cell,
     return out;
 }
 
+/// The per-cell viscosity computation. Writes only cell c's corner forces
+/// and q scalar, so any disjoint cover of the cell range (full sweep or
+/// the distributed driver's boundary/interior split) produces bitwise
+/// identical results in any order.
+inline void q_cell(const mesh::Mesh& mesh, const Options& opts, State& s,
+                   Index c) {
+    const Real cq = opts.cq;
+    const Real cl = opts.cl;
+    const auto ci = static_cast<std::size_t>(c);
+    for (int k = 0; k < corners_per_cell; ++k) {
+        s.qfx[State::cidx(c, k)] = 0.0;
+        s.qfy[State::cidx(c, k)] = 0.0;
+    }
+    Real q_max = 0.0;
+
+    for (int k = 0; k < corners_per_cell; ++k) {
+        const int k1 = (k + 1) % corners_per_cell;
+        const Index a = mesh.cn(c, k);
+        const Index b = mesh.cn(c, k1);
+        const auto ai = static_cast<std::size_t>(a);
+        const auto bi = static_cast<std::size_t>(b);
+
+        const Real du = s.u[bi] - s.u[ai];
+        const Real dv = s.v[bi] - s.v[ai];
+        const Real du2 = du * du + dv * dv;
+        if (du2 < tiny) continue;
+
+        // Compression switch: nodes approaching along the edge. Edge
+        // vectors come from the gathered-geometry cache (contiguous),
+        // not from indirect node loads.
+        const std::size_t base = State::cidx(c, 0);
+        const auto kk = static_cast<std::size_t>(k);
+        const auto kk1 = static_cast<std::size_t>(k1);
+        const Real ex = s.cnx[base + kk1] - s.cnx[base + kk];
+        const Real ey = s.cny[base + kk1] - s.cny[base + kk];
+        if (du * ex + dv * ey >= 0.0) continue;
+
+        // Monotonicity limiter from the continuation edges. The
+        // "previous" continuation passes through node a (inside the
+        // neighbour across face k-1), the "next" through node b
+        // (across face k+1).
+        const auto prev = continuation(
+            mesh, s, c, mesh.neighbor(c, (k + 3) % corners_per_cell), a,
+            /*toward_node=*/true);
+        const auto next = continuation(
+            mesh, s, c, mesh.neighbor(c, k1), b, /*toward_node=*/false);
+
+        Real psi = 0.0;
+        const bool any = prev.valid || next.valid;
+        if (any) {
+            const Real rp = prev.valid
+                                ? (prev.du * du + prev.dv * dv) / du2
+                                : (next.du * du + next.dv * dv) / du2;
+            const Real rn = next.valid
+                                ? (next.du * du + next.dv * dv) / du2
+                                : rp;
+            psi = std::min({Real(1.0), Real(0.5) * (rp + rn),
+                            Real(2.0) * rp, Real(2.0) * rn});
+            psi = std::max(psi, Real(0.0));
+        }
+
+        const Real dunorm = std::sqrt(du2);
+        const Real cs = std::sqrt(std::max(s.csqrd[ci], Real(0.0)));
+        const Real q_edge = (Real(1.0) - psi) * s.rho[ci] *
+                            (cq * du2 + cl * cs * dunorm);
+
+        const Real edge_len = std::hypot(ex, ey);
+        const Real mu = q_edge * edge_len / std::max(dunorm, tiny);
+
+        // Equal-and-opposite dissipative pair force along du.
+        s.qfx[State::cidx(c, k)] += mu * du;
+        s.qfy[State::cidx(c, k)] += mu * dv;
+        s.qfx[State::cidx(c, k1)] -= mu * du;
+        s.qfy[State::cidx(c, k1)] -= mu * dv;
+
+        q_max = std::max(q_max, q_edge);
+    }
+    s.q[ci] = q_max;
+}
+
 } // namespace
 
 void getq(const Context& ctx, State& s) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getq);
     const auto& mesh = *ctx.mesh;
-    const Real cq = ctx.opts.cq;
-    const Real cl = ctx.opts.cl;
+    par::for_each(ctx.exec, mesh.n_cells(),
+                  [&](Index c) { q_cell(mesh, ctx.opts, s, c); });
+}
 
-    par::for_each(ctx.exec, mesh.n_cells(), [&](Index c) {
-        const auto ci = static_cast<std::size_t>(c);
-        for (int k = 0; k < corners_per_cell; ++k) {
-            s.qfx[State::cidx(c, k)] = 0.0;
-            s.qfy[State::cidx(c, k)] = 0.0;
-        }
-        Real q_cell = 0.0;
-
-        for (int k = 0; k < corners_per_cell; ++k) {
-            const int k1 = (k + 1) % corners_per_cell;
-            const Index a = mesh.cn(c, k);
-            const Index b = mesh.cn(c, k1);
-            const auto ai = static_cast<std::size_t>(a);
-            const auto bi = static_cast<std::size_t>(b);
-
-            const Real du = s.u[bi] - s.u[ai];
-            const Real dv = s.v[bi] - s.v[ai];
-            const Real du2 = du * du + dv * dv;
-            if (du2 < tiny) continue;
-
-            // Compression switch: nodes approaching along the edge. Edge
-            // vectors come from the gathered-geometry cache (contiguous),
-            // not from indirect node loads.
-            const std::size_t base = State::cidx(c, 0);
-            const auto kk = static_cast<std::size_t>(k);
-            const auto kk1 = static_cast<std::size_t>(k1);
-            const Real ex = s.cnx[base + kk1] - s.cnx[base + kk];
-            const Real ey = s.cny[base + kk1] - s.cny[base + kk];
-            if (du * ex + dv * ey >= 0.0) continue;
-
-            // Monotonicity limiter from the continuation edges. The
-            // "previous" continuation passes through node a (inside the
-            // neighbour across face k-1), the "next" through node b
-            // (across face k+1).
-            const auto prev = continuation(
-                mesh, s, c, mesh.neighbor(c, (k + 3) % corners_per_cell), a,
-                /*toward_node=*/true);
-            const auto next = continuation(
-                mesh, s, c, mesh.neighbor(c, k1), b, /*toward_node=*/false);
-
-            Real psi = 0.0;
-            const bool any = prev.valid || next.valid;
-            if (any) {
-                const Real rp = prev.valid
-                                    ? (prev.du * du + prev.dv * dv) / du2
-                                    : (next.du * du + next.dv * dv) / du2;
-                const Real rn = next.valid
-                                    ? (next.du * du + next.dv * dv) / du2
-                                    : rp;
-                psi = std::min({Real(1.0), Real(0.5) * (rp + rn),
-                                Real(2.0) * rp, Real(2.0) * rn});
-                psi = std::max(psi, Real(0.0));
-            }
-
-            const Real dunorm = std::sqrt(du2);
-            const Real cs = std::sqrt(std::max(s.csqrd[ci], Real(0.0)));
-            const Real q_edge = (Real(1.0) - psi) * s.rho[ci] *
-                                (cq * du2 + cl * cs * dunorm);
-
-            const Real edge_len = std::hypot(ex, ey);
-            const Real mu = q_edge * edge_len / std::max(dunorm, tiny);
-
-            // Equal-and-opposite dissipative pair force along du.
-            s.qfx[State::cidx(c, k)] += mu * du;
-            s.qfy[State::cidx(c, k)] += mu * dv;
-            s.qfx[State::cidx(c, k1)] -= mu * du;
-            s.qfy[State::cidx(c, k1)] -= mu * dv;
-
-            q_cell = std::max(q_cell, q_edge);
-        }
-        s.q[ci] = q_cell;
+void getq(const Context& ctx, State& s, std::span<const Index> cells) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getq);
+    const auto& mesh = *ctx.mesh;
+    par::for_each(ctx.exec, static_cast<Index>(cells.size()), [&](Index i) {
+        q_cell(mesh, ctx.opts, s, cells[static_cast<std::size_t>(i)]);
     });
 }
 

@@ -59,10 +59,17 @@ void getpc(const Context& ctx, State& s);
 /// viscosity scalar q. Needs face-neighbour velocities: this is the
 /// kernel preceded by a halo exchange in distributed runs.
 void getq(const Context& ctx, State& s);
+/// Subrange variant over an explicit cell list. Each cell writes only its
+/// own corner arrays, so any disjoint cover of the cell range (e.g. the
+/// distributed driver's boundary/interior split for halo overlap) is
+/// bitwise identical to the full sweep regardless of execution order.
+void getq(const Context& ctx, State& s, std::span<const Index> cells);
 
 /// Total corner forces: pressure gradient + sub-zonal pressures +
 /// hourglass filter + the viscous forces computed by getq.
 void getforce(const Context& ctx, State& s);
+/// Subrange variant over an explicit cell list (see getq).
+void getforce(const Context& ctx, State& s, std::span<const Index> cells);
 
 /// Acceleration: assemble corner masses/forces onto nodes, apply boundary
 /// conditions, advance velocities by dt and form the time-centred
@@ -72,6 +79,19 @@ void getforce(const Context& ctx, State& s);
 /// and `colored_scatter` reproduce the paper's §IV-B behaviours (the
 /// latter needs `ctx.scatter_coloring`).
 void getacc(const Context& ctx, State& s, Real dt);
+
+/// Subrange pieces of the acceleration kernel for the distributed
+/// driver's halo/compute overlap. `getacc_assemble` gathers nodal mass and
+/// force for an explicit node list (always the race-free gather; the
+/// scatter ablations make no sense over subsets); nodes not incident to
+/// any ghost cell can be assembled while ghost corner forces are still in
+/// flight. `getacc_advance` performs the remaining whole-range work of
+/// getacc (velocity advance, boundary conditions, time-centred
+/// velocities) and must follow assembly of *all* nodes. Composing
+/// assemble(interior) + assemble(boundary) + advance is bitwise identical
+/// to one full getacc with gather assembly.
+void getacc_assemble(const Context& ctx, State& s, std::span<const Index> nodes);
+void getacc_advance(const Context& ctx, State& s, Real dt);
 
 /// Timestep-controller result. `reason` names the active constraint and
 /// `cell` the controlling cell (BookLeaf's MINLOC diagnostic).

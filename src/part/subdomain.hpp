@@ -28,6 +28,24 @@ struct Subdomain {
     typhon::ExchangeSchedule cell_schedule;   ///< ghost cell scalars
     typhon::ExchangeSchedule corner_schedule; ///< ghost corner fields (4/cell)
     typhon::ExchangeSchedule node_schedule;   ///< ghost node scalars
+
+    // --- halo/compute overlap sets (local ids, ascending) -----------------
+    // boundary_cells / interior_cells partition all local cells. A cell is
+    // *boundary* when its kernel stencil (the cell itself plus its face
+    // neighbours, whose nodes the viscosity limiter reads) can see data
+    // refreshed by a halo exchange: ghost cells, cells sharing a node with
+    // a ghost cell, and cells with such a face neighbour. Interior cells
+    // read only owned-fresh data, so the overlapped schedule may run them
+    // while halo messages are in flight; boundary cells run after the
+    // pre-step exchange completes and (being a superset of every peer's
+    // ghost layer) before the corner-force sends are packed.
+    //
+    // boundary_nodes / interior_nodes partition all local nodes by
+    // ghost-cell incidence: the corner-force gather at an interior node
+    // reads no ghost corner, so its assembly can proceed before the
+    // pre-acceleration exchange completes.
+    std::vector<Index> boundary_cells, interior_cells;
+    std::vector<Index> boundary_nodes, interior_nodes;
 };
 
 /// Split the global mesh into n_parts subdomains. `part[c]` is the rank

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/error.hpp"
 
@@ -22,6 +23,33 @@ std::string lower(std::string s) {
     std::transform(s.begin(), s.end(), s.begin(),
                    [](unsigned char c) { return std::tolower(c); });
     return s;
+}
+
+/// Shared numeric-value parsing: the whole string must convert, and any
+/// failure (bad syntax, trailing junk, out of range) becomes a deck error
+/// naming the offending section.key.
+template <typename Parse>
+auto parse_numeric(const std::string& v, Parse parse, const char* kind,
+                   const std::string& section, const std::string& key) {
+    // Only the parse-failure exceptions are rewrapped (bad syntax and
+    // range from stod/stoi, trailing junk from the require); anything
+    // else — e.g. bad_alloc — keeps its own diagnosis.
+    const auto error = [&] {
+        return util::Error(std::string("deck: bad ") + kind + " value '" + v +
+                           "' for " + section + "." + key);
+    };
+    try {
+        std::size_t pos = 0;
+        const auto r = parse(v, &pos);
+        util::require(pos == v.size(), "trailing characters");
+        return r;
+    } catch (const std::invalid_argument&) {
+        throw error();
+    } catch (const std::out_of_range&) {
+        throw error();
+    } catch (const util::Error&) {
+        throw error();
+    }
 }
 
 } // namespace
@@ -86,13 +114,19 @@ std::string Deck::get(const std::string& section, const std::string& key,
 Real Deck::get_real(const std::string& section, const std::string& key,
                     Real fallback) const {
     const auto v = get(section, key, "");
-    return v.empty() ? fallback : std::stod(v);
+    if (v.empty()) return fallback;
+    return parse_numeric(
+        v, [](const std::string& s, std::size_t* pos) { return std::stod(s, pos); },
+        "real", section, key);
 }
 
 int Deck::get_int(const std::string& section, const std::string& key,
                   int fallback) const {
     const auto v = get(section, key, "");
-    return v.empty() ? fallback : std::stoi(v);
+    if (v.empty()) return fallback;
+    return parse_numeric(
+        v, [](const std::string& s, std::size_t* pos) { return std::stoi(s, pos); },
+        "integer", section, key);
 }
 
 bool Deck::get_bool(const std::string& section, const std::string& key,
@@ -146,6 +180,9 @@ Problem make_problem(const Deck& deck) {
     p.ale.smoothing_weight =
         deck.get_real("ale", "smoothing_weight", p.ale.smoothing_weight);
     p.ale.limit = deck.get_bool("ale", "limit", p.ale.limit);
+
+    // [io]
+    p.history = deck.get("io", "history", p.history);
 
     return p;
 }

@@ -24,6 +24,10 @@ struct Problem {
     std::vector<Real> rho, ein; ///< per cell
     std::vector<Real> u, v;     ///< per node
     Real t_end = 0.0;
+    /// CSV time-history output path (deck key `[io] history`); empty
+    /// disables. The driver appends one row per step: step, t, dt, total
+    /// mass, internal energy, kinetic energy.
+    std::string history;
 };
 
 /// Sod's shock tube [32] on a strip: (rho, P) = (1, 1) | (0.125, 0.1),

@@ -13,14 +13,23 @@ namespace detail {
 void Hub::send(int src, int dst, int tag, std::vector<Real> payload) {
     {
         const std::lock_guard lock(mutex_);
-        queues_[key(src, dst, tag)].push_back(std::move(payload));
+        queues_[Channel{src, dst, tag}].push_back(std::move(payload));
     }
     cv_.notify_all();
 }
 
+std::optional<std::vector<Real>> Hub::try_recv(int src, int dst, int tag) {
+    const std::lock_guard lock(mutex_);
+    const auto it = queues_.find(Channel{src, dst, tag});
+    if (it == queues_.end() || it->second.empty()) return std::nullopt;
+    std::vector<Real> out = std::move(it->second.front());
+    it->second.pop_front();
+    return out;
+}
+
 std::vector<Real> Hub::recv(int src, int dst, int tag) {
     std::unique_lock lock(mutex_);
-    const auto k = key(src, dst, tag);
+    const Channel k{src, dst, tag};
     cv_.wait(lock, [&] {
         const auto it = queues_.find(k);
         return it != queues_.end() && !it->second.empty();
@@ -29,6 +38,13 @@ std::vector<Real> Hub::recv(int src, int dst, int tag) {
     std::vector<Real> out = std::move(q.front());
     q.pop_front();
     return out;
+}
+
+bool Hub::drained() {
+    const std::lock_guard lock(mutex_);
+    for (const auto& [channel, queue] : queues_)
+        if (!queue.empty()) return false;
+    return true;
 }
 
 Real Collective::allreduce(int rank, Real value, Op op) {
@@ -74,6 +90,86 @@ std::vector<Real> Collective::allgather(int rank, Real value) {
 
 } // namespace detail
 
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+bool Request::test() {
+    if (!state_ || state_->done) return true;
+    if (auto msg = state_->transport->try_recv(state_->peer, state_->self,
+                                              state_->tag)) {
+        state_->payload = std::move(*msg);
+        state_->done = true;
+    }
+    return state_->done;
+}
+
+void Request::wait() {
+    if (!state_ || state_->done) return;
+    state_->payload =
+        state_->transport->recv(state_->peer, state_->self, state_->tag);
+    state_->done = true;
+}
+
+const std::vector<Real>& Request::data() const {
+    static const std::vector<Real> empty;
+    if (!state_) return empty;
+    util::require(state_->done,
+                  "typhon::Request::data: operation not complete (call "
+                  "test/wait first)");
+    return state_->payload;
+}
+
+void wait_all(std::span<Request> requests) {
+    // Requests sharing a (src, dst, tag) channel match that channel's
+    // FIFO in posting (span) order, so the earliest pending request owns
+    // the next message to arrive. Two rules enforce that: a request is
+    // never test()ed while an earlier same-channel request is still
+    // pending (the message could land between the two polls and be
+    // stolen), and blocking always happens on the first pending request.
+    const auto same_channel = [](const Request::State* a,
+                                 const Request::State* b) {
+        return a->transport == b->transport && a->peer == b->peer &&
+               a->self == b->self && a->tag == b->tag;
+    };
+    for (;;) {
+        Request* first_pending = nullptr;
+        std::vector<const Request::State*> pending_channels;
+        for (auto& r : requests) {
+            if (r.done()) continue;
+            bool held_back = false;
+            for (const auto* st : pending_channels)
+                if (same_channel(st, r.state_.get())) {
+                    held_back = true;
+                    break;
+                }
+            if (!held_back && r.test()) continue;
+            pending_channels.push_back(r.state_.get());
+            if (first_pending == nullptr) first_pending = &r;
+        }
+        if (first_pending == nullptr) return;
+        first_pending->wait();
+    }
+}
+
+Request Comm::isend(int dst, int tag, std::span<const Real> data) {
+    // Buffered-eager transport: the payload is copied into the transport
+    // at post time, so the send request is born complete — the null
+    // Request (done, empty payload) represents it exactly, without
+    // allocating per-send state nothing would ever read.
+    transport_->send(rank_, dst, tag, std::vector<Real>(data.begin(), data.end()));
+    return Request();
+}
+
+Request Comm::irecv(int src, int tag) {
+    auto state = std::make_shared<Request::State>();
+    state->transport = transport_;
+    state->peer = src;
+    state->self = rank_;
+    state->tag = tag;
+    return Request(std::move(state));
+}
+
 void run(int n_ranks, const std::function<void(Comm&)>& rank_fn) {
     util::require(n_ranks > 0, "typhon::run: n_ranks must be positive");
     detail::Hub hub(n_ranks);
@@ -94,33 +190,150 @@ void run(int n_ranks, const std::function<void(Comm&)>& rank_fn) {
     for (auto& t : threads) t.join();
     for (const auto& e : errors)
         if (e) std::rethrow_exception(e);
+    // Every clean run must leave the post office empty: a stranded
+    // message means a posted send was never matched by a receive (an
+    // asymmetric exchange schedule, a skipped irecv) — make that loud
+    // rather than silently dropping ghost data. Skipped when a rank
+    // threw: its peers legitimately abandon traffic mid-flight.
+    util::require(hub.drained(),
+                  "typhon::run: undelivered messages left in channels "
+                  "(send posted that no receive matched)");
+}
+
+// ---------------------------------------------------------------------------
+// Ghost exchanges
+// ---------------------------------------------------------------------------
+
+PendingExchange exchange_start(Comm& comm, const ExchangeSchedule& schedule,
+                               std::initializer_list<std::span<Real>> fields,
+                               int base_tag) {
+    PendingExchange pending;
+    pending.slots_.reserve(fields.size() * schedule.peers.size());
+    std::vector<Real> pack;
+    int tag = base_tag;
+    for (const auto field : fields) {
+        // Post all sends first (buffered), then the receives: deadlock-free
+        // for any peering topology. Empty schedule sides post nothing at
+        // all — a schedule may hold separate send-only and recv-only
+        // entries for the same peer (the partitioner builds them that
+        // way), and skipping the empties keeps each (peer, tag) channel
+        // down to at most one in-flight message per exchange, so a pending
+        // receive can never pop a message meant for another slot.
+        std::vector<int> sending_peers;
+        for (const auto& peer : schedule.peers) {
+            if (peer.send_items.empty()) continue;
+            // Same one-message-per-(peer, tag)-channel rule as on the
+            // receive side below: a duplicate sending entry would post a
+            // second message the remote's single receive never matches,
+            // and the stale extra would be mis-popped by the *next*
+            // exchange reusing this tag.
+            for (const int seen : sending_peers)
+                util::require(seen != peer.rank,
+                              "typhon::exchange_start: two sending entries "
+                              "for the same peer in one schedule");
+            sending_peers.push_back(peer.rank);
+            pack.clear();
+            pack.reserve(peer.send_items.size());
+            for (const Index i : peer.send_items)
+                pack.push_back(field[static_cast<std::size_t>(i)]);
+            comm.send(peer.rank, tag, pack);
+        }
+        std::vector<int> receiving_peers;
+        for (const auto& peer : schedule.peers) {
+            if (peer.recv_items.empty()) continue;
+            // Loud enforcement of the documented precondition: receives
+            // match per (peer, tag) channel, so a second receiving entry
+            // for the same peer within one field would make finish()'s
+            // polling nondeterministically cross the two payloads.
+            for (const int seen : receiving_peers)
+                util::require(seen != peer.rank,
+                              "typhon::exchange_start: two receiving entries "
+                              "for the same peer in one schedule");
+            receiving_peers.push_back(peer.rank);
+            pending.slots_.push_back(
+                {comm.irecv(peer.rank, tag), &peer.recv_items, field});
+        }
+        ++tag;
+    }
+    return pending;
+}
+
+PendingExchange::~PendingExchange() {
+    // Abandonment is a caller bug — except during exception unwind, where
+    // a sibling exchange's finish() legitimately threw and this one is
+    // being torn down; aborting there would mask the real error.
+    BL_ASSERT((slots_.empty() || std::uncaught_exceptions() > 0) &&
+              "PendingExchange destroyed without finish()");
+    // Pull whatever has already arrived off the channels and discard it,
+    // so a later exchange on the same tags cannot unpack a stale message.
+    // (Messages still in flight cannot be waited for here — the owning
+    // rank may be unwinding an exception.)
+    for (auto& slot : slots_) (void)slot.request.test();
+}
+
+PendingExchange& PendingExchange::operator=(PendingExchange&& other) noexcept {
+    if (this != &other) {
+        // Same abandonment guard as the destructor (including the unwind
+        // exemption): overwriting a still-pending exchange must not
+        // silently strand its messages.
+        BL_ASSERT((slots_.empty() || std::uncaught_exceptions() > 0) &&
+                  "PendingExchange overwritten without finish()");
+        for (auto& slot : slots_) (void)slot.request.test();
+        slots_ = std::move(other.slots_);
+        other.slots_.clear();
+    }
+    return *this;
+}
+
+void PendingExchange::finish() {
+    std::size_t remaining = slots_.size();
+    std::vector<std::uint8_t> unpacked(slots_.size(), 0);
+    try {
+        while (remaining > 0) {
+            bool progressed = false;
+            for (std::size_t i = 0; i < slots_.size(); ++i) {
+                auto& slot = slots_[i];
+                if (unpacked[i] || !slot.request.test()) continue;
+                const auto& data = slot.request.data();
+                util::require(
+                    data.size() == slot.recv_items->size(),
+                    "typhon::exchange: schedule mismatch between peers");
+                for (std::size_t j = 0; j < data.size(); ++j)
+                    slot.field[static_cast<std::size_t>((*slot.recv_items)[j])] =
+                        data[j];
+                unpacked[i] = 1;
+                --remaining;
+                progressed = true;
+            }
+            if (!progressed && remaining > 0) {
+                // No message ready: block on the first incomplete receive.
+                for (std::size_t i = 0; i < slots_.size(); ++i)
+                    if (!unpacked[i]) {
+                        slots_[i].request.wait();
+                        break;
+                    }
+            }
+        }
+    } catch (...) {
+        // The rank is failing (schedule mismatch): clear so unwinding
+        // does not trip the destructor's abandonment assert and mask the
+        // real error with an abort.
+        slots_.clear();
+        throw;
+    }
+    slots_.clear();
 }
 
 void exchange(Comm& comm, const ExchangeSchedule& schedule,
               std::span<Real> field, int tag) {
-    // Post all sends first (buffered), then drain receives: deadlock-free
-    // for any peering topology.
-    std::vector<Real> pack;
-    for (const auto& peer : schedule.peers) {
-        pack.clear();
-        pack.reserve(peer.send_items.size());
-        for (const Index i : peer.send_items)
-            pack.push_back(field[static_cast<std::size_t>(i)]);
-        comm.send(peer.rank, tag, pack);
-    }
-    for (const auto& peer : schedule.peers) {
-        const auto data = comm.recv(peer.rank, tag);
-        util::require(data.size() == peer.recv_items.size(),
-                      "typhon::exchange: schedule mismatch between peers");
-        for (std::size_t i = 0; i < data.size(); ++i)
-            field[static_cast<std::size_t>(peer.recv_items[i])] = data[i];
-    }
+    auto pending = exchange_start(comm, schedule, {field}, tag);
+    pending.finish();
 }
 
 void exchange_all(Comm& comm, const ExchangeSchedule& schedule,
                   std::initializer_list<std::span<Real>> fields, int base_tag) {
-    int tag = base_tag;
-    for (const auto field : fields) exchange(comm, schedule, field, tag++);
+    auto pending = exchange_start(comm, schedule, fields, base_tag);
+    pending.finish();
 }
 
 } // namespace bookleaf::typhon

@@ -11,12 +11,23 @@
 /// Lagrangian step plus one global min-reduction for dt, paper §III-A and
 /// §IV-A) is therefore exercised with real pack/send/recv/unpack data
 /// movement, testable on a single machine.
+///
+/// The point-to-point layer is *request based*: `Comm::isend`/`irecv`
+/// return `Request` handles with MPI-style `test`/`wait` semantics (plus a
+/// free `wait_all`), and all traffic flows through the abstract `Transport`
+/// interface. The in-process `detail::Hub` is one Transport backend; a real
+/// MPI backend can slot in behind the same interface without touching any
+/// caller. On top of the requests, `exchange_start`/`PendingExchange::finish`
+/// split a ghost exchange into a post phase and a completion phase so the
+/// distributed driver can overlap interior kernels with in-flight halos.
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -25,29 +36,81 @@
 
 namespace bookleaf::typhon {
 
+// ---------------------------------------------------------------------------
+// Transport — the pluggable point-to-point backend.
+// ---------------------------------------------------------------------------
+
+/// Point-to-point message transport. Semantics mirror MPI's buffered-eager
+/// mode: `send` enqueues a copy and returns immediately; receives match on
+/// the (src, dst, tag) channel in FIFO order. Implementations must be safe
+/// for concurrent calls from all rank contexts.
+class Transport {
+public:
+    virtual ~Transport() = default;
+
+    [[nodiscard]] virtual int n_ranks() const = 0;
+
+    /// Buffered send: enqueue the payload on channel (src, dst, tag) and
+    /// return immediately.
+    virtual void send(int src, int dst, int tag, std::vector<Real> payload) = 0;
+
+    /// Nonblocking matched probe: pop and return the front message of the
+    /// channel, or nullopt if nothing has arrived yet.
+    [[nodiscard]] virtual std::optional<std::vector<Real>>
+    try_recv(int src, int dst, int tag) = 0;
+
+    /// Blocking matched receive.
+    [[nodiscard]] virtual std::vector<Real> recv(int src, int dst, int tag) = 0;
+};
+
 namespace detail {
 
-/// Shared post office: tagged per-(src,dst,tag) message queues.
-class Hub {
+/// Shared post office: tagged per-(src, dst, tag) message queues. The
+/// in-process Transport backend (ranks are threads of one process).
+class Hub final : public Transport {
 public:
     explicit Hub(int n_ranks) : n_ranks_(n_ranks) {}
 
-    void send(int src, int dst, int tag, std::vector<Real> payload);
-    std::vector<Real> recv(int src, int dst, int tag);
+    [[nodiscard]] int n_ranks() const override { return n_ranks_; }
+    void send(int src, int dst, int tag, std::vector<Real> payload) override;
+    [[nodiscard]] std::optional<std::vector<Real>> try_recv(int src, int dst,
+                                                            int tag) override;
+    [[nodiscard]] std::vector<Real> recv(int src, int dst, int tag) override;
 
-    [[nodiscard]] int n_ranks() const { return n_ranks_; }
+    /// True when no channel holds an undelivered message. Checked at the
+    /// end of typhon::run: a stranded message means a send was posted
+    /// that no receive ever matched (e.g. an asymmetric exchange
+    /// schedule) — silent data loss that should fail loudly instead.
+    [[nodiscard]] bool drained();
 
 private:
-    static std::uint64_t key(int src, int dst, int tag) {
-        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |
-               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 16) |
-               static_cast<std::uint32_t>(tag & 0xffff);
-    }
+    /// Channel identity. A struct key (not packed bits): the previous
+    /// bit-packed uint64 shifted a 32-bit-cast dst into the src field for
+    /// large rank ids, silently crossing messages between channels.
+    struct Channel {
+        int src, dst, tag;
+        bool operator==(const Channel&) const = default;
+    };
+    struct ChannelHash {
+        std::size_t operator()(const Channel& c) const {
+            // Fibonacci-style mixing of the three fields.
+            auto mix = [](std::uint64_t h, std::uint64_t v) {
+                h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+                return h;
+            };
+            std::uint64_t h = 0;
+            h = mix(h, static_cast<std::uint32_t>(c.src));
+            h = mix(h, static_cast<std::uint32_t>(c.dst));
+            h = mix(h, static_cast<std::uint32_t>(c.tag));
+            return static_cast<std::size_t>(h);
+        }
+    };
 
     int n_ranks_;
     std::mutex mutex_;
     std::condition_variable cv_;
-    std::unordered_map<std::uint64_t, std::deque<std::vector<Real>>> queues_;
+    std::unordered_map<Channel, std::deque<std::vector<Real>>, ChannelHash>
+        queues_;
 };
 
 /// Generation-counted rendezvous for collectives.
@@ -77,23 +140,83 @@ private:
 
 } // namespace detail
 
-/// Per-rank communicator handle (the Typhon context).
+// ---------------------------------------------------------------------------
+// Requests — nonblocking point-to-point handles.
+// ---------------------------------------------------------------------------
+
+/// Handle for an in-flight nonblocking operation (MPI_Request analogue).
+/// Send requests complete immediately (buffered-eager transport); receive
+/// requests complete when a matching message is harvested by `test` or
+/// `wait`. A default-constructed Request is the null request: already
+/// complete, empty payload. Movable and copyable (copies share completion
+/// state, like MPI handles before MPI_Request_free).
+class Request {
+public:
+    Request() = default;
+
+    /// True once the operation has completed (does not progress it).
+    [[nodiscard]] bool done() const { return !state_ || state_->done; }
+
+    /// Nonblocking progress + completion check: for a pending receive,
+    /// polls the transport and harvests the message if it has arrived.
+    bool test();
+
+    /// Block until complete.
+    void wait();
+
+    /// Received payload; empty for sends and the null request. Only valid
+    /// after completion (throws util::Error otherwise).
+    [[nodiscard]] const std::vector<Real>& data() const;
+
+private:
+    friend class Comm;
+    friend void wait_all(std::span<Request> requests);
+    struct State {
+        Transport* transport = nullptr;
+        int peer = -1;  ///< remote rank (dst for sends, src for receives)
+        int self = -1;  ///< local rank
+        int tag = 0;
+        bool done = false;
+        std::vector<Real> payload;
+    };
+    explicit Request(std::shared_ptr<State> state) : state_(std::move(state)) {}
+    std::shared_ptr<State> state_;
+};
+
+/// Complete every request. Harvests completions in arrival order (the
+/// requests may finish out of posting order); when it must block, it
+/// blocks on the earliest incomplete request. Requests sharing a channel
+/// (same peer and tag) must appear in the span in their posting order —
+/// they match the channel's FIFO in that order.
+void wait_all(std::span<Request> requests);
+
+/// Per-rank communicator handle (the Typhon context). Point-to-point
+/// traffic goes through the backend-agnostic Transport; collectives use
+/// the in-process rendezvous.
 class Comm {
 public:
-    Comm(int rank, detail::Hub* hub, detail::Collective* coll)
-        : rank_(rank), hub_(hub), coll_(coll) {}
+    Comm(int rank, Transport* transport, detail::Collective* coll)
+        : rank_(rank), transport_(transport), coll_(coll) {}
 
     [[nodiscard]] int rank() const { return rank_; }
-    [[nodiscard]] int size() const { return hub_->n_ranks(); }
+    [[nodiscard]] int size() const { return transport_->n_ranks(); }
 
     /// Non-blocking enqueue (buffered send — Typhon/MPI eager semantics).
     void send(int dst, int tag, std::span<const Real> data) {
-        hub_->send(rank_, dst, tag, std::vector<Real>(data.begin(), data.end()));
+        transport_->send(rank_, dst, tag,
+                         std::vector<Real>(data.begin(), data.end()));
     }
     /// Blocking matched receive.
     [[nodiscard]] std::vector<Real> recv(int src, int tag) {
-        return hub_->recv(src, rank_, tag);
+        return transport_->recv(src, rank_, tag);
     }
+
+    /// Nonblocking send: posts the (buffered) send and returns a Request
+    /// that is already complete.
+    Request isend(int dst, int tag, std::span<const Real> data);
+    /// Nonblocking receive: returns a Request that completes (via test or
+    /// wait) when a message arrives on (src -> this rank, tag).
+    [[nodiscard]] Request irecv(int src, int tag);
 
     void barrier() { coll_->barrier(rank_); }
     [[nodiscard]] Real allreduce_min(Real v) {
@@ -111,7 +234,7 @@ public:
 
 private:
     int rank_;
-    detail::Hub* hub_;
+    Transport* transport_;
     detail::Collective* coll_;
 };
 
@@ -126,7 +249,17 @@ void run(int n_ranks, const std::function<void(Comm&)>& rank_fn);
 /// For one peer rank: which local items to pack and send, and which local
 /// (ghost) items to fill from the matching receive. Schedules on the two
 /// sides of a peering must list the same items in the same order (built
-/// from the global numbering by the partitioner).
+/// from the global numbering by the partitioner). Empty sides are fine (a
+/// schedule may keep separate send-only and recv-only entries for the
+/// same peer) and post no message, but at most one entry per peer rank
+/// may carry non-empty recv_items: receives match per (peer, tag)
+/// channel, so a second non-empty receive from the same peer within one
+/// exchange would be ambiguous (enforced by exchange_start). The two
+/// sides of a peering must also agree on *whether* data flows: an entry
+/// with empty send_items whose remote counterpart expects items leaves
+/// the remote receive waiting forever — schedules must be built pairwise
+/// consistent, as part::decompose does (the reverse asymmetry, a send
+/// nothing ever receives, is caught by typhon::run's drained check).
 struct ExchangeSchedule {
     struct Peer {
         int rank = -1;
@@ -135,6 +268,54 @@ struct ExchangeSchedule {
     };
     std::vector<Peer> peers;
 };
+
+/// An in-flight ghost exchange: all sends are posted, all receives are
+/// pending requests bound to the destination fields. `finish()` completes
+/// the receives (in arrival order) and unpacks each into its field's
+/// recv_items; it must be called exactly once, while the bound field spans
+/// are still alive.
+class PendingExchange {
+public:
+    PendingExchange() = default;
+    PendingExchange(PendingExchange&&) = default;
+    /// Move-assignment applies the abandonment guard (below) to the
+    /// overwritten target before taking the other exchange's slots.
+    PendingExchange& operator=(PendingExchange&& other) noexcept;
+    /// Abandoning an exchange without finish() is a caller bug: the
+    /// unmatched messages would sit in their channels and a later
+    /// exchange on the same tags would unpack them as fresh data. The
+    /// destructor asserts in debug builds and best-effort drains any
+    /// already-arrived messages (discarding them) in release, so the
+    /// failure stays loud or at least localised. (A finish() that threw
+    /// — peer schedule mismatch — clears the slots first, so normal
+    /// exception propagation is not turned into an abort.)
+    ~PendingExchange();
+
+    /// Wait for every pending receive and unpack. Out-of-order friendly:
+    /// messages are harvested as they arrive, blocking only when none is
+    /// ready. Throws util::Error on a schedule mismatch between peers.
+    void finish();
+    [[nodiscard]] bool finished() const { return slots_.empty(); }
+
+private:
+    friend PendingExchange
+    exchange_start(Comm& comm, const ExchangeSchedule& schedule,
+                   std::initializer_list<std::span<Real>> fields, int base_tag);
+    struct Slot {
+        Request request;
+        const std::vector<Index>* recv_items = nullptr;
+        std::span<Real> field;
+    };
+    std::vector<Slot> slots_;
+};
+
+/// Start exchanging several fields with consecutive tags from base_tag:
+/// pack each peer's send_items, post all sends and receives, and return
+/// the pending completion. Interior work can run between start and finish
+/// while the messages are in flight.
+[[nodiscard]] PendingExchange
+exchange_start(Comm& comm, const ExchangeSchedule& schedule,
+               std::initializer_list<std::span<Real>> fields, int base_tag);
 
 /// Exchange one field: pack send_items, post all sends, then receive and
 /// unpack recv_items. Tags partition the field space so multiple fields

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "analytic/exact.hpp"
@@ -306,4 +308,70 @@ TEST(Driver, ThreadedRunMatchesSerialOnFullProblem) {
         EXPECT_DOUBLE_EQ(hybrid[c], serial[c]);
         EXPECT_NEAR(colored[c], serial[c], 1e-10);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Time-history CSV output ([io] history = <path>)
+// ---------------------------------------------------------------------------
+
+TEST(Driver, HistoryCsvRecordsConservedTotals) {
+    const std::string path = "/tmp/bookleaf_test_history.csv";
+    bc::RunSummary summary;
+    {
+        // Scoped so the CSV writer flushes before the file is read back.
+        auto problem = bs::sod(24, 2);
+        problem.history = path;
+        bc::Hydro h(std::move(problem));
+        summary = h.run(std::nullopt, 25);
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(static_cast<bool>(in));
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_EQ(header, "step,t,dt,mass,internal_energy,kinetic_energy");
+
+    struct Row {
+        double step, t, dt, mass, internal, kinetic;
+    };
+    std::vector<Row> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+        Row r{};
+        ASSERT_EQ(std::sscanf(line.c_str(), "%lf,%lf,%lf,%lf,%lf,%lf", &r.step,
+                              &r.t, &r.dt, &r.mass, &r.internal, &r.kinetic),
+                  6)
+            << line;
+        rows.push_back(r);
+    }
+    // One baseline row (step 0) plus one row per step.
+    ASSERT_EQ(rows.size(), static_cast<std::size_t>(summary.steps) + 1);
+    EXPECT_EQ(rows.front().step, 0);
+    EXPECT_EQ(rows.front().t, 0.0);
+    EXPECT_EQ(rows.back().step, summary.steps);
+    EXPECT_NEAR(rows.back().t, summary.t_final, 1e-12);
+
+    // Conservation along the whole history: Lagrangian mass is constant
+    // and total energy drifts only at round-off.
+    const double mass0 = rows.front().mass;
+    const double e0 = rows.front().internal + rows.front().kinetic;
+    for (const auto& r : rows) {
+        EXPECT_NEAR(r.mass, mass0, 1e-10 * mass0); // CSV rounds at 12 digits
+        EXPECT_NEAR(r.internal + r.kinetic, e0, 1e-9 * std::abs(e0));
+        EXPECT_GE(r.t, 0.0);
+    }
+    // t is strictly increasing after the baseline row.
+    for (std::size_t i = 2; i < rows.size(); ++i)
+        EXPECT_GT(rows[i].t, rows[i - 1].t);
+
+    std::remove(path.c_str());
+}
+
+TEST(Driver, NoHistoryFileWithoutDeckKey) {
+    const std::string path = "/tmp/bookleaf_test_no_history.csv";
+    std::remove(path.c_str());
+    bc::Hydro h(bs::sod(16, 2));
+    h.run(std::nullopt, 3);
+    std::ifstream in(path);
+    EXPECT_FALSE(static_cast<bool>(in));
 }

@@ -7,6 +7,7 @@
 #include "dist/distributed.hpp"
 #include "mesh/generator.hpp"
 #include "part/partition.hpp"
+#include "setup/problems.hpp"
 
 namespace bd = bookleaf::dist;
 namespace bh = bookleaf::hydro;
@@ -145,6 +146,101 @@ TEST(Distributed, ProfilerSeesHaloAndReduce) {
                       .calls,
                   0);
         EXPECT_GT(prof[static_cast<std::size_t>(bookleaf::util::Kernel::getq)]
+                      .calls,
+                  0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Halo/compute overlap (nonblocking typhon path)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bd::Result run_mode(const bm::Mesh& mesh, const be::MaterialTable& materials,
+                    const std::vector<Real>& rho, const std::vector<Real>& ein,
+                    const std::vector<Real>& u, const std::vector<Real>& v,
+                    int n_ranks, Real t_end, bool overlap) {
+    bd::Options opts;
+    opts.n_ranks = n_ranks;
+    opts.t_end = t_end;
+    opts.hydro.dt_initial = 1e-4;
+    opts.overlap = overlap;
+    return bd::run(mesh, materials, rho, ein, u, v, opts);
+}
+
+/// Bitwise comparison of two gathered results (the overlap contract:
+/// ghost inputs are identical bytes, only the kernel schedule changes).
+void expect_bitwise_equal(const bd::Result& a, const bd::Result& b,
+                          const std::string& label) {
+    ASSERT_EQ(a.steps, b.steps) << label;
+    ASSERT_EQ(a.rho.size(), b.rho.size());
+    for (std::size_t c = 0; c < a.rho.size(); ++c) {
+        EXPECT_EQ(a.rho[c], b.rho[c]) << label << ": cell " << c;
+        EXPECT_EQ(a.ein[c], b.ein[c]) << label << ": cell " << c;
+    }
+    for (std::size_t n = 0; n < a.u.size(); ++n) {
+        EXPECT_EQ(a.u[n], b.u[n]) << label << ": node " << n;
+        EXPECT_EQ(a.v[n], b.v[n]) << label << ": node " << n;
+    }
+    // The shared contract predicate must agree with the element-wise
+    // expectations above (it is what the bench and example use).
+    EXPECT_TRUE(bd::bitwise_equal(a, b)) << label;
+}
+
+} // namespace
+
+TEST(DistOverlap, BitwiseIdenticalToBlockingOnSod) {
+    const auto p = sod_like(48, 4);
+    for (const int n_ranks : {1, 2, 4}) {
+        const auto blocking = run_mode(p.mesh, p.materials, p.rho, p.ein, p.u,
+                                       p.v, n_ranks, 0.04, false);
+        const auto overlap = run_mode(p.mesh, p.materials, p.rho, p.ein, p.u,
+                                      p.v, n_ranks, 0.04, true);
+        expect_bitwise_equal(blocking, overlap,
+                             "sod " + std::to_string(n_ranks) + " ranks");
+    }
+}
+
+TEST(DistOverlap, BitwiseIdenticalToBlockingOnNoh) {
+    // Noh exercises the subzonal/hourglass force terms and a 2-D front
+    // crossing the partition boundaries.
+    auto p = bookleaf::setup::noh(20);
+    for (const int n_ranks : {1, 2, 4}) {
+        const auto blocking = run_mode(p.mesh, p.materials, p.rho, p.ein, p.u,
+                                       p.v, n_ranks, 0.05, false);
+        const auto overlap = run_mode(p.mesh, p.materials, p.rho, p.ein, p.u,
+                                      p.v, n_ranks, 0.05, true);
+        expect_bitwise_equal(blocking, overlap,
+                             "noh " + std::to_string(n_ranks) + " ranks");
+    }
+}
+
+TEST(DistOverlap, OverlapMatchesSingleRankToRoundoff) {
+    // Rank-count invariance (round-off class, as for the blocking path):
+    // the overlapped run at any rank count stays within summation-order
+    // round-off of the 1-rank run.
+    const auto p = sod_like(40, 4);
+    const auto ref = run_mode(p.mesh, p.materials, p.rho, p.ein, p.u, p.v, 1,
+                              0.03, true);
+    for (const int n_ranks : {2, 4}) {
+        const auto r = run_mode(p.mesh, p.materials, p.rho, p.ein, p.u, p.v,
+                                n_ranks, 0.03, true);
+        ASSERT_EQ(r.steps, ref.steps);
+        for (std::size_t c = 0; c < ref.rho.size(); ++c)
+            EXPECT_NEAR(r.rho[c], ref.rho[c], 1e-9) << n_ranks << " ranks";
+    }
+}
+
+TEST(DistOverlap, HaloProfileStillPopulated) {
+    const auto p = sod_like(24, 2);
+    const auto r = run_mode(p.mesh, p.materials, p.rho, p.ein, p.u, p.v, 2,
+                            0.01, true);
+    for (const auto& prof : r.profiles) {
+        EXPECT_GT(prof[static_cast<std::size_t>(bookleaf::util::Kernel::halo)]
+                      .calls,
+                  0);
+        EXPECT_GT(prof[static_cast<std::size_t>(bookleaf::util::Kernel::getacc)]
                       .calls,
                   0);
     }

@@ -179,3 +179,105 @@ TEST(Deck, MakeProblemBadAleModeThrows) {
     const auto deck = bs::Deck::parse_string("[ale]\nmode = warp\n");
     EXPECT_THROW(bs::make_problem(deck), bu::Error);
 }
+
+// ---------------------------------------------------------------------------
+// Deck edge cases: comments, blank lines, unknown keys, malformed pairs
+// ---------------------------------------------------------------------------
+
+TEST(DeckEdgeCases, CommentsBlankLinesAndCrlfAreTolerated) {
+    const auto deck = bs::Deck::parse_string(
+        "; full-line semicolon comment\r\n"
+        "   \t  \r\n"
+        "\n"
+        "[problem]  # trailing comment on a section header\r\n"
+        "name = sod   ; inline comment after the value\n"
+        "# full-line hash comment\n"
+        "resolution = 40\r\n");
+    EXPECT_EQ(deck.get("problem", "name", ""), "sod");
+    EXPECT_EQ(deck.get_int("problem", "resolution", 0), 40);
+}
+
+TEST(DeckEdgeCases, SectionAndKeyLookupsAreCaseInsensitive) {
+    const auto deck =
+        bs::Deck::parse_string("[Control]\nT_End = 0.25\n");
+    EXPECT_TRUE(deck.has("control", "t_end"));
+    EXPECT_TRUE(deck.has("CONTROL", "T_END"));
+    EXPECT_DOUBLE_EQ(deck.get_real("control", "t_end", 0.0), 0.25);
+}
+
+TEST(DeckEdgeCases, UnknownSectionsAndKeysAreIgnoredByMakeProblem) {
+    // Unknown sections/keys parse fine (they are simply never queried):
+    // decks stay forward compatible with newer writers.
+    const auto deck = bs::Deck::parse_string(R"(
+[problem]
+name = sod
+resolution = 8
+
+[exotic_future_section]
+knob = 17
+
+[control]
+t_end = 0.01
+unheard_of_key = whatever
+)");
+    const auto p = bs::make_problem(deck);
+    EXPECT_EQ(p.name, "sod");
+    EXPECT_DOUBLE_EQ(p.t_end, 0.01);
+    EXPECT_TRUE(deck.has("exotic_future_section", "knob"));
+}
+
+TEST(DeckEdgeCases, MalformedPairsThrow) {
+    // Key without '='.
+    EXPECT_THROW(bs::Deck::parse_string("[a]\njust_a_word\n"), bu::Error);
+    // Empty key.
+    EXPECT_THROW(bs::Deck::parse_string("[a]\n = 3\n"), bu::Error);
+    // Unterminated section header.
+    EXPECT_THROW(bs::Deck::parse_string("[a\nx = 1\n"), bu::Error);
+    // Comment chopping the '=' off turns the line malformed.
+    EXPECT_THROW(bs::Deck::parse_string("[a]\nx #= 1\n"), bu::Error);
+}
+
+TEST(DeckEdgeCases, EmptyValueFallsBackForTypedGetters) {
+    const auto deck = bs::Deck::parse_string("[a]\nx =\n");
+    EXPECT_TRUE(deck.has("a", "x"));
+    EXPECT_EQ(deck.get("a", "x", "unused"), "");
+    EXPECT_DOUBLE_EQ(deck.get_real("a", "x", 2.5), 2.5);
+    EXPECT_EQ(deck.get_int("a", "x", 7), 7);
+    EXPECT_TRUE(deck.get_bool("a", "x", true));
+}
+
+TEST(DeckEdgeCases, BadNumericValuesThrowDeckErrors) {
+    const auto deck = bs::Deck::parse_string(
+        "[a]\nr = fast\ni = 3.5x\nhuge = 99999999999999999999\n");
+    EXPECT_THROW((void)deck.get_real("a", "r", 0.0), bu::Error);
+    EXPECT_THROW((void)deck.get_int("a", "i", 0), bu::Error);
+    EXPECT_THROW((void)deck.get_int("a", "huge", 0), bu::Error); // out of range
+}
+
+TEST(DeckEdgeCases, KeysBeforeAnySectionLiveInTheUnnamedSection) {
+    const auto deck = bs::Deck::parse_string("stray = 1\n[a]\nx = 2\n");
+    EXPECT_EQ(deck.get_int("", "stray", 0), 1);
+    EXPECT_EQ(deck.get_int("a", "x", 0), 2);
+}
+
+TEST(DeckEdgeCases, LaterDuplicateKeyWins) {
+    const auto deck = bs::Deck::parse_string("[a]\nx = 1\nx = 2\n");
+    EXPECT_EQ(deck.get_int("a", "x", 0), 2);
+}
+
+TEST(DeckEdgeCases, HistoryPathFlowsIntoProblem) {
+    const auto deck = bs::Deck::parse_string(R"(
+[problem]
+name = sod
+resolution = 8
+
+[io]
+history = /tmp/hist.csv
+)");
+    const auto p = bs::make_problem(deck);
+    EXPECT_EQ(p.history, "/tmp/hist.csv");
+    // And absent [io] leaves it disabled.
+    const auto p2 = bs::make_problem(
+        bs::Deck::parse_string("[problem]\nname = sod\nresolution = 8\n"));
+    EXPECT_TRUE(p2.history.empty());
+}

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "typhon/typhon.hpp"
 #include "util/error.hpp"
@@ -205,4 +207,208 @@ TEST(TyphonStress, ManyRanksManyRounds) {
             EXPECT_NEAR(sum, n * (n - 1) / 2.0, 1e-9);
         }
     });
+}
+
+// ---------------------------------------------------------------------------
+// Request layer: isend/irecv + test/wait/wait_all semantics
+// ---------------------------------------------------------------------------
+
+TEST(TyphonRequest, NullRequestIsComplete) {
+    bt::Request r;
+    EXPECT_TRUE(r.done());
+    EXPECT_TRUE(r.test());
+    r.wait(); // no-op
+    EXPECT_TRUE(r.data().empty());
+}
+
+TEST(TyphonRequest, IsendCompletesImmediatelyIrecvOnWait) {
+    bt::run(2, [](bt::Comm& comm) {
+        if (comm.rank() == 0) {
+            auto req = comm.isend(1, 3, std::vector<Real>{7.0, 8.0});
+            // Buffered-eager transport: the send request is born complete.
+            EXPECT_TRUE(req.done());
+            EXPECT_TRUE(req.test());
+            EXPECT_TRUE(req.data().empty());
+        } else {
+            auto req = comm.irecv(0, 3);
+            req.wait();
+            EXPECT_TRUE(req.done());
+            ASSERT_EQ(req.data().size(), 2u);
+            EXPECT_DOUBLE_EQ(req.data()[0], 7.0);
+            EXPECT_DOUBLE_EQ(req.data()[1], 8.0);
+        }
+    });
+}
+
+TEST(TyphonRequest, TestPollsToCompletionWithoutBlocking) {
+    bt::run(2, [](bt::Comm& comm) {
+        if (comm.rank() == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            comm.send(1, 5, std::vector<Real>{1.0});
+        } else {
+            auto req = comm.irecv(0, 5);
+            // Poll (never block). Must eventually harvest the message.
+            while (!req.test()) std::this_thread::yield();
+            ASSERT_EQ(req.data().size(), 1u);
+            EXPECT_DOUBLE_EQ(req.data()[0], 1.0);
+        }
+    });
+}
+
+TEST(TyphonRequest, DataBeforeCompletionThrows) {
+    bt::run(2, [](bt::Comm& comm) {
+        if (comm.rank() == 0) {
+            auto req = comm.irecv(1, 9);
+            EXPECT_FALSE(req.done());
+            EXPECT_THROW((void)req.data(), bu::Error);
+            req.wait();
+            EXPECT_DOUBLE_EQ(req.data()[0], 4.0);
+        } else {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            comm.send(0, 9, std::vector<Real>{4.0});
+        }
+    });
+}
+
+TEST(TyphonRequest, WaitAllHandlesOutOfOrderCompletion) {
+    // Rank 0 sends tags 12, 11, 10 in *reverse* posting order with delays;
+    // rank 1 posts irecvs for 10, 11, 12 and wait_all must complete them
+    // as the messages arrive, never deadlocking on posting order.
+    bt::run(2, [](bt::Comm& comm) {
+        if (comm.rank() == 0) {
+            for (const int tag : {12, 11, 10}) {
+                comm.send(1, tag, std::vector<Real>{static_cast<Real>(tag)});
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            }
+        } else {
+            std::vector<bt::Request> reqs;
+            for (const int tag : {10, 11, 12}) reqs.push_back(comm.irecv(0, tag));
+            bt::wait_all(reqs);
+            for (std::size_t i = 0; i < reqs.size(); ++i) {
+                ASSERT_TRUE(reqs[i].done());
+                EXPECT_DOUBLE_EQ(reqs[i].data()[0], static_cast<Real>(10 + i));
+            }
+        }
+    });
+}
+
+TEST(TyphonRequest, ManyInFlightRequestsPerChannelKeepFifoOrder) {
+    bt::run(2, [](bt::Comm& comm) {
+        constexpr int n = 40;
+        if (comm.rank() == 0) {
+            for (int i = 0; i < n; ++i)
+                (void)comm.isend(1, 2, std::vector<Real>{static_cast<Real>(i)});
+        } else {
+            std::vector<bt::Request> reqs;
+            for (int i = 0; i < n; ++i) reqs.push_back(comm.irecv(0, 2));
+            bt::wait_all(reqs);
+            // Same-channel requests complete in posting order (FIFO queue).
+            for (int i = 0; i < n; ++i)
+                EXPECT_DOUBLE_EQ(reqs[static_cast<std::size_t>(i)].data()[0],
+                                 static_cast<Real>(i));
+        }
+    });
+}
+
+TEST(TyphonRequest, HubChannelKeysDoNotCollideForLargeRankIds) {
+    // Regression: the old bit-packed uint64 key shifted a 32-bit dst into
+    // the src field, so (src=1, dst=0) collided with (src=0, dst=2^24).
+    bt::detail::Hub hub(1 << 25);
+    hub.send(1, 0, 0, {42.0});
+    EXPECT_FALSE(hub.try_recv(0, 1 << 24, 0).has_value());
+    const auto msg = hub.try_recv(1, 0, 0);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_DOUBLE_EQ((*msg)[0], 42.0);
+}
+
+TEST(TyphonExchange, StartFinishSplitMatchesBlockingExchange) {
+    // The overlapped form (post, compute, finish) must land exactly the
+    // same bytes as the blocking exchange.
+    bt::run(4, [](bt::Comm& comm) {
+        const int r = comm.rank();
+        const int left = (r + 3) % 4;
+        const int right = (r + 1) % 4;
+        std::vector<Real> blocking = {static_cast<Real>(r * 7 + 1), -1.0, -1.0};
+        std::vector<Real> overlapped = blocking;
+
+        bt::ExchangeSchedule sched;
+        bt::ExchangeSchedule::Peer a, b;
+        a.rank = left;
+        a.send_items = {0};
+        a.recv_items = {1};
+        b.rank = right;
+        b.send_items = {0};
+        b.recv_items = {2};
+        sched.peers = left <= right ? std::vector{a, b} : std::vector{b, a};
+
+        bt::exchange(comm, sched, blocking, 60);
+
+        auto pending = bt::exchange_start(comm, sched, {overlapped}, 70);
+        EXPECT_FALSE(pending.finished());
+        // "Interior work" while the halo is in flight.
+        overlapped[0] += 0.0;
+        pending.finish();
+        EXPECT_TRUE(pending.finished());
+
+        for (std::size_t i = 0; i < blocking.size(); ++i)
+            EXPECT_EQ(blocking[i], overlapped[i]) << "slot " << i;
+    });
+}
+
+TEST(TyphonExchange, StartFinishMultipleFieldsConsecutiveTags) {
+    bt::run(2, [](bt::Comm& comm) {
+        const int r = comm.rank();
+        std::vector<Real> f1 = {static_cast<Real>(r + 1), 0.0};
+        std::vector<Real> f2 = {static_cast<Real>((r + 1) * 10), 0.0};
+        bt::ExchangeSchedule sched;
+        bt::ExchangeSchedule::Peer p;
+        p.rank = 1 - r;
+        p.send_items = {0};
+        p.recv_items = {1};
+        sched.peers = {p};
+        auto pending = bt::exchange_start(
+            comm, sched, {std::span<Real>(f1), std::span<Real>(f2)}, 80);
+        pending.finish();
+        EXPECT_DOUBLE_EQ(f1[1], static_cast<Real>(2 - r));
+        EXPECT_DOUBLE_EQ(f2[1], static_cast<Real>((2 - r) * 10));
+    });
+}
+
+TEST(TyphonRequest, WaitAllBlocksOnEarliestSameChannelRequest) {
+    // Regression: wait_all must block on the FIRST incomplete request.
+    // Blocking on a later same-channel request would pop the channel
+    // front for it and shift every subsequent payload by one. The sender
+    // trickles messages so the receiver's wait_all actually blocks
+    // mid-sequence instead of harvesting everything in one sweep.
+    bt::run(2, [](bt::Comm& comm) {
+        constexpr int n = 8;
+        if (comm.rank() == 0) {
+            for (int i = 0; i < n; ++i) {
+                comm.send(1, 4, std::vector<Real>{static_cast<Real>(i)});
+                std::this_thread::sleep_for(std::chrono::milliseconds(3));
+            }
+        } else {
+            std::vector<bt::Request> reqs;
+            for (int i = 0; i < n; ++i) reqs.push_back(comm.irecv(0, 4));
+            bt::wait_all(reqs);
+            for (int i = 0; i < n; ++i)
+                EXPECT_DOUBLE_EQ(reqs[static_cast<std::size_t>(i)].data()[0],
+                                 static_cast<Real>(i))
+                    << "payload misdelivered to request " << i;
+        }
+    });
+}
+
+TEST(Typhon, StrandedMessagesAreDetectedAtShutdown) {
+    // A send that no receive ever matches (asymmetric schedule, skipped
+    // irecv) must fail loudly at the end of the run, not silently drop
+    // ghost data.
+    EXPECT_THROW(bt::run(2,
+                         [](bt::Comm& comm) {
+                             if (comm.rank() == 0)
+                                 comm.send(1, 99, std::vector<Real>{1.0});
+                             // Rank 1 never receives tag 99.
+                             comm.barrier();
+                         }),
+                 bu::Error);
 }
