@@ -9,11 +9,13 @@
 /// be bitwise identical.
 ///
 ///   ./distributed_sod [--ranks 4] [--nx 100] [--partitioner rcb|multilevel]
-///                     [--overlap on|off] [--dump fields.csv] [--tol 1e-8]
+///                     [--overlap on|off] [--packing coalesced|perfield]
+///                     [--dump fields.csv] [--tol 1e-8]
 ///
 /// Exits nonzero if the distributed result drifts from the serial
-/// reference by more than --tol, or if overlap and blocking disagree
-/// bitwise — which makes it a self-checking smoke test for CI.
+/// reference by more than --tol, or if the other schedule (overlap vs
+/// blocking) or the other halo wire format (coalesced vs per-field)
+/// disagrees bitwise — which makes it a self-checking smoke test for CI.
 
 #include <cmath>
 #include <cstdio>
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
     const auto nx = static_cast<Index>(cli.get_int("nx", 100));
     const auto partitioner = cli.get("partitioner", "rcb");
     const auto overlap_arg = cli.get("overlap", "on");
+    const auto packing_arg = cli.get("packing", "coalesced");
     const Real tol = cli.get_real("tol", 1e-8);
 
     const auto problem = setup::sod(nx, 4);
@@ -40,7 +43,10 @@ int main(int argc, char** argv) {
     opts.n_ranks = ranks;
     opts.t_end = 0.2;
     opts.hydro = problem.hydro;
+    opts.ale = problem.ale;
     opts.overlap = overlap_arg != "off";
+    opts.packing = packing_arg == "perfield" ? typhon::Packing::per_field
+                                             : typhon::Packing::coalesced;
     if (partitioner == "multilevel")
         opts.partitioner = [](const mesh::Mesh& m, int n) {
             return part::multilevel(m, n);
@@ -50,17 +56,18 @@ int main(int argc, char** argv) {
     const auto part = opts.partitioner ? opts.partitioner(problem.mesh, ranks)
                                        : part::rcb(problem.mesh, ranks);
     const auto quality = part::quality(problem.mesh, part, ranks);
-    std::printf("Sod %dx4 on %d ranks (%s, overlap %s): edge cut %d, "
-                "imbalance %.3f\n",
+    std::printf("Sod %dx4 on %d ranks (%s, overlap %s, packing %s): edge cut "
+                "%d, imbalance %.3f\n",
                 nx, ranks, partitioner.c_str(), opts.overlap ? "on" : "off",
-                quality.edge_cut, quality.imbalance);
+                packing_arg.c_str(), quality.edge_cut, quality.imbalance);
 
     const auto distributed = dist::run(problem.mesh, problem.materials,
                                        problem.rho, problem.ein, problem.u,
                                        problem.v, opts);
 
-    // Ablation cross-check: the other schedule must agree bitwise (same
-    // ghost bytes, only the kernel order changes).
+    // Ablation cross-checks: the other schedule and the other halo wire
+    // format must both agree bitwise (same ghost bytes, only the kernel
+    // order / message shapes change).
     dist::Options other = opts;
     other.overlap = !opts.overlap;
     const auto cross = dist::run(problem.mesh, problem.materials, problem.rho,
@@ -68,6 +75,20 @@ int main(int argc, char** argv) {
     const bool bitwise = dist::bitwise_equal(distributed, cross);
     std::printf("overlap vs blocking: %s\n",
                 bitwise ? "bitwise identical" : "MISMATCH");
+
+    dist::Options repacked = opts;
+    repacked.packing = opts.packing == typhon::Packing::coalesced
+                           ? typhon::Packing::per_field
+                           : typhon::Packing::coalesced;
+    const auto cross_packing =
+        dist::run(problem.mesh, problem.materials, problem.rho, problem.ein,
+                  problem.u, problem.v, repacked);
+    const bool bitwise_packing =
+        dist::bitwise_equal(distributed, cross_packing);
+    std::printf("coalesced vs per-field: %s (%ld vs %ld messages)\n",
+                bitwise_packing ? "bitwise identical" : "MISMATCH",
+                distributed.traffic.messages,
+                cross_packing.traffic.messages);
 
     // Serial reference.
     dist::Options serial = opts;
@@ -112,6 +133,11 @@ int main(int argc, char** argv) {
 
     if (!bitwise) {
         std::fprintf(stderr, "FAIL: overlap and blocking schedules disagree\n");
+        return 1;
+    }
+    if (!bitwise_packing) {
+        std::fprintf(stderr,
+                     "FAIL: coalesced and per-field packings disagree\n");
         return 1;
     }
     if (max_err > tol) {

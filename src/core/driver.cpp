@@ -59,12 +59,16 @@ StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
     } else {
         info.dt_reason = "initial";
     }
-    if (t_end && t_ + dt_ > *t_end) {
-        dt_ = *t_end - t_;
-        info.dt_reason = "t_end";
-    }
+    // The t_end clamp applies to the *used* dt only. `dt_` keeps the
+    // unclamped controller value as the growth reference: storing the
+    // clamped value would growth-limit a follow-on run(t2) after run(t1)
+    // from the arbitrarily tiny final clamped step.
+    const auto clamped = t_end ? hydro::clamp_to_t_end(t_, dt_, *t_end)
+                               : hydro::ClampedDt{dt_, dt_};
+    const Real dt = clamped.used;
+    if (dt != clamped.unclamped) info.dt_reason = "t_end";
 
-    hydro::lagstep(ctx_, state_, dt_);
+    hydro::lagstep(ctx_, state_, dt);
 
     if (problem_.ale.mode != ale::Mode::lagrange) {
         const bool due = problem_.ale.mode == ale::Mode::eulerian ||
@@ -75,13 +79,13 @@ StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
         }
     }
 
-    t_ += dt_;
+    t_ += dt;
     ++steps_;
-    if (history_) write_history_row(dt_);
+    if (history_) write_history_row(dt);
     info.step = steps_;
     info.t = t_;
-    info.dt = dt_;
-    util::log_debug("step ", steps_, " t=", t_, " dt=", dt_, " (",
+    info.dt = dt;
+    util::log_debug("step ", steps_, " t=", t_, " dt=", dt, " (",
                     info.dt_reason, ")");
     return info;
 }

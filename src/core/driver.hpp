@@ -91,6 +91,10 @@ private:
     par::Assembly chosen_assembly_ = par::Assembly::gather;
     bool assembly_chosen_ = false;
     Real t_ = 0.0;
+    /// Unclamped controller dt — the growth reference for the next
+    /// getdt. The t_end clamp applies only to the dt a step advances by
+    /// (step_clamped's local), never here: a follow-on run(t2) after
+    /// run(t1) must not be growth-limited by the tiny final clamped step.
     Real dt_ = 0.0;
     int steps_ = 0;
 };

@@ -9,14 +9,18 @@
 /// The timestep is the global min-reduction of the owned-cell dt.
 ///
 /// Two schedules implement the step. The *blocking* schedule is the
-/// paper's: exchange, compute, exchange, compute. The *overlap* schedule
-/// (default, Options::overlap) posts each exchange through typhon's
-/// request layer and runs the interior work — cells whose stencils see no
-/// halo-refreshed data, nodes whose assembly reads no ghost corner —
-/// while the messages are in flight; only the boundary finish waits.
-/// Because every kernel piece involved is per-item independent and the
-/// exchanged bytes are identical, the two schedules are bitwise identical
-/// at every rank count.
+/// paper's: reduce, exchange, compute, exchange, compute. The *overlap*
+/// schedule (default, Options::overlap) posts each exchange through
+/// typhon's request layer and runs the interior work — cells whose
+/// stencils see no halo-refreshed data, nodes whose assembly reads no
+/// ghost corner — while the messages are in flight; only the boundary
+/// finish waits. The dt min-reduction is likewise posted nonblocking
+/// before the pre-step halo and finished just before the predictor
+/// consumes dt. Because every kernel piece involved is per-item
+/// independent, the exchanged bytes are identical and the reduction is
+/// rank-order deterministic, the two schedules are bitwise identical at
+/// every rank count — for either halo wire format (Options::packing:
+/// one coalesced message per peer, or the per-field ablation).
 
 #include "dist/distributed.hpp"
 
@@ -79,12 +83,17 @@ void rebuild_ghost_state(const hydro::Context& ctx, hydro::State& s,
 /// Pre-step halo: refresh ghost node kinematics and ghost internal energy,
 /// then rebuild the ghost dependent state.
 void refresh_ghosts(const hydro::Context& ctx, hydro::State& s,
-                    typhon::Comm& comm, const part::Subdomain& sub) {
+                    typhon::Comm& comm, const part::Subdomain& sub,
+                    typhon::Packing packing) {
     {
+        // Field lists and the Subdomain wire-format metadata must change
+        // together (messages_per_step's accounting rests on them).
+        static_assert(part::Subdomain::node_exchange_fields == 4 &&
+                      part::Subdomain::cell_exchange_fields == 1);
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
         typhon::exchange_all(comm, sub.node_schedule, {s.x, s.y, s.u, s.v},
-                             100);
-        typhon::exchange(comm, sub.cell_schedule, s.ein, 150);
+                             100, packing);
+        typhon::exchange_all(comm, sub.cell_schedule, {s.ein}, 150, packing);
     }
     rebuild_ghost_state(ctx, s, sub);
 }
@@ -93,7 +102,8 @@ void refresh_ghosts(const hydro::Context& ctx, hydro::State& s,
 /// Mirrors hydro::lagstep exactly, with typhon traffic inserted where the
 /// paper's Algorithm 1 places it.
 void dist_lagstep(const hydro::Context& ctx, hydro::State& s, Real dt,
-                  typhon::Comm& comm, const part::Subdomain& sub) {
+                  typhon::Comm& comm, const part::Subdomain& sub,
+                  typhon::Packing packing) {
     snapshot(ctx, s);
     const Real half_dt = Real(0.5) * dt;
 
@@ -112,8 +122,10 @@ void dist_lagstep(const hydro::Context& ctx, hydro::State& s, Real dt,
         // Pre-acceleration halo: ghost corner forces from their owners.
         // After this, the gather at any node of an owned cell sees exactly
         // the corner forces a serial run would.
+        static_assert(part::Subdomain::corner_exchange_fields == 2);
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
-        typhon::exchange_all(comm, sub.corner_schedule, {s.fx, s.fy}, 200);
+        typhon::exchange_all(comm, sub.corner_schedule, {s.fx, s.fy}, 200,
+                             packing);
     }
     hydro::getacc(ctx, s, dt);
     hydro::getgeom(ctx, s, s.ubar, s.vbar, dt);
@@ -126,31 +138,52 @@ void dist_lagstep(const hydro::Context& ctx, hydro::State& s, Real dt,
 // Overlap schedule (default): halo exchanges hide behind interior work
 // ---------------------------------------------------------------------------
 
-/// One step with both exchanges overlapped. Covers refresh + lagstep: the
-/// pre-step state exchange spans into the predictor, the corner-force
-/// exchange spans the corrector's interior viscosity/force/assembly work.
+/// One step with both exchanges overlapped, plus the dt reduction. Covers
+/// getdt's reduce + refresh + lagstep: the global min-reduce of
+/// `dt_local` is posted nonblocking *before* the pre-step state exchange
+/// (the exchanged bytes do not depend on dt) and finished only when the
+/// predictor is about to consume dt; the state exchange spans into the
+/// predictor and the corner-force exchange spans the corrector's interior
+/// viscosity/force/assembly work.
 /// Note on profiles: each subrange piece charges the profiler separately,
 /// so per-kernel *call counts* differ from the blocking schedule (e.g.
 /// two getq calls per sweep instead of one, halo split into post and
-/// finish scopes); the wall-second buckets remain comparable and are what
-/// the overlap ablation reports.
-void overlap_step(const hydro::Context& ctx, hydro::State& s, Real dt,
-                  typhon::Comm& comm, const part::Subdomain& sub) {
+/// finish scopes, reduce split into post and wait); the wall-second
+/// buckets remain comparable and are what the overlap ablation reports.
+hydro::ClampedDt overlap_step(const hydro::Context& ctx, hydro::State& s,
+                              Real dt_local, bool reduce, Real t, Real t_end,
+                              typhon::Comm& comm, const part::Subdomain& sub,
+                              typhon::Packing packing) {
     const std::span<const Index> interior(sub.interior_cells);
     const std::span<const Index> boundary(sub.boundary_cells);
 
-    // --- pre-step state halo, overlapped with the interior predictor -------
-    // Sends pack owned values, so they post immediately; interior cells
-    // read no halo node, no ghost state and no snapshot array, so running
-    // their predictor viscosity/forces here computes bit-for-bit what the
-    // blocking schedule computes after the exchange.
+    // --- dt reduce + pre-step state halo, overlapped with the interior
+    // predictor. The reduce is posted first: every rank's contribution is
+    // this step's local controller value, the result is the deterministic
+    // rank-ordered min (bitwise what the blocking allreduce returns), and
+    // nothing before the first half_dt use reads dt — so the collective
+    // rides for free under the state exchange. Sends pack owned values,
+    // so they post immediately; interior cells read no halo node, no
+    // ghost state and no snapshot array, so running their predictor
+    // viscosity/forces here computes bit-for-bit what the blocking
+    // schedule computes after the exchange.
+    typhon::CollRequest dt_reduce;
+    if (reduce) {
+        const util::ScopedTimer timer(*ctx.profiler, util::Kernel::reduce);
+        dt_reduce = comm.iallreduce_min(dt_local);
+    }
     typhon::PendingExchange state_halo, ein_halo;
     {
+        // Field lists and the Subdomain wire-format metadata must change
+        // together (messages_per_step's accounting rests on them).
+        static_assert(part::Subdomain::node_exchange_fields == 4 &&
+                      part::Subdomain::cell_exchange_fields == 1);
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
         state_halo =
             typhon::exchange_start(comm, sub.node_schedule,
-                                   {s.x, s.y, s.u, s.v}, 100);
-        ein_halo = typhon::exchange_start(comm, sub.cell_schedule, {s.ein}, 150);
+                                   {s.x, s.y, s.u, s.v}, 100, packing);
+        ein_halo = typhon::exchange_start(comm, sub.cell_schedule, {s.ein},
+                                          150, packing);
     }
     hydro::getq(ctx, s, interior);
     hydro::getforce(ctx, s, interior);
@@ -162,6 +195,17 @@ void overlap_step(const hydro::Context& ctx, hydro::State& s, Real dt,
     rebuild_ghost_state(ctx, s, sub);
     snapshot(ctx, s);
 
+    // The predictor consumes dt from here on: finish the reduce, then
+    // apply the t_end clamp to the *used* dt only (the unclamped value
+    // stays the growth reference for the next step).
+    Real dt_global = dt_local;
+    if (reduce) {
+        const util::ScopedTimer timer(*ctx.profiler, util::Kernel::reduce);
+        dt_global = dt_reduce.wait();
+    }
+    const auto step_dt = hydro::clamp_to_t_end(t, dt_global, t_end);
+
+    const Real dt = step_dt.used;
     const Real half_dt = Real(0.5) * dt;
 
     // --- predictor boundary finish + whole-range remainder ------------------
@@ -180,9 +224,10 @@ void overlap_step(const hydro::Context& ctx, hydro::State& s, Real dt,
     hydro::getforce(ctx, s, boundary);
     typhon::PendingExchange corner_halo;
     {
+        static_assert(part::Subdomain::corner_exchange_fields == 2);
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
-        corner_halo =
-            typhon::exchange_start(comm, sub.corner_schedule, {s.fx, s.fy}, 200);
+        corner_halo = typhon::exchange_start(comm, sub.corner_schedule,
+                                             {s.fx, s.fy}, 200, packing);
     }
     hydro::getq(ctx, s, interior);
     hydro::getforce(ctx, s, interior);
@@ -197,6 +242,7 @@ void overlap_step(const hydro::Context& ctx, hydro::State& s, Real dt,
     hydro::getrho(ctx, s);
     hydro::getein(ctx, s, s.ubar, s.vbar, dt);
     hydro::getpc(ctx, s);
+    return step_dt;
 }
 
 } // namespace
@@ -206,6 +252,13 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
            const std::vector<Real>& u, const std::vector<Real>& v,
            const Options& opts) {
     util::require(opts.n_ranks >= 1, "dist::run: n_ranks must be >= 1");
+    // The distributed driver has no remap: running an ALE/Eulerian deck
+    // here would silently produce pure-Lagrangian physics. Fail loudly
+    // until distributed remap lands.
+    util::require(opts.ale.mode == ale::Mode::lagrange,
+                  "dist::run: only Lagrangian decks are supported (deck "
+                  "requests an ALE/Eulerian remap, which the distributed "
+                  "driver does not implement yet)");
     util::require(rho.size() == static_cast<std::size_t>(global.n_cells()) &&
                       ein.size() == rho.size(),
                   "dist::run: cell field size mismatch");
@@ -229,7 +282,7 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
     std::vector<int> steps_per_rank(static_cast<std::size_t>(opts.n_ranks), 0);
     std::vector<Real> t_per_rank(static_cast<std::size_t>(opts.n_ranks), 0.0);
 
-    typhon::run(opts.n_ranks, [&](typhon::Comm& comm) {
+    result.traffic = typhon::run(opts.n_ranks, [&](typhon::Comm& comm) {
         const auto& sub = subs[static_cast<std::size_t>(comm.rank())];
         auto& profiler = profilers[static_cast<std::size_t>(comm.rank())];
 
@@ -254,24 +307,39 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
         ctx.dt_cells = sub.n_owned_cells; // dt over owned cells only
 
         Real t = 0.0;
-        Real dt = opts.hydro.dt_initial;
+        // Growth reference for getdt: always the *unclamped* controller
+        // value. Feeding a t_end-clamped dt back would growth-limit the
+        // next step from an arbitrarily tiny final step (the continuation
+        // bug fixed in core::Hydro::step_clamped — same pattern here).
+        Real dt_prev = opts.hydro.dt_initial;
         int steps = 0;
         while (t < opts.t_end * (Real(1.0) - eps) && steps < opts.max_steps) {
-            if (steps > 0) {
-                const auto local = hydro::getdt(ctx, s, dt);
-                const util::ScopedTimer timer(profiler, util::Kernel::reduce);
-                dt = comm.allreduce_min(local.dt);
-            }
-            if (t + dt > opts.t_end) dt = opts.t_end - t;
+            const Real dt_local =
+                steps > 0 ? hydro::getdt(ctx, s, dt_prev).dt
+                          : opts.hydro.dt_initial;
 
             if (opts.overlap) {
-                overlap_step(ctx, s, dt, comm, sub);
+                // The reduce is posted inside the step, concurrent with
+                // the pre-step state halo.
+                const auto step_dt =
+                    overlap_step(ctx, s, dt_local, steps > 0, t, opts.t_end,
+                                 comm, sub, opts.packing);
+                dt_prev = step_dt.unclamped;
+                t += step_dt.used;
             } else {
-                refresh_ghosts(ctx, s, comm, sub);
-                dist_lagstep(ctx, s, dt, comm, sub);
+                Real dt_global = dt_local;
+                if (steps > 0) {
+                    const util::ScopedTimer timer(profiler,
+                                                  util::Kernel::reduce);
+                    dt_global = comm.allreduce_min(dt_local);
+                }
+                const auto step_dt =
+                    hydro::clamp_to_t_end(t, dt_global, opts.t_end);
+                dt_prev = step_dt.unclamped;
+                refresh_ghosts(ctx, s, comm, sub, opts.packing);
+                dist_lagstep(ctx, s, step_dt.used, comm, sub, opts.packing);
+                t += step_dt.used;
             }
-
-            t += dt;
             ++steps;
         }
 

@@ -15,9 +15,11 @@
 #include <functional>
 #include <vector>
 
+#include "ale/remap.hpp"
 #include "hydro/kernels.hpp"
 #include "mesh/mesh.hpp"
 #include "part/partition.hpp"
+#include "typhon/typhon.hpp"
 #include "util/profiler.hpp"
 
 namespace bookleaf::dist {
@@ -35,12 +37,27 @@ struct Options {
     int max_steps = std::numeric_limits<int>::max();
     /// Overlap halo exchanges with interior kernels (the nonblocking
     /// typhon path): both per-step exchanges are posted early and interior
-    /// cells/nodes compute while the messages are in flight. false selects
-    /// the paper's blocking schedule as an ablation baseline. Contract:
-    /// the two schedules are bitwise identical at every rank count — the
-    /// ghost inputs are the same bytes, only the execution order of
-    /// per-item-independent kernels changes.
+    /// cells/nodes compute while the messages are in flight, and the
+    /// global dt min-reduction is posted nonblocking alongside the
+    /// pre-step state halo (it is finished before the predictor consumes
+    /// dt). false selects the paper's blocking schedule as an ablation
+    /// baseline. Contract: the two schedules are bitwise identical at
+    /// every rank count — the ghost inputs are the same bytes and the
+    /// rank-ordered reduction gives the same dt, only the execution order
+    /// of per-item-independent kernels changes.
     bool overlap = true;
+    /// Halo wire format (orthogonal to `overlap`): coalesced posts one
+    /// message per peer per exchange with the fields' slices back-to-back
+    /// in schedule order; per_field is the one-message-per-field ablation
+    /// baseline. The two land bitwise-identical ghost bytes, so every
+    /// (overlap, packing) combination produces bitwise-identical fields.
+    typhon::Packing packing = typhon::Packing::coalesced;
+    /// ALE/remap configuration carried over from the source deck. The
+    /// distributed driver is Lagrange-only (no distributed remap yet), so
+    /// run() *rejects* any non-Lagrangian mode with util::Error instead
+    /// of silently producing pure-Lagrangian results for an ALE/Eulerian
+    /// deck.
+    ale::Options ale;
 };
 
 /// Gathered (global-numbering) result of a distributed run.
@@ -51,6 +68,11 @@ struct Result {
     std::vector<Real> u, v;     ///< per global node
     /// Per-rank kernel timing snapshots (halo / reduce included).
     std::vector<std::array<util::KernelStats, util::kernel_count>> profiles;
+    /// Aggregate point-to-point traffic of the run (all ranks): what the
+    /// message-coalescing ablation counts. Deliberately *not* part of
+    /// bitwise_equal — coalesced and per-field packings move the same
+    /// field bytes in different message shapes.
+    typhon::Traffic traffic;
 };
 
 /// Partition, run Algorithm 1 to t_end on every rank, gather owned fields

@@ -106,6 +106,20 @@ struct DtResult {
 /// dt_max clamp. Throws util::Error if dt falls below opts.dt_min.
 DtResult getdt(const Context& ctx, const State& s, Real dt_prev);
 
+/// The t_end clamp, applied to the dt a step advances by. `unclamped`
+/// keeps the controller's value: it — never the clamped `used` — must
+/// seed the next getdt's growth limit, or a follow-on run after a tiny
+/// clamped final step is growth-limited from near zero. The single
+/// definition shared by the serial driver and both distributed schedules
+/// so the clamp semantics cannot drift between them.
+struct ClampedDt {
+    Real used = 0.0;
+    Real unclamped = 0.0;
+};
+[[nodiscard]] inline ClampedDt clamp_to_t_end(Real t, Real dt, Real t_end) {
+    return {t + dt > t_end ? t_end - t : dt, dt};
+}
+
 /// One full predictor-corrector Lagrangian step (Algorithm 1's LAGSTEP).
 void lagstep(const Context& ctx, State& s, Real dt);
 

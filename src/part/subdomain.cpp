@@ -8,6 +8,24 @@
 
 namespace bookleaf::part {
 
+Index Subdomain::n_sending_peers(const typhon::ExchangeSchedule& schedule) {
+    Index n = 0;
+    for (const auto& peer : schedule.peers)
+        if (!peer.send_items.empty()) ++n;
+    return n;
+}
+
+Index Subdomain::messages_per_step(typhon::Packing packing) const {
+    const Index node_peers = n_sending_peers(node_schedule);
+    const Index cell_peers = n_sending_peers(cell_schedule);
+    const Index corner_peers = n_sending_peers(corner_schedule);
+    if (packing == typhon::Packing::coalesced)
+        return node_peers + cell_peers + corner_peers;
+    return node_exchange_fields * node_peers +
+           cell_exchange_fields * cell_peers +
+           corner_exchange_fields * corner_peers;
+}
+
 std::vector<Subdomain> decompose(const mesh::Mesh& global,
                                  const std::vector<Index>& part, int n_parts) {
     const Index n_cells = global.n_cells();

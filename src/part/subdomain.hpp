@@ -46,6 +46,30 @@ struct Subdomain {
     // pre-acceleration exchange completes.
     std::vector<Index> boundary_cells, interior_cells;
     std::vector<Index> boundary_nodes, interior_nodes;
+
+    // --- schedule field-count metadata ------------------------------------
+    // How many fields each of the distributed driver's per-step exchanges
+    // carries — i.e. how many item slices a coalesced per-peer message
+    // packs back-to-back: node halo {x, y, u, v}, cell halo {ein}, corner
+    // halo {fx, fy}. The driver's exchange calls static_assert against
+    // these at the field lists themselves, and the coalescing ablation
+    // bench + DistPacking tests check the Hub's measured message counts
+    // against messages_per_step() at runtime, so the metadata cannot
+    // silently drift from the real wire format.
+    static constexpr int node_exchange_fields = 4;
+    static constexpr int cell_exchange_fields = 1;
+    static constexpr int corner_exchange_fields = 2;
+
+    /// Schedule entries that actually send (non-empty send_items) — the
+    /// messages one coalesced exchange posts from this rank.
+    [[nodiscard]] static Index n_sending_peers(
+        const typhon::ExchangeSchedule& schedule);
+
+    /// Point-to-point messages this rank posts per Lagrangian step:
+    /// coalesced packing posts one message per sending peer of each of
+    /// the three per-step exchanges; per-field packing multiplies each
+    /// exchange by its field count.
+    [[nodiscard]] Index messages_per_step(typhon::Packing packing) const;
 };
 
 /// Split the global mesh into n_parts subdomains. `part[c]` is the rank

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "util/error.hpp"
@@ -13,6 +14,8 @@ namespace detail {
 void Hub::send(int src, int dst, int tag, std::vector<Real> payload) {
     {
         const std::lock_guard lock(mutex_);
+        traffic_.messages += 1;
+        traffic_.reals += static_cast<long long>(payload.size());
         queues_[Channel{src, dst, tag}].push_back(std::move(payload));
     }
     cv_.notify_all();
@@ -31,12 +34,16 @@ std::vector<Real> Hub::recv(int src, int dst, int tag) {
     std::unique_lock lock(mutex_);
     const Channel k{src, dst, tag};
     cv_.wait(lock, [&] {
+        if (aborted_) return true;
         const auto it = queues_.find(k);
         return it != queues_.end() && !it->second.empty();
     });
-    auto& q = queues_[k];
-    std::vector<Real> out = std::move(q.front());
-    q.pop_front();
+    // Prefer delivering a message that did arrive even after an abort;
+    // only a wait that can never be satisfied turns into the error.
+    const auto it = queues_.find(k);
+    if (it == queues_.end() || it->second.empty()) throw AbortError();
+    std::vector<Real> out = std::move(it->second.front());
+    it->second.pop_front();
     return out;
 }
 
@@ -47,11 +54,27 @@ bool Hub::drained() {
     return true;
 }
 
-Real Collective::allreduce(int rank, Real value, Op op) {
+Traffic Hub::traffic() {
+    const std::lock_guard lock(mutex_);
+    return traffic_;
+}
+
+void Hub::abort() {
+    {
+        const std::lock_guard lock(mutex_);
+        aborted_ = true;
+    }
+    cv_.notify_all();
+}
+
+long Collective::post(int rank, Real value, Op op) {
     std::unique_lock lock(mutex_);
     values_[static_cast<std::size_t>(rank)] = value;
     const long gen = generation_;
     if (++arrived_ == n_ranks_) {
+        // Last arrival reduces in rank order — deterministic result for
+        // any arrival order (bitwise identity across schedules rests on
+        // this).
         Real r = values_[0];
         for (int i = 1; i < n_ranks_; ++i) {
             const Real v = values_[static_cast<std::size_t>(i)];
@@ -65,10 +88,35 @@ Real Collective::allreduce(int rank, Real value, Op op) {
         arrived_ = 0;
         ++generation_;
         cv_.notify_all();
-    } else {
-        cv_.wait(lock, [&] { return generation_ != gen; });
     }
+    return gen;
+}
+
+bool Collective::poll(long generation) {
+    const std::lock_guard lock(mutex_);
+    return generation_ != generation;
+}
+
+Real Collective::finish(long generation) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return aborted_ || generation_ != generation; });
+    if (generation_ == generation) throw AbortError();
+    // result_ still holds this generation's value: the next generation
+    // cannot complete before every rank of this one deposits again, which
+    // happens only after their finish().
     return result_;
+}
+
+void Collective::abort() {
+    {
+        const std::lock_guard lock(mutex_);
+        aborted_ = true;
+    }
+    cv_.notify_all();
+}
+
+Real Collective::allreduce(int rank, Real value, Op op) {
+    return finish(post(rank, value, op));
 }
 
 void Collective::barrier(int rank) { (void)allreduce(rank, 0.0, Op::sum); }
@@ -83,7 +131,8 @@ std::vector<Real> Collective::allgather(int rank, Real value) {
         ++generation_;
         cv_.notify_all();
     } else {
-        cv_.wait(lock, [&] { return generation_ != gen; });
+        cv_.wait(lock, [&] { return aborted_ || generation_ != gen; });
+        if (generation_ == gen) throw AbortError();
     }
     return gathered_;
 }
@@ -170,7 +219,27 @@ Request Comm::irecv(int src, int tag) {
     return Request(std::move(state));
 }
 
-void run(int n_ranks, const std::function<void(Comm&)>& rank_fn) {
+// ---------------------------------------------------------------------------
+// Nonblocking collectives
+// ---------------------------------------------------------------------------
+
+bool CollRequest::test() {
+    if (done_ || coll_ == nullptr) return true;
+    if (!coll_->poll(generation_)) return false;
+    value_ = coll_->finish(generation_); // completed: returns immediately
+    done_ = true;
+    return true;
+}
+
+Real CollRequest::wait() {
+    if (!done_ && coll_ != nullptr) {
+        value_ = coll_->finish(generation_);
+        done_ = true;
+    }
+    return value_;
+}
+
+Traffic run(int n_ranks, const std::function<void(Comm&)>& rank_fn) {
     util::require(n_ranks > 0, "typhon::run: n_ranks must be positive");
     detail::Hub hub(n_ranks);
     detail::Collective coll(n_ranks);
@@ -184,74 +253,129 @@ void run(int n_ranks, const std::function<void(Comm&)>& rank_fn) {
                 rank_fn(comm);
             } catch (...) {
                 errors[static_cast<std::size_t>(r)] = std::current_exception();
+                // Wake peers blocked on this rank's (now never-coming)
+                // traffic or rendezvous arrival, so the join below cannot
+                // hang; they unwind with AbortError, which is filtered
+                // out in favour of this original error.
+                hub.abort();
+                coll.abort();
             }
         });
     }
     for (auto& t : threads) t.join();
+    // Rethrow the original failure, never a secondary AbortError a peer
+    // picked up while being unblocked (those only exist because some
+    // rank died first).
+    const auto is_abort = [](const std::exception_ptr& e) {
+        try {
+            std::rethrow_exception(e);
+        } catch (const detail::AbortError&) {
+            return true;
+        } catch (...) {
+            return false;
+        }
+    };
+    for (const auto& e : errors)
+        if (e && !is_abort(e)) std::rethrow_exception(e);
     for (const auto& e : errors)
         if (e) std::rethrow_exception(e);
     // Every clean run must leave the post office empty: a stranded
     // message means a posted send was never matched by a receive (an
     // asymmetric exchange schedule, a skipped irecv) — make that loud
-    // rather than silently dropping ghost data. Skipped when a rank
-    // threw: its peers legitimately abandon traffic mid-flight.
+    // rather than silently dropping ghost data. Only reached when no
+    // rank threw (a failing rank's peers abort their traffic mid-flight).
     util::require(hub.drained(),
                   "typhon::run: undelivered messages left in channels "
                   "(send posted that no receive matched)");
+    return hub.traffic();
 }
 
 // ---------------------------------------------------------------------------
 // Ghost exchanges
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Loud enforcement of the documented one-entry-per-peer precondition:
+/// sends and receives match per (peer, tag) channel, so a duplicate
+/// entry with data on the same side would either strand a message the
+/// remote's single receive never matches or make finish()'s polling
+/// nondeterministically cross two payloads.
+void require_unique_peer(std::vector<int>& seen_peers, int rank,
+                         const char* side) {
+    for (const int seen : seen_peers)
+        if (seen == rank)
+            throw util::Error(std::string("typhon::exchange_start: two ") +
+                              side +
+                              " entries for the same peer in one schedule");
+    seen_peers.push_back(rank);
+}
+
+} // namespace
+
 PendingExchange exchange_start(Comm& comm, const ExchangeSchedule& schedule,
                                std::initializer_list<std::span<Real>> fields,
-                               int base_tag) {
+                               int base_tag, Packing packing) {
     PendingExchange pending;
-    pending.slots_.reserve(fields.size() * schedule.peers.size());
-    std::vector<Real> pack;
-    int tag = base_tag;
-    for (const auto field : fields) {
-        // Post all sends first (buffered), then the receives: deadlock-free
-        // for any peering topology. Empty schedule sides post nothing at
-        // all — a schedule may hold separate send-only and recv-only
-        // entries for the same peer (the partitioner builds them that
-        // way), and skipping the empties keeps each (peer, tag) channel
-        // down to at most one in-flight message per exchange, so a pending
-        // receive can never pop a message meant for another slot.
+    if (fields.size() == 0) return pending;
+
+    if (packing == Packing::coalesced) {
+        // One message per peer: every field's send_items slice packed
+        // back-to-back (field-major) into a single buffer on base_tag.
+        // Post all sends first (buffered), then the receives:
+        // deadlock-free for any peering topology. Empty schedule sides
+        // post nothing at all — a schedule may hold separate send-only
+        // and recv-only entries for the same peer (the partitioner builds
+        // them that way), and skipping the empties keeps each (peer, tag)
+        // channel down to at most one in-flight message per exchange, so
+        // a pending receive can never pop a message meant for another
+        // slot.
+        pending.slots_.reserve(schedule.peers.size());
         std::vector<int> sending_peers;
         for (const auto& peer : schedule.peers) {
             if (peer.send_items.empty()) continue;
-            // Same one-message-per-(peer, tag)-channel rule as on the
-            // receive side below: a duplicate sending entry would post a
-            // second message the remote's single receive never matches,
-            // and the stale extra would be mis-popped by the *next*
-            // exchange reusing this tag.
-            for (const int seen : sending_peers)
-                util::require(seen != peer.rank,
-                              "typhon::exchange_start: two sending entries "
-                              "for the same peer in one schedule");
-            sending_peers.push_back(peer.rank);
-            pack.clear();
-            pack.reserve(peer.send_items.size());
-            for (const Index i : peer.send_items)
-                pack.push_back(field[static_cast<std::size_t>(i)]);
-            comm.send(peer.rank, tag, pack);
+            require_unique_peer(sending_peers, peer.rank, "sending");
+            // Pack straight into the vector the transport will own: the
+            // move overload of send avoids a second full-payload copy.
+            std::vector<Real> pack;
+            pack.reserve(fields.size() * peer.send_items.size());
+            for (const auto field : fields)
+                for (const Index i : peer.send_items)
+                    pack.push_back(field[static_cast<std::size_t>(i)]);
+            comm.send(peer.rank, base_tag, std::move(pack));
         }
         std::vector<int> receiving_peers;
         for (const auto& peer : schedule.peers) {
             if (peer.recv_items.empty()) continue;
-            // Loud enforcement of the documented precondition: receives
-            // match per (peer, tag) channel, so a second receiving entry
-            // for the same peer within one field would make finish()'s
-            // polling nondeterministically cross the two payloads.
-            for (const int seen : receiving_peers)
-                util::require(seen != peer.rank,
-                              "typhon::exchange_start: two receiving entries "
-                              "for the same peer in one schedule");
-            receiving_peers.push_back(peer.rank);
+            require_unique_peer(receiving_peers, peer.rank, "receiving");
+            pending.slots_.push_back({comm.irecv(peer.rank, base_tag),
+                                      &peer.recv_items,
+                                      {fields.begin(), fields.end()}});
+        }
+        return pending;
+    }
+
+    // Packing::per_field (ablation baseline): one message per field per
+    // peer on consecutive tags. Same posting discipline as above.
+    pending.slots_.reserve(fields.size() * schedule.peers.size());
+    int tag = base_tag;
+    for (const auto field : fields) {
+        std::vector<int> sending_peers;
+        for (const auto& peer : schedule.peers) {
+            if (peer.send_items.empty()) continue;
+            require_unique_peer(sending_peers, peer.rank, "sending");
+            std::vector<Real> pack;
+            pack.reserve(peer.send_items.size());
+            for (const Index i : peer.send_items)
+                pack.push_back(field[static_cast<std::size_t>(i)]);
+            comm.send(peer.rank, tag, std::move(pack));
+        }
+        std::vector<int> receiving_peers;
+        for (const auto& peer : schedule.peers) {
+            if (peer.recv_items.empty()) continue;
+            require_unique_peer(receiving_peers, peer.rank, "receiving");
             pending.slots_.push_back(
-                {comm.irecv(peer.rank, tag), &peer.recv_items, field});
+                {comm.irecv(peer.rank, tag), &peer.recv_items, {field}});
         }
         ++tag;
     }
@@ -295,12 +419,19 @@ void PendingExchange::finish() {
                 auto& slot = slots_[i];
                 if (unpacked[i] || !slot.request.test()) continue;
                 const auto& data = slot.request.data();
+                const std::size_t n = slot.recv_items->size();
                 util::require(
-                    data.size() == slot.recv_items->size(),
+                    data.size() == slot.fields.size() * n,
                     "typhon::exchange: schedule mismatch between peers");
-                for (std::size_t j = 0; j < data.size(); ++j)
-                    slot.field[static_cast<std::size_t>((*slot.recv_items)[j])] =
-                        data[j];
+                // Dispatch the payload's field-major slices back to the
+                // bound fields (one slice in per-field packing).
+                std::size_t offset = 0;
+                for (const auto field : slot.fields) {
+                    for (std::size_t j = 0; j < n; ++j)
+                        field[static_cast<std::size_t>((*slot.recv_items)[j])] =
+                            data[offset + j];
+                    offset += n;
+                }
                 unpacked[i] = 1;
                 --remaining;
                 progressed = true;
@@ -331,8 +462,9 @@ void exchange(Comm& comm, const ExchangeSchedule& schedule,
 }
 
 void exchange_all(Comm& comm, const ExchangeSchedule& schedule,
-                  std::initializer_list<std::span<Real>> fields, int base_tag) {
-    auto pending = exchange_start(comm, schedule, fields, base_tag);
+                  std::initializer_list<std::span<Real>> fields, int base_tag,
+                  Packing packing) {
+    auto pending = exchange_start(comm, schedule, fields, base_tag, packing);
     pending.finish();
 }
 

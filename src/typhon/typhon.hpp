@@ -20,6 +20,15 @@
 /// caller. On top of the requests, `exchange_start`/`PendingExchange::finish`
 /// split a ghost exchange into a post phase and a completion phase so the
 /// distributed driver can overlap interior kernels with in-flight halos.
+///
+/// A multi-field exchange *coalesces* by default: one contiguous buffer per
+/// peer per exchange, the fields' item slices laid out back-to-back in
+/// schedule order, so the per-exchange message count is the peer count
+/// rather than fields x peers (the latency-bound regime of small strong-
+/// scaled subdomains). The one-message-per-field layout is retained as
+/// `Packing::per_field` for ablation. Collectives gain a nonblocking form:
+/// `Comm::iallreduce_min` returns a `CollRequest` that can be finished
+/// later, letting the dt reduction fly concurrently with a halo exchange.
 
 #include <condition_variable>
 #include <cstddef>
@@ -32,9 +41,18 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/error.hpp"
 #include "util/types.hpp"
 
 namespace bookleaf::typhon {
+
+/// Aggregate point-to-point traffic moved through a transport over one
+/// `typhon::run` (every posted send counts once; `reals` is the summed
+/// payload length). What the message-coalescing ablation measures.
+struct Traffic {
+    long messages = 0;
+    long long reals = 0;
+};
 
 // ---------------------------------------------------------------------------
 // Transport — the pluggable point-to-point backend.
@@ -83,6 +101,16 @@ public:
     /// schedule) — silent data loss that should fail loudly instead.
     [[nodiscard]] bool drained();
 
+    /// Cumulative traffic since construction (all ranks, all channels).
+    [[nodiscard]] Traffic traffic();
+
+    /// Wake every blocked recv and make it (and all future blocking
+    /// recvs) throw AbortError once no message is available. Called by
+    /// typhon::run when a rank dies with an exception: its peers may be
+    /// blocked on traffic that will never arrive, and the join must not
+    /// hang — the original rank error, not the abort, is what surfaces.
+    void abort();
+
 private:
     /// Channel identity. A struct key (not packed bits): the previous
     /// bit-packed uint64 shifted a 32-bit-cast dst into the src field for
@@ -111,6 +139,8 @@ private:
     std::condition_variable cv_;
     std::unordered_map<Channel, std::deque<std::vector<Real>>, ChannelHash>
         queues_;
+    Traffic traffic_;
+    bool aborted_ = false;
 };
 
 /// Generation-counted rendezvous for collectives.
@@ -127,6 +157,25 @@ public:
     /// order (an allgather).
     std::vector<Real> allgather(int rank, Real value);
 
+    /// Nonblocking deposit half of an allreduce: contributes `value` and
+    /// returns the generation token to pass to poll/finish. Each rank may
+    /// have at most one collective outstanding (posting a second one —
+    /// including any blocking collective or barrier — before finishing
+    /// the first would fold both deposits into one generation).
+    [[nodiscard]] long post(int rank, Real value, Op op);
+    /// True once the posted generation has completed (all ranks arrived).
+    [[nodiscard]] bool poll(long generation);
+    /// Block until the posted generation completes; returns the result.
+    /// Safe to call after completion: the result slot cannot be
+    /// overwritten before every rank of the generation has finished,
+    /// because the next generation needs all of their deposits.
+    [[nodiscard]] Real finish(long generation);
+
+    /// Wake every rank blocked in finish() and make incomplete waits
+    /// throw AbortError (see Hub::abort — a dead rank never arrives at
+    /// the rendezvous, and the join must not hang on it).
+    void abort();
+
 private:
     int n_ranks_;
     std::mutex mutex_;
@@ -136,6 +185,15 @@ private:
     Real result_ = 0.0;
     int arrived_ = 0;
     long generation_ = 0;
+    bool aborted_ = false;
+};
+
+/// Thrown out of blocking waits after a peer rank died (Hub::abort /
+/// Collective::abort). typhon::run recognises it so the *original* rank
+/// failure is what gets rethrown, never the secondary unblocking errors.
+struct AbortError final : util::Error {
+    AbortError()
+        : util::Error("typhon: aborted — a peer rank failed mid-run") {}
 };
 
 } // namespace detail
@@ -190,6 +248,32 @@ private:
 /// they match the channel's FIFO in that order.
 void wait_all(std::span<Request> requests);
 
+/// Handle for an in-flight nonblocking collective (MPI_Iallreduce
+/// analogue). Obtained from `Comm::iallreduce_min`; `wait()` blocks until
+/// every rank has contributed and returns the reduced value, `test()`
+/// polls without blocking. A default-constructed CollRequest is null:
+/// complete, value 0. While a CollRequest is outstanding its rank must
+/// not enter any other collective (reduce/gather/barrier) — the
+/// rendezvous would fold the two operations into one generation.
+class CollRequest {
+public:
+    CollRequest() = default;
+
+    /// Nonblocking completion check.
+    [[nodiscard]] bool test();
+    /// Block until all ranks arrive; returns the reduced value. Idempotent.
+    Real wait();
+
+private:
+    friend class Comm;
+    CollRequest(detail::Collective* coll, long generation)
+        : coll_(coll), generation_(generation) {}
+    detail::Collective* coll_ = nullptr;
+    long generation_ = 0;
+    bool done_ = false;
+    Real value_ = 0.0;
+};
+
 /// Per-rank communicator handle (the Typhon context). Point-to-point
 /// traffic goes through the backend-agnostic Transport; collectives use
 /// the in-process rendezvous.
@@ -206,6 +290,13 @@ public:
         transport_->send(rank_, dst, tag,
                          std::vector<Real>(data.begin(), data.end()));
     }
+    /// Move overload: hands an already-materialised payload straight to
+    /// the transport (which takes the vector by value), skipping the span
+    /// path's extra copy. The exchange hot path packs per-peer buffers
+    /// and sends them through here.
+    void send(int dst, int tag, std::vector<Real>&& data) {
+        transport_->send(rank_, dst, tag, std::move(data));
+    }
     /// Blocking matched receive.
     [[nodiscard]] std::vector<Real> recv(int src, int tag) {
         return transport_->recv(src, rank_, tag);
@@ -214,6 +305,11 @@ public:
     /// Nonblocking send: posts the (buffered) send and returns a Request
     /// that is already complete.
     Request isend(int dst, int tag, std::span<const Real> data);
+    /// Move overload, as for send().
+    Request isend(int dst, int tag, std::vector<Real>&& data) {
+        transport_->send(rank_, dst, tag, std::move(data));
+        return Request();
+    }
     /// Nonblocking receive: returns a Request that completes (via test or
     /// wait) when a message arrives on (src -> this rank, tag).
     [[nodiscard]] Request irecv(int src, int tag);
@@ -221,6 +317,14 @@ public:
     void barrier() { coll_->barrier(rank_); }
     [[nodiscard]] Real allreduce_min(Real v) {
         return coll_->allreduce(rank_, v, detail::Collective::Op::min);
+    }
+    /// Nonblocking min-reduction: contributes `v` immediately and returns
+    /// a waitable request, so independent work (e.g. a halo exchange) can
+    /// run while the other ranks arrive. At most one collective may be
+    /// outstanding per rank (see CollRequest).
+    [[nodiscard]] CollRequest iallreduce_min(Real v) {
+        return CollRequest(coll_,
+                           coll_->post(rank_, v, detail::Collective::Op::min));
     }
     [[nodiscard]] Real allreduce_max(Real v) {
         return coll_->allreduce(rank_, v, detail::Collective::Op::max);
@@ -239,12 +343,29 @@ private:
 };
 
 /// Launch `n_ranks` rank threads running `rank_fn(comm)`; joins all and
-/// rethrows the first rank exception (after all threads finish).
-void run(int n_ranks, const std::function<void(Comm&)>& rank_fn);
+/// rethrows the first rank exception (after all threads finish). A rank
+/// that dies with an exception aborts the Hub and the Collective, so
+/// peers blocked on its traffic or at a rendezvous wake with
+/// detail::AbortError instead of hanging the join — the *original* rank
+/// error is what gets rethrown. Returns the aggregate point-to-point
+/// traffic of the run (what the coalescing ablation counts).
+Traffic run(int n_ranks, const std::function<void(Comm&)>& rank_fn);
 
 // ---------------------------------------------------------------------------
 // Ghost (halo) exchange schedules — the "quant" layer of Typhon.
 // ---------------------------------------------------------------------------
+
+/// Wire layout of a multi-field exchange.
+///
+/// * `coalesced` (default): one message per peer per exchange. The buffer
+///   holds each field's send_items slice back-to-back in schedule order
+///   (field-major), and the matching receive dispatches the slices into
+///   the bound fields. Message count: peers-with-data, independent of the
+///   field count. Uses only `base_tag`.
+/// * `per_field`: the historical layout — one message per field per peer
+///   on consecutive tags from base_tag. Kept as the coalescing ablation
+///   baseline; lands bitwise-identical bytes in every field.
+enum class Packing { coalesced, per_field };
 
 /// For one peer rank: which local items to pack and send, and which local
 /// (ghost) items to fill from the matching receive. Schedules on the two
@@ -300,31 +421,42 @@ public:
 private:
     friend PendingExchange
     exchange_start(Comm& comm, const ExchangeSchedule& schedule,
-                   std::initializer_list<std::span<Real>> fields, int base_tag);
+                   std::initializer_list<std::span<Real>> fields, int base_tag,
+                   Packing packing);
+    /// One pending receive and the fields its payload unpacks into: the
+    /// coalesced layout binds every exchanged field to the peer's single
+    /// message (payload = fields.size() * recv_items->size() Reals,
+    /// field-major); the per-field layout binds exactly one.
     struct Slot {
         Request request;
         const std::vector<Index>* recv_items = nullptr;
-        std::span<Real> field;
+        std::vector<std::span<Real>> fields;
     };
     std::vector<Slot> slots_;
 };
 
-/// Start exchanging several fields with consecutive tags from base_tag:
-/// pack each peer's send_items, post all sends and receives, and return
-/// the pending completion. Interior work can run between start and finish
-/// while the messages are in flight.
+/// Start exchanging several fields: pack each peer's send_items (one
+/// coalesced buffer per peer by default, or one message per field per
+/// peer with Packing::per_field — see Packing for the wire formats), post
+/// all sends and receives, and return the pending completion. Interior
+/// work can run between start and finish while the messages are in
+/// flight. Tag usage: coalesced consumes base_tag only; per_field
+/// consumes base_tag .. base_tag + n_fields - 1.
 [[nodiscard]] PendingExchange
 exchange_start(Comm& comm, const ExchangeSchedule& schedule,
-               std::initializer_list<std::span<Real>> fields, int base_tag);
+               std::initializer_list<std::span<Real>> fields, int base_tag,
+               Packing packing = Packing::coalesced);
 
 /// Exchange one field: pack send_items, post all sends, then receive and
-/// unpack recv_items. Tags partition the field space so multiple fields
-/// can be exchanged back to back.
+/// unpack recv_items. (With one field the two packings are the same wire
+/// format.) Tags partition the field space so multiple exchanges can run
+/// back to back.
 void exchange(Comm& comm, const ExchangeSchedule& schedule,
               std::span<Real> field, int tag);
 
-/// Exchange several fields with consecutive tags starting at base_tag.
+/// Blocking multi-field exchange: exchange_start + finish.
 void exchange_all(Comm& comm, const ExchangeSchedule& schedule,
-                  std::initializer_list<std::span<Real>> fields, int base_tag);
+                  std::initializer_list<std::span<Real>> fields, int base_tag,
+                  Packing packing = Packing::coalesced);
 
 } // namespace bookleaf::typhon

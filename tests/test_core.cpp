@@ -278,6 +278,57 @@ TEST(Driver, RunStopsExactlyAtTEnd) {
     EXPECT_NEAR(summary.t_final, 0.05, 1e-12);
 }
 
+TEST(Driver, ContinuationRunIsNotGrowthPoisonedByTEndClamp) {
+    // Regression: step_clamped used to store the t_end-clamped dt as the
+    // growth reference, so run(t1) ending in a tiny clamped step left a
+    // follow-on run(t2) growth-limited from that tiny dt (1.02x per step
+    // from near zero). The clamp must apply to the step only.
+    // A probe finds a natural (unclamped) step time, then t1 is placed
+    // just past it to force an ~1e-7 final clamped step.
+    bc::Hydro probe(bs::sod(32, 2));
+    while (probe.time() < 0.03) probe.step();
+    const Real t1 = probe.time() + 1e-7;
+    const Real dt_natural = probe.step().dt; // next unclamped controller dt
+
+    bc::Hydro cont(bs::sod(32, 2));
+    cont.run(t1);
+    EXPECT_NEAR(cont.time(), t1, 1e-12);
+    const auto resumed = cont.step();
+    // With the bug the resumed dt is <= 1.02 * 1e-7; fixed, it recovers
+    // to the controller's natural value immediately.
+    EXPECT_GT(resumed.dt, 100.0 * 1e-7);
+    EXPECT_GT(resumed.dt, 0.5 * dt_natural);
+}
+
+TEST(Driver, ContinuationMatchesSingleRunStepForStep) {
+    // When t1 lands exactly on a natural step boundary, run(t1); run(t2)
+    // must reproduce a single run(t2) bit for bit: same step count, same
+    // times, same fields — the intermediate stop is unobservable.
+    bc::Hydro probe(bs::sod(32, 2));
+    while (probe.time() < 0.02) probe.step();
+    const Real t1 = probe.time();
+
+    bc::Hydro split(bs::sod(32, 2));
+    split.run(t1);
+    split.run(0.05);
+
+    bc::Hydro single(bs::sod(32, 2));
+    single.run(0.05);
+
+    ASSERT_EQ(split.steps(), single.steps());
+    EXPECT_EQ(split.time(), single.time());
+    const auto& a = split.state();
+    const auto& b = single.state();
+    for (std::size_t c = 0; c < a.rho.size(); ++c) {
+        EXPECT_EQ(a.rho[c], b.rho[c]) << "cell " << c;
+        EXPECT_EQ(a.ein[c], b.ein[c]) << "cell " << c;
+    }
+    for (std::size_t n = 0; n < a.u.size(); ++n) {
+        EXPECT_EQ(a.u[n], b.u[n]) << "node " << n;
+        EXPECT_EQ(a.v[n], b.v[n]) << "node " << n;
+    }
+}
+
 TEST(Driver, ProfilerCoversAllLagrangianKernels) {
     bc::Hydro h(bs::sod(32, 2));
     h.run(std::nullopt, 10);

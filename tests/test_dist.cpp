@@ -7,7 +7,9 @@
 #include "dist/distributed.hpp"
 #include "mesh/generator.hpp"
 #include "part/partition.hpp"
+#include "part/subdomain.hpp"
 #include "setup/problems.hpp"
+#include "util/error.hpp"
 
 namespace bd = bookleaf::dist;
 namespace bh = bookleaf::hydro;
@@ -157,15 +159,19 @@ TEST(Distributed, ProfilerSeesHaloAndReduce) {
 
 namespace {
 
+namespace bt = bookleaf::typhon;
+
 bd::Result run_mode(const bm::Mesh& mesh, const be::MaterialTable& materials,
                     const std::vector<Real>& rho, const std::vector<Real>& ein,
                     const std::vector<Real>& u, const std::vector<Real>& v,
-                    int n_ranks, Real t_end, bool overlap) {
+                    int n_ranks, Real t_end, bool overlap,
+                    bt::Packing packing = bt::Packing::coalesced) {
     bd::Options opts;
     opts.n_ranks = n_ranks;
     opts.t_end = t_end;
     opts.hydro.dt_initial = 1e-4;
     opts.overlap = overlap;
+    opts.packing = packing;
     return bd::run(mesh, materials, rho, ein, u, v, opts);
 }
 
@@ -244,4 +250,119 @@ TEST(DistOverlap, HaloProfileStillPopulated) {
                       .calls,
                   0);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced per-peer halo packing (Packing ablation + message counts)
+// ---------------------------------------------------------------------------
+
+TEST(DistPacking, CoalescedEqualsPerFieldEqualsBlockingOnSod) {
+    // The full matrix at every rank count: the wire format and the
+    // schedule are orthogonal knobs, and all four combinations must land
+    // bitwise-identical fields.
+    const auto p = sod_like(48, 4);
+    for (const int n_ranks : {1, 2, 4}) {
+        const auto label = "sod " + std::to_string(n_ranks) + " ranks";
+        const auto coalesced =
+            run_mode(p.mesh, p.materials, p.rho, p.ein, p.u, p.v, n_ranks,
+                     0.04, true, bt::Packing::coalesced);
+        const auto per_field =
+            run_mode(p.mesh, p.materials, p.rho, p.ein, p.u, p.v, n_ranks,
+                     0.04, true, bt::Packing::per_field);
+        const auto blocking_coalesced =
+            run_mode(p.mesh, p.materials, p.rho, p.ein, p.u, p.v, n_ranks,
+                     0.04, false, bt::Packing::coalesced);
+        const auto blocking_per_field =
+            run_mode(p.mesh, p.materials, p.rho, p.ein, p.u, p.v, n_ranks,
+                     0.04, false, bt::Packing::per_field);
+        expect_bitwise_equal(coalesced, per_field, label + " (per-field)");
+        expect_bitwise_equal(coalesced, blocking_coalesced,
+                             label + " (blocking)");
+        expect_bitwise_equal(coalesced, blocking_per_field,
+                             label + " (blocking per-field)");
+    }
+}
+
+TEST(DistPacking, CoalescedEqualsPerFieldEqualsBlockingOnNoh) {
+    auto p = bookleaf::setup::noh(20);
+    for (const int n_ranks : {1, 2, 4}) {
+        const auto label = "noh " + std::to_string(n_ranks) + " ranks";
+        const auto coalesced = run_mode(p.mesh, p.materials, p.rho, p.ein,
+                                        p.u, p.v, n_ranks, 0.05, true,
+                                        bt::Packing::coalesced);
+        const auto per_field = run_mode(p.mesh, p.materials, p.rho, p.ein,
+                                        p.u, p.v, n_ranks, 0.05, true,
+                                        bt::Packing::per_field);
+        const auto blocking = run_mode(p.mesh, p.materials, p.rho, p.ein,
+                                       p.u, p.v, n_ranks, 0.05, false,
+                                       bt::Packing::coalesced);
+        expect_bitwise_equal(coalesced, per_field, label + " (per-field)");
+        expect_bitwise_equal(coalesced, blocking, label + " (blocking)");
+    }
+}
+
+TEST(DistPacking, MessageCountIsPeersNotFieldsTimesPeers) {
+    // The tentpole's accounting: with coalescing the per-step message
+    // count collapses from fields x peers to peers on every exchange.
+    // Subdomain::messages_per_step is the single written-down statement
+    // of that wire format; the Hub's traffic counter must agree exactly.
+    const auto p = sod_like(40, 4);
+    const int n_ranks = 4;
+    const auto part = bp::rcb(p.mesh, n_ranks);
+    const auto subs = bp::decompose(p.mesh, part, n_ranks);
+    for (const auto packing :
+         {bt::Packing::coalesced, bt::Packing::per_field}) {
+        long per_step = 0;
+        for (const auto& sub : subs) per_step += sub.messages_per_step(packing);
+        for (const bool overlap : {true, false}) {
+            const auto r = run_mode(p.mesh, p.materials, p.rho, p.ein, p.u,
+                                    p.v, n_ranks, 0.02, overlap, packing);
+            ASSERT_GT(r.steps, 0);
+            EXPECT_EQ(r.traffic.messages,
+                      static_cast<long>(r.steps) * per_step)
+                << (packing == bt::Packing::coalesced ? "coalesced"
+                                                      : "per_field")
+                << (overlap ? " overlap" : " blocking");
+        }
+    }
+    // And coalescing strictly reduces messages while moving the same
+    // payload (ghost reals are identical bytes in both formats).
+    const auto coalesced = run_mode(p.mesh, p.materials, p.rho, p.ein, p.u,
+                                    p.v, n_ranks, 0.02, true,
+                                    bt::Packing::coalesced);
+    const auto per_field = run_mode(p.mesh, p.materials, p.rho, p.ein, p.u,
+                                    p.v, n_ranks, 0.02, true,
+                                    bt::Packing::per_field);
+    EXPECT_LT(coalesced.traffic.messages, per_field.traffic.messages);
+    EXPECT_EQ(coalesced.traffic.reals, per_field.traffic.reals);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed driver rejects what it cannot run
+// ---------------------------------------------------------------------------
+
+TEST(DistAle, NonLagrangianDeckIsRejectedLoudly) {
+    // Regression: an ALE/Eulerian deck (e.g. data/sod_eulerian.in) run
+    // distributed used to silently produce pure-Lagrangian results. The
+    // driver has no distributed remap, so it must refuse instead.
+    const auto p = sod_like(16, 2);
+    for (const auto mode :
+         {bookleaf::ale::Mode::eulerian, bookleaf::ale::Mode::ale}) {
+        bd::Options opts;
+        opts.n_ranks = 2;
+        opts.t_end = 0.01;
+        opts.hydro.dt_initial = 1e-4;
+        opts.ale.mode = mode;
+        EXPECT_THROW(
+            (void)bd::run(p.mesh, p.materials, p.rho, p.ein, p.u, p.v, opts),
+            bookleaf::util::Error);
+    }
+    // Lagrangian decks (the default) still run.
+    bd::Options opts;
+    opts.n_ranks = 2;
+    opts.t_end = 0.01;
+    opts.hydro.dt_initial = 1e-4;
+    opts.ale.mode = bookleaf::ale::Mode::lagrange;
+    const auto r = bd::run(p.mesh, p.materials, p.rho, p.ein, p.u, p.v, opts);
+    EXPECT_GT(r.steps, 0);
 }

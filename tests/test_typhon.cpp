@@ -27,14 +27,61 @@ TEST(Typhon, RunLaunchesAllRanks) {
 }
 
 TEST(Typhon, RankExceptionPropagates) {
-    // (Other ranks must not block on a collective here: a dead rank never
-    // arrives — matching MPI semantics where that would hang.)
     EXPECT_THROW(bt::run(3,
                          [](bt::Comm& comm) {
                              if (comm.rank() == 1)
                                  throw bu::Error("rank 1 failed");
                          }),
                  bu::Error);
+}
+
+TEST(Typhon, RankFailureUnblocksPeersWaitingOnCollective) {
+    // A dead rank never arrives at the rendezvous. The failure must
+    // abort the collective so the peers wake and the join completes —
+    // and the rethrown error must be the *original* rank failure, not
+    // the secondary abort the peers unwound with.
+    try {
+        bt::run(3, [](bt::Comm& comm) {
+            if (comm.rank() == 1) throw bu::Error("rank 1 failed");
+            (void)comm.allreduce_min(static_cast<Real>(comm.rank()));
+        });
+        FAIL() << "expected the rank error to propagate";
+    } catch (const bu::Error& e) {
+        EXPECT_NE(std::string(e.what()).find("rank 1 failed"),
+                  std::string::npos)
+            << "got: " << e.what();
+    }
+}
+
+TEST(Typhon, RankFailureUnblocksPeersWaitingOnRecv) {
+    try {
+        bt::run(2, [](bt::Comm& comm) {
+            if (comm.rank() == 0) throw bu::Error("rank 0 failed");
+            (void)comm.recv(0, 7); // message that will never be sent
+        });
+        FAIL() << "expected the rank error to propagate";
+    } catch (const bu::Error& e) {
+        EXPECT_NE(std::string(e.what()).find("rank 0 failed"),
+                  std::string::npos)
+            << "got: " << e.what();
+    }
+}
+
+TEST(Typhon, RankFailureUnblocksPeersWaitingOnCollRequest) {
+    // The dt-overlap pattern: a peer dies while this rank holds an
+    // outstanding iallreduce. wait() must not hang.
+    try {
+        bt::run(3, [](bt::Comm& comm) {
+            if (comm.rank() == 2) throw bu::Error("rank 2 failed");
+            auto req = comm.iallreduce_min(1.0);
+            (void)req.wait();
+        });
+        FAIL() << "expected the rank error to propagate";
+    } catch (const bu::Error& e) {
+        EXPECT_NE(std::string(e.what()).find("rank 2 failed"),
+                  std::string::npos)
+            << "got: " << e.what();
+    }
 }
 
 TEST(Typhon, PointToPointRoundTrip) {
@@ -395,6 +442,273 @@ TEST(TyphonRequest, WaitAllBlocksOnEarliestSameChannelRequest) {
                 EXPECT_DOUBLE_EQ(reqs[static_cast<std::size_t>(i)].data()[0],
                                  static_cast<Real>(i))
                     << "payload misdelivered to request " << i;
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced packing: one buffer per peer per exchange
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// 4-rank ring schedule: send own slot 0 to both neighbours, receive
+/// their slot 0 into ghosts 1 (left) and 2 (right).
+bt::ExchangeSchedule ring_schedule(int rank) {
+    const int left = (rank + 3) % 4;
+    const int right = (rank + 1) % 4;
+    bt::ExchangeSchedule::Peer a, b;
+    a.rank = left;
+    a.send_items = {0};
+    a.recv_items = {1};
+    b.rank = right;
+    b.send_items = {0};
+    b.recv_items = {2};
+    bt::ExchangeSchedule sched;
+    sched.peers = left <= right ? std::vector{a, b} : std::vector{b, a};
+    return sched;
+}
+
+} // namespace
+
+TEST(TyphonCoalesced, MatchesPerFieldBitwiseOnRingExchange) {
+    bt::run(4, [](bt::Comm& comm) {
+        const int r = comm.rank();
+        const auto sched = ring_schedule(r);
+        // Three fields with distinct per-rank values; exchange under both
+        // wire formats and require bitwise-identical results.
+        std::vector<std::vector<Real>> coalesced, per_field;
+        for (int f = 0; f < 3; ++f) {
+            coalesced.push_back({static_cast<Real>(r * 10 + f), -1.0, -1.0});
+            per_field.push_back(coalesced.back());
+        }
+        bt::exchange_all(comm, sched,
+                         {std::span<Real>(coalesced[0]),
+                          std::span<Real>(coalesced[1]),
+                          std::span<Real>(coalesced[2])},
+                         300, bt::Packing::coalesced);
+        bt::exchange_all(comm, sched,
+                         {std::span<Real>(per_field[0]),
+                          std::span<Real>(per_field[1]),
+                          std::span<Real>(per_field[2])},
+                         310, bt::Packing::per_field);
+        for (int f = 0; f < 3; ++f)
+            for (int i = 0; i < 3; ++i)
+                EXPECT_EQ(coalesced[static_cast<std::size_t>(f)]
+                                   [static_cast<std::size_t>(i)],
+                          per_field[static_cast<std::size_t>(f)]
+                                   [static_cast<std::size_t>(i)])
+                    << "field " << f << " slot " << i;
+        // Ghost values are the neighbours' slot-0 values in every field.
+        const int left = (r + 3) % 4;
+        const int right = (r + 1) % 4;
+        for (int f = 0; f < 3; ++f) {
+            EXPECT_DOUBLE_EQ(coalesced[static_cast<std::size_t>(f)][1],
+                             static_cast<Real>(left * 10 + f));
+            EXPECT_DOUBLE_EQ(coalesced[static_cast<std::size_t>(f)][2],
+                             static_cast<Real>(right * 10 + f));
+        }
+    });
+}
+
+TEST(TyphonCoalesced, OneMessagePerPeerRegardlessOfFieldCount) {
+    // 2 ranks, 3 fields each way. Per-field: 3 messages per rank;
+    // coalesced: 1 per rank, 3x the payload.
+    for (const auto packing :
+         {bt::Packing::coalesced, bt::Packing::per_field}) {
+        const auto traffic = bt::run(2, [packing](bt::Comm& comm) {
+            const int r = comm.rank();
+            std::vector<Real> f1 = {static_cast<Real>(r + 1), 0.0};
+            std::vector<Real> f2 = {static_cast<Real>((r + 1) * 10), 0.0};
+            std::vector<Real> f3 = {static_cast<Real>((r + 1) * 100), 0.0};
+            bt::ExchangeSchedule sched;
+            bt::ExchangeSchedule::Peer p;
+            p.rank = 1 - r;
+            p.send_items = {0};
+            p.recv_items = {1};
+            sched.peers = {p};
+            bt::exchange_all(comm, sched,
+                             {std::span<Real>(f1), std::span<Real>(f2),
+                              std::span<Real>(f3)},
+                             20, packing);
+            EXPECT_DOUBLE_EQ(f1[1], static_cast<Real>(2 - r));
+            EXPECT_DOUBLE_EQ(f2[1], static_cast<Real>((2 - r) * 10));
+            EXPECT_DOUBLE_EQ(f3[1], static_cast<Real>((2 - r) * 100));
+        });
+        const long expected =
+            packing == bt::Packing::coalesced ? 2 : 2 * 3;
+        EXPECT_EQ(traffic.messages, expected);
+        // Same total payload either way: 3 Reals per rank.
+        EXPECT_EQ(traffic.reals, 6);
+    }
+}
+
+TEST(TyphonCoalesced, SendOnlyAndRecvOnlyEntriesCoalesce) {
+    // One-directional peering with asymmetric schedule entries (the shape
+    // part::decompose builds): rank 0 holds a send-only entry, rank 1 the
+    // matching recv-only entry. Two fields -> exactly one message of four
+    // Reals.
+    const auto traffic = bt::run(2, [](bt::Comm& comm) {
+        std::vector<Real> f1 = {1.5, 2.5, -1.0, -1.0};
+        std::vector<Real> f2 = {3.5, 4.5, -1.0, -1.0};
+        if (comm.rank() == 0) {
+            for (auto& v : f1) v += 10.0;
+            for (auto& v : f2) v += 10.0;
+        }
+        bt::ExchangeSchedule sched;
+        bt::ExchangeSchedule::Peer p;
+        p.rank = 1 - comm.rank();
+        if (comm.rank() == 0)
+            p.send_items = {0, 1};
+        else
+            p.recv_items = {2, 3};
+        sched.peers = {p};
+        auto pending = bt::exchange_start(
+            comm, sched, {std::span<Real>(f1), std::span<Real>(f2)}, 30,
+            bt::Packing::coalesced);
+        pending.finish();
+        if (comm.rank() == 1) {
+            EXPECT_DOUBLE_EQ(f1[2], 11.5);
+            EXPECT_DOUBLE_EQ(f1[3], 12.5);
+            EXPECT_DOUBLE_EQ(f2[2], 13.5);
+            EXPECT_DOUBLE_EQ(f2[3], 14.5);
+        }
+    });
+    EXPECT_EQ(traffic.messages, 1);
+    EXPECT_EQ(traffic.reals, 4);
+}
+
+TEST(TyphonCoalesced, EmptySchedulesAndEmptyFieldListsPostNothing) {
+    const auto traffic = bt::run(2, [](bt::Comm& comm) {
+        std::vector<Real> f = {1.0, 2.0};
+        const bt::ExchangeSchedule empty;
+        bt::exchange_all(comm, empty, {std::span<Real>(f)}, 40,
+                         bt::Packing::coalesced);
+        bt::exchange_all(comm, empty, {std::span<Real>(f)}, 41,
+                         bt::Packing::per_field);
+        // Non-empty schedule, zero fields: nothing to move either.
+        bt::ExchangeSchedule::Peer p;
+        p.rank = 1 - comm.rank();
+        p.send_items = {0};
+        p.recv_items = {1};
+        bt::ExchangeSchedule sched;
+        sched.peers = {p};
+        auto pending = bt::exchange_start(comm, sched, {}, 42);
+        EXPECT_TRUE(pending.finished());
+        pending.finish();
+        EXPECT_DOUBLE_EQ(f[0], 1.0);
+        EXPECT_DOUBLE_EQ(f[1], 2.0);
+    });
+    EXPECT_EQ(traffic.messages, 0);
+}
+
+TEST(TyphonCoalesced, SingleFieldIsSameWireFormatInBothPackings) {
+    // With one field the two packings must both send exactly one message
+    // per sending peer with the same payload.
+    for (const auto packing :
+         {bt::Packing::coalesced, bt::Packing::per_field}) {
+        const auto traffic = bt::run(2, [packing](bt::Comm& comm) {
+            const int r = comm.rank();
+            std::vector<Real> f = {static_cast<Real>(r + 1), 0.0};
+            bt::ExchangeSchedule sched;
+            bt::ExchangeSchedule::Peer p;
+            p.rank = 1 - r;
+            p.send_items = {0};
+            p.recv_items = {1};
+            sched.peers = {p};
+            bt::exchange_all(comm, sched, {std::span<Real>(f)}, 50, packing);
+            EXPECT_DOUBLE_EQ(f[1], static_cast<Real>(2 - r));
+        });
+        EXPECT_EQ(traffic.messages, 2);
+        EXPECT_EQ(traffic.reals, 2);
+    }
+}
+
+TEST(TyphonCoalesced, MismatchedScheduleThrowsWithFieldCount) {
+    // Coalesced length check is fields x recv_items: a peer disagreement
+    // on the item count still fails loudly.
+    EXPECT_THROW(
+        bt::run(2,
+                [](bt::Comm& comm) {
+                    std::vector<Real> f1 = {1.0, 2.0, 3.0};
+                    std::vector<Real> f2 = {4.0, 5.0, 6.0};
+                    bt::ExchangeSchedule sched;
+                    bt::ExchangeSchedule::Peer p;
+                    p.rank = 1 - comm.rank();
+                    p.send_items = {0};
+                    p.recv_items = comm.rank() == 0
+                                       ? std::vector<Index>{1, 2}
+                                       : std::vector<Index>{1};
+                    sched.peers = {p};
+                    bt::exchange_all(comm, sched,
+                                     {std::span<Real>(f1), std::span<Real>(f2)},
+                                     55, bt::Packing::coalesced);
+                }),
+        bu::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking collective: iallreduce_min
+// ---------------------------------------------------------------------------
+
+TEST(TyphonCollective, NullCollRequestIsComplete) {
+    bt::CollRequest req;
+    EXPECT_TRUE(req.test());
+    EXPECT_DOUBLE_EQ(req.wait(), 0.0);
+}
+
+TEST(TyphonCollective, IallreduceMinMatchesBlockingAllreduce) {
+    bt::run(5, [](bt::Comm& comm) {
+        for (int round = 0; round < 50; ++round) {
+            const Real v = static_cast<Real>((comm.rank() * 7 + round * 3) %
+                                             11);
+            auto req = comm.iallreduce_min(v);
+            const Real got = req.wait();
+            // Blocking reference on the same inputs the next generation.
+            const Real ref = comm.allreduce_min(v);
+            EXPECT_EQ(got, ref) << "round " << round;
+            // wait() is idempotent.
+            EXPECT_EQ(req.wait(), got);
+            EXPECT_TRUE(req.test());
+        }
+    });
+}
+
+TEST(TyphonCollective, TestPollsToCompletionWithoutBlocking) {
+    bt::run(3, [](bt::Comm& comm) {
+        if (comm.rank() != 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        auto req = comm.iallreduce_min(static_cast<Real>(comm.rank() + 1));
+        while (!req.test()) std::this_thread::yield();
+        EXPECT_DOUBLE_EQ(req.wait(), 1.0);
+    });
+}
+
+TEST(TyphonCollective, IallreduceMinCorrectUnderConcurrentHaloTraffic) {
+    // The dt-reduce overlap pattern: post the reduce, run a ghost
+    // exchange while the collective is in flight, then finish the reduce.
+    // The reduce must see exactly the posted contributions, never the
+    // halo payloads, for many consecutive rounds.
+    bt::run(4, [](bt::Comm& comm) {
+        const int r = comm.rank();
+        const auto sched = ring_schedule(r);
+        std::vector<Real> field = {0.0, -1.0, -1.0};
+        for (int round = 0; round < 30; ++round) {
+            const Real contribution = static_cast<Real>(r + round);
+            field[0] = static_cast<Real>(r * 1000 + round);
+            auto reduce = comm.iallreduce_min(contribution);
+            auto halo = bt::exchange_start(comm, sched, {field}, 400,
+                                           bt::Packing::coalesced);
+            halo.finish();
+            const Real got = reduce.wait();
+            EXPECT_DOUBLE_EQ(got, static_cast<Real>(round)) << "round "
+                                                            << round;
+            const int left = (r + 3) % 4;
+            const int right = (r + 1) % 4;
+            EXPECT_DOUBLE_EQ(field[1],
+                             static_cast<Real>(left * 1000 + round));
+            EXPECT_DOUBLE_EQ(field[2],
+                             static_cast<Real>(right * 1000 + round));
         }
     });
 }
