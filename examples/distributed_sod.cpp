@@ -10,16 +10,21 @@
 ///
 ///   ./distributed_sod [--ranks 4] [--nx 100] [--partitioner rcb|multilevel]
 ///                     [--overlap on|off] [--packing coalesced|perfield]
-///                     [--dump fields.csv] [--tol 1e-8]
+///                     [--mode lagrange|eulerian|ale] [--dump fields.csv]
+///                     [--tol 1e-8]
 ///
 /// Exits nonzero if the distributed result drifts from the serial
 /// reference by more than --tol, or if the other schedule (overlap vs
 /// blocking) or the other halo wire format (coalesced vs per-field)
 /// disagrees bitwise — which makes it a self-checking smoke test for CI.
+/// With --mode eulerian the run exercises the distributed remap (the
+/// sod_eulerian.in configuration) and additionally cross-checks the
+/// gathered fields bitwise against a serial core::Hydro run.
 
 #include <cmath>
 #include <cstdio>
 
+#include "core/driver.hpp"
 #include "dist/distributed.hpp"
 #include "io/csv.hpp"
 #include "part/partition.hpp"
@@ -35,9 +40,22 @@ int main(int argc, char** argv) {
     const auto partitioner = cli.get("partitioner", "rcb");
     const auto overlap_arg = cli.get("overlap", "on");
     const auto packing_arg = cli.get("packing", "coalesced");
+    const auto mode_arg = cli.get("mode", "lagrange");
     const Real tol = cli.get_real("tol", 1e-8);
 
-    const auto problem = setup::sod(nx, 4);
+    auto problem = setup::sod(nx, 4);
+    if (mode_arg == "eulerian") {
+        problem.ale.mode = ale::Mode::eulerian;
+    } else if (mode_arg == "ale") {
+        problem.ale.mode = ale::Mode::ale;
+        problem.ale.frequency = 3;
+    } else if (mode_arg != "lagrange") {
+        std::fprintf(stderr,
+                     "distributed_sod: unknown --mode '%s' (expected "
+                     "lagrange, eulerian or ale)\n",
+                     mode_arg.c_str());
+        return 2;
+    }
 
     dist::Options opts;
     opts.n_ranks = ranks;
@@ -56,10 +74,11 @@ int main(int argc, char** argv) {
     const auto part = opts.partitioner ? opts.partitioner(problem.mesh, ranks)
                                        : part::rcb(problem.mesh, ranks);
     const auto quality = part::quality(problem.mesh, part, ranks);
-    std::printf("Sod %dx4 on %d ranks (%s, overlap %s, packing %s): edge cut "
-                "%d, imbalance %.3f\n",
-                nx, ranks, partitioner.c_str(), opts.overlap ? "on" : "off",
-                packing_arg.c_str(), quality.edge_cut, quality.imbalance);
+    std::printf("Sod %dx4 (%s) on %d ranks (%s, overlap %s, packing %s): "
+                "edge cut %d, imbalance %.3f\n",
+                nx, mode_arg.c_str(), ranks, partitioner.c_str(),
+                opts.overlap ? "on" : "off", packing_arg.c_str(),
+                quality.edge_cut, quality.imbalance);
 
     const auto distributed = dist::run(problem.mesh, problem.materials,
                                        problem.rho, problem.ein, problem.u,
@@ -116,6 +135,25 @@ int main(int argc, char** argv) {
                     prof[static_cast<std::size_t>(util::Kernel::reduce)].calls);
     }
 
+    // Remap decks: the gathered fields must be bitwise the serial
+    // core::Hydro run (the distributed-remap contract).
+    bool bitwise_serial = true;
+    if (problem.ale.mode != ale::Mode::lagrange) {
+        auto serial_problem = setup::sod(nx, 4);
+        serial_problem.ale = opts.ale;
+        core::Hydro h(std::move(serial_problem));
+        h.run(opts.t_end);
+        bitwise_serial = h.steps() == distributed.steps &&
+                         h.state().rho == distributed.rho &&
+                         h.state().ein == distributed.ein &&
+                         h.state().u == distributed.u &&
+                         h.state().v == distributed.v &&
+                         h.state().x == distributed.x &&
+                         h.state().y == distributed.y;
+        std::printf("distributed remap vs serial core::Hydro: %s\n",
+                    bitwise_serial ? "bitwise identical" : "MISMATCH");
+    }
+
     // Gathered-field dump (global numbering): lets CI diff rank counts.
     if (cli.has("dump")) {
         const auto path = cli.get("dump", "fields.csv");
@@ -128,6 +166,10 @@ int main(int argc, char** argv) {
             csv.row({2.0, static_cast<Real>(n), distributed.u[n]});
         for (std::size_t n = 0; n < distributed.v.size(); ++n)
             csv.row({3.0, static_cast<Real>(n), distributed.v[n]});
+        for (std::size_t n = 0; n < distributed.x.size(); ++n)
+            csv.row({4.0, static_cast<Real>(n), distributed.x[n]});
+        for (std::size_t n = 0; n < distributed.y.size(); ++n)
+            csv.row({5.0, static_cast<Real>(n), distributed.y[n]});
         std::printf("wrote %s\n", path.c_str());
     }
 
@@ -138,6 +180,11 @@ int main(int argc, char** argv) {
     if (!bitwise_packing) {
         std::fprintf(stderr,
                      "FAIL: coalesced and per-field packings disagree\n");
+        return 1;
+    }
+    if (!bitwise_serial) {
+        std::fprintf(stderr,
+                     "FAIL: distributed remap drifts from serial driver\n");
         return 1;
     }
     if (max_err > tol) {

@@ -14,8 +14,17 @@
 /// that change nodal masses. Nodal momentum rides the dual fluxes with
 /// first-order upwind velocities, making the momentum remap exactly
 /// conservative and dissipative.
+///
+/// The sweep is decomposed into phases (gradients -> fluxes -> cells ->
+/// dual -> nodes), each per-entity independent, with every cross-entity
+/// accumulation written as a *gather in ascending global order*: cells
+/// gather their own four faces, nodes gather their incident corners via
+/// ctx.corner_gather(). The distributed remap runs the same phases over
+/// subranges with ghost exchanges in between and lands bitwise-identical
+/// owned results; aleadvect() below is the full-mesh composition.
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "ale/remap.hpp"
@@ -27,13 +36,14 @@ namespace bookleaf::ale {
 namespace {
 
 /// Least-squares gradient of the cell field `q` over face neighbours with
-/// optional Barth-Jespersen limiting at the (old-geometry) face midpoints.
+/// optional Barth-Jespersen limiting at the (old-geometry) face midpoints,
+/// for cells [0, n_cells). Output arrays are sized for the whole mesh.
 void limited_gradients(const mesh::Mesh& mesh, const hydro::State& s,
                        const Workspace& w, const std::vector<Real>& q,
-                       bool limit, std::vector<Real>& gx, std::vector<Real>& gy) {
-    const Index n_cells = mesh.n_cells();
-    gx.assign(static_cast<std::size_t>(n_cells), 0.0);
-    gy.assign(static_cast<std::size_t>(n_cells), 0.0);
+                       bool limit, Index n_cells, std::vector<Real>& gx,
+                       std::vector<Real>& gy) {
+    gx.assign(static_cast<std::size_t>(mesh.n_cells()), 0.0);
+    gy.assign(static_cast<std::size_t>(mesh.n_cells()), 0.0);
 
     for (Index c = 0; c < n_cells; ++c) {
         const auto ci = static_cast<std::size_t>(c);
@@ -86,17 +96,50 @@ void limited_gradients(const mesh::Mesh& mesh, const hydro::State& s,
     }
 }
 
+/// Donor-cell flux of one face (mass + energy from the limited linear
+/// reconstruction). Writes only this face's mflux/eflux.
+inline void flux_face(const mesh::Mesh& mesh, const hydro::State& s,
+                      const Options& opts, Workspace& w, std::size_t fi) {
+    const Real fvol = w.fvol[fi];
+    if (std::abs(fvol) < tiny) return;
+    const auto& f = mesh.faces[fi];
+    if (f.right == no_index)
+        throw util::Error(
+            "aleadvect: boundary face swept volume (boundary node moved "
+            "off its wall; check alegetmesh constraints)");
+    const Index don = fvol > 0 ? f.left : f.right;
+    const auto di = static_cast<std::size_t>(don);
+    const auto li = static_cast<std::size_t>(f.left);
+    const auto ri = static_cast<std::size_t>(f.right);
+
+    const auto a = static_cast<std::size_t>(f.a);
+    const auto b = static_cast<std::size_t>(f.b);
+    const Real fx = Real(0.5) * (s.x[a] + s.x[b]);
+    const Real fy = Real(0.5) * (s.y[a] + s.y[b]);
+    const Real ddx = fx - w.cx[di];
+    const Real ddy = fy - w.cy[di];
+
+    Real rho_f = s.rho[di] + w.grad_rho_x[di] * ddx + w.grad_rho_y[di] * ddy;
+    Real e_f = s.ein[di] + w.grad_e_x[di] * ddx + w.grad_e_y[di] * ddy;
+    if (opts.limit) {
+        rho_f = std::clamp(rho_f, std::min(s.rho[li], s.rho[ri]),
+                           std::max(s.rho[li], s.rho[ri]));
+        e_f = std::clamp(e_f, std::min(s.ein[li], s.ein[ri]),
+                         std::max(s.ein[li], s.ein[ri]));
+    }
+    rho_f = std::max(rho_f, Real(0.0));
+
+    w.mflux[fi] = fvol * rho_f;
+    w.eflux[fi] = w.mflux[fi] * e_f;
+}
+
 } // namespace
 
-void aleadvect(const hydro::Context& ctx, hydro::State& s, const Options& opts,
-               Workspace& w) {
+void aleadvect_centroids(const hydro::Context& ctx, const hydro::State& s,
+                         Workspace& w) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
     const auto& mesh = *ctx.mesh;
     const Index n_cells = mesh.n_cells();
-    const Index n_nodes = mesh.n_nodes();
-    const auto n_faces = mesh.faces.size();
-
-    // --- old-geometry centroids ------------------------------------------
     w.cx.assign(static_cast<std::size_t>(n_cells), 0.0);
     w.cy.assign(static_cast<std::size_t>(n_cells), 0.0);
     for (Index c = 0; c < n_cells; ++c) {
@@ -109,79 +152,71 @@ void aleadvect(const hydro::Context& ctx, hydro::State& s, const Options& opts,
         w.cx[static_cast<std::size_t>(c)] = Real(0.25) * sx;
         w.cy[static_cast<std::size_t>(c)] = Real(0.25) * sy;
     }
+}
 
-    // --- limited gradients for rho and ein --------------------------------
-    limited_gradients(mesh, s, w, s.rho, opts.limit, w.grad_rho_x, w.grad_rho_y);
-    limited_gradients(mesh, s, w, s.ein, opts.limit, w.grad_e_x, w.grad_e_y);
+void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
+                         const Options& opts, Workspace& w, Index n_cells) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const auto& mesh = *ctx.mesh;
+    limited_gradients(mesh, s, w, s.rho, opts.limit, n_cells, w.grad_rho_x,
+                      w.grad_rho_y);
+    limited_gradients(mesh, s, w, s.ein, opts.limit, n_cells, w.grad_e_x,
+                      w.grad_e_y);
+}
 
-    // --- face mass / energy fluxes -----------------------------------------
-    w.mflux.assign(n_faces, 0.0);
-    w.eflux.assign(n_faces, 0.0);
-    for (std::size_t fi = 0; fi < n_faces; ++fi) {
-        const Real fvol = w.fvol[fi];
-        if (std::abs(fvol) < tiny) continue;
-        const auto& f = mesh.faces[fi];
-        if (f.right == no_index)
-            throw util::Error(
-                "aleadvect: boundary face swept volume (boundary node moved "
-                "off its wall; check alegetmesh constraints)");
-        const Index don = fvol > 0 ? f.left : f.right;
-        const auto di = static_cast<std::size_t>(don);
-        const auto li = static_cast<std::size_t>(f.left);
-        const auto ri = static_cast<std::size_t>(f.right);
+void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
+                      const Options& opts, Workspace& w) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const auto& mesh = *ctx.mesh;
+    w.mflux.assign(mesh.faces.size(), 0.0);
+    w.eflux.assign(mesh.faces.size(), 0.0);
+    for (std::size_t fi = 0; fi < mesh.faces.size(); ++fi)
+        flux_face(mesh, s, opts, w, fi);
+}
 
-        const auto a = static_cast<std::size_t>(f.a);
-        const auto b = static_cast<std::size_t>(f.b);
-        const Real fx = Real(0.5) * (s.x[a] + s.x[b]);
-        const Real fy = Real(0.5) * (s.y[a] + s.y[b]);
-        const Real ddx = fx - w.cx[di];
-        const Real ddy = fy - w.cy[di];
+void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
+                      const Options& opts, Workspace& w,
+                      std::span<const Index> faces) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const auto& mesh = *ctx.mesh;
+    w.mflux.assign(mesh.faces.size(), 0.0);
+    w.eflux.assign(mesh.faces.size(), 0.0);
+    for (const Index fi : faces)
+        flux_face(mesh, s, opts, w, static_cast<std::size_t>(fi));
+}
 
-        Real rho_f = s.rho[di] + w.grad_rho_x[di] * ddx + w.grad_rho_y[di] * ddy;
-        Real e_f = s.ein[di] + w.grad_e_x[di] * ddx + w.grad_e_y[di] * ddy;
-        if (opts.limit) {
-            rho_f = std::clamp(rho_f, std::min(s.rho[li], s.rho[ri]),
-                               std::max(s.rho[li], s.rho[ri]));
-            e_f = std::clamp(e_f, std::min(s.ein[li], s.ein[ri]),
-                             std::max(s.ein[li], s.ein[ri]));
-        }
-        rho_f = std::max(rho_f, Real(0.0));
-
-        w.mflux[fi] = fvol * rho_f;
-        w.eflux[fi] = w.mflux[fi] * e_f;
-    }
-
-    // --- cell mass / internal energy update --------------------------------
-    std::vector<Real> dm(static_cast<std::size_t>(n_cells), 0.0);
-    std::vector<Real> de(static_cast<std::size_t>(n_cells), 0.0);
-    for (std::size_t fi = 0; fi < n_faces; ++fi) {
-        const Real mf = w.mflux[fi];
-        const Real ef = w.eflux[fi];
-        if (mf == 0.0 && ef == 0.0) continue;
-        const auto& f = mesh.faces[fi];
-        dm[static_cast<std::size_t>(f.left)] -= mf;
-        dm[static_cast<std::size_t>(f.right)] += mf;
-        de[static_cast<std::size_t>(f.left)] -= ef;
-        de[static_cast<std::size_t>(f.right)] += ef;
-    }
+void aleadvect_cells(const hydro::Context& ctx, hydro::State& s, Workspace& w,
+                     Index n_cells) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const auto& mesh = *ctx.mesh;
     for (Index c = 0; c < n_cells; ++c) {
         const auto ci = static_cast<std::size_t>(c);
+        Real dm = 0.0, de = 0.0;
+        for (int k = 0; k < corners_per_cell; ++k) {
+            const auto fi = static_cast<std::size_t>(mesh.face_of(c, k));
+            const auto& f = mesh.faces[fi];
+            if (f.left == c) {
+                dm -= w.mflux[fi];
+                de -= w.eflux[fi];
+            } else {
+                dm += w.mflux[fi];
+                de += w.eflux[fi];
+            }
+        }
         const Real m_old = s.cell_mass[ci];
-        const Real m_new = m_old + dm[ci];
-        const Real e_total = m_old * s.ein[ci] + de[ci];
+        const Real m_new = m_old + dm;
+        const Real e_total = m_old * s.ein[ci] + de;
         s.cell_mass[ci] = m_new;
         s.ein[ci] = e_total / std::max(m_new, tiny);
     }
+}
 
-    // --- corner masses and nodal momentum ----------------------------------
-    w.pmx.assign(static_cast<std::size_t>(n_nodes), 0.0);
-    w.pmy.assign(static_cast<std::size_t>(n_nodes), 0.0);
-    for (Index n = 0; n < n_nodes; ++n) {
-        const auto ni = static_cast<std::size_t>(n);
-        w.pmx[ni] = s.node_mass[ni] * s.u[ni];
-        w.pmy[ni] = s.node_mass[ni] * s.v[ni];
-    }
-
+void aleadvect_dual(const hydro::Context& ctx, hydro::State& s, Workspace& w,
+                    Index n_cells) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const auto& mesh = *ctx.mesh;
+    w.dflux.assign(static_cast<std::size_t>(mesh.n_cells()) * corners_per_cell,
+                   0.0);
     long floored = 0;
     for (Index c = 0; c < n_cells; ++c) {
         // Signed outflow through each local face.
@@ -193,9 +228,8 @@ void aleadvect(const hydro::Context& ctx, hydro::State& s, const Options& opts,
             out[static_cast<std::size_t>(k)] = (f.left == c) ? mf : -mf;
         }
         // Median-dual fluxes d_k: corner k -> corner k+1.
-        std::array<Real, 4> d{};
         for (int k = 0; k < corners_per_cell; ++k)
-            d[static_cast<std::size_t>(k)] =
+            w.dflux[hydro::State::cidx(c, k)] =
                 Real(0.25) * (out[static_cast<std::size_t>((k + 1) % 4)] -
                               out[static_cast<std::size_t>((k + 3) % 4)]);
 
@@ -203,48 +237,112 @@ void aleadvect(const hydro::Context& ctx, hydro::State& s, const Options& opts,
             const auto ki = hydro::State::cidx(c, k);
             s.cnmass[ki] += -Real(0.5) * out[static_cast<std::size_t>(k)] -
                             Real(0.5) * out[static_cast<std::size_t>((k + 3) % 4)] -
-                            d[static_cast<std::size_t>(k)] +
-                            d[static_cast<std::size_t>((k + 3) % 4)];
+                            w.dflux[ki] +
+                            w.dflux[hydro::State::cidx(c, (k + 3) % 4)];
             if (s.cnmass[ki] < 0.0) {
                 s.cnmass[ki] = 0.0;
                 ++floored;
             }
         }
-
-        // Momentum rides the dual fluxes with upwind velocity.
-        for (int k = 0; k < corners_per_cell; ++k) {
-            const Real dk = d[static_cast<std::size_t>(k)];
-            if (dk == 0.0) continue;
-            const auto na = static_cast<std::size_t>(mesh.cn(c, k));
-            const auto nb = static_cast<std::size_t>(
-                mesh.cn(c, (k + 1) % corners_per_cell));
-            const auto don = dk > 0 ? na : nb;
-            w.pmx[na] -= dk * s.u[don];
-            w.pmx[nb] += dk * s.u[don];
-            w.pmy[na] -= dk * s.v[don];
-            w.pmy[nb] += dk * s.v[don];
-        }
     }
     if (floored > 0)
         util::log_warn("aleadvect: floored ", floored, " negative corner masses");
+}
 
-    // --- new nodal masses and velocities ------------------------------------
-    std::fill(s.node_mass.begin(), s.node_mass.end(), 0.0);
-    for (Index c = 0; c < n_cells; ++c)
-        for (int k = 0; k < corners_per_cell; ++k)
-            s.node_mass[static_cast<std::size_t>(mesh.cn(c, k))] +=
-                s.cnmass[hydro::State::cidx(c, k)];
-    for (Index n = 0; n < n_nodes; ++n) {
-        const auto ni = static_cast<std::size_t>(n);
-        if (s.node_mass[ni] > tiny) {
-            s.u[ni] = w.pmx[ni] / s.node_mass[ni];
-            s.v[ni] = w.pmy[ni] / s.node_mass[ni];
-        } else {
-            s.u[ni] = 0.0;
-            s.v[ni] = 0.0;
+namespace {
+
+/// The per-node dual-mesh remap gather. Accumulates into the workspace
+/// only (the upwind velocities must be read unmodified until every listed
+/// node is done): new nodal mass from the remapped corner masses, and the
+/// momentum transfers of the incident cells' dual fluxes, all in the
+/// corner-gather row order (ascending global corner id).
+inline void node_gather(const mesh::Mesh& mesh, const hydro::State& s,
+                        const util::Csr& corners, Workspace& w, Index n) {
+    const auto ni = static_cast<std::size_t>(n);
+    Real px = s.node_mass[ni] * s.u[ni];
+    Real py = s.node_mass[ni] * s.v[ni];
+    Real nm = 0.0;
+    for (const Index ck : corners.row(n)) {
+        const auto ki = static_cast<std::size_t>(ck);
+        nm += s.cnmass[ki];
+        const Index c = ck / corners_per_cell;
+        const int k = ck % corners_per_cell;
+        // This node is corner k of cell c. It sits on two dual faces:
+        // d_k (k -> k+1, this node donates/receives as corner k) and
+        // d_{k-1} (k-1 -> k, this node is the head).
+        const Real dk = w.dflux[ki];
+        if (dk != 0.0) {
+            const auto nb = static_cast<std::size_t>(
+                mesh.cn(c, (k + 1) % corners_per_cell));
+            const auto don = dk > 0 ? ni : nb;
+            px -= dk * s.u[don];
+            py -= dk * s.v[don];
+        }
+        const int km = (k + 3) % corners_per_cell;
+        const Real dm = w.dflux[hydro::State::cidx(c, km)];
+        if (dm != 0.0) {
+            const auto na = static_cast<std::size_t>(mesh.cn(c, km));
+            const auto don = dm > 0 ? na : ni;
+            px += dm * s.u[don];
+            py += dm * s.v[don];
         }
     }
+    w.pmx[ni] = px;
+    w.pmy[ni] = py;
+    w.nmass[ni] = nm;
+}
+
+inline void node_write(hydro::State& s, const Workspace& w, Index n) {
+    const auto ni = static_cast<std::size_t>(n);
+    s.node_mass[ni] = w.nmass[ni];
+    if (w.nmass[ni] > tiny) {
+        s.u[ni] = w.pmx[ni] / w.nmass[ni];
+        s.v[ni] = w.pmy[ni] / w.nmass[ni];
+    } else {
+        s.u[ni] = 0.0;
+        s.v[ni] = 0.0;
+    }
+}
+
+void nodes_resize(const mesh::Mesh& mesh, Workspace& w) {
+    const auto nn = static_cast<std::size_t>(mesh.n_nodes());
+    w.pmx.assign(nn, 0.0);
+    w.pmy.assign(nn, 0.0);
+    w.nmass.assign(nn, 0.0);
+}
+
+} // namespace
+
+void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const auto& mesh = *ctx.mesh;
+    const auto& corners = ctx.corner_gather();
+    nodes_resize(mesh, w);
+    for (Index n = 0; n < mesh.n_nodes(); ++n)
+        node_gather(mesh, s, corners, w, n);
+    for (Index n = 0; n < mesh.n_nodes(); ++n) node_write(s, w, n);
     hydro::apply_velocity_bc(mesh, ctx.opts, s.u, s.v);
+}
+
+void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w,
+                     std::span<const Index> nodes) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const auto& mesh = *ctx.mesh;
+    const auto& corners = ctx.corner_gather();
+    nodes_resize(mesh, w);
+    for (const Index n : nodes) node_gather(mesh, s, corners, w, n);
+    for (const Index n : nodes) node_write(s, w, n);
+    hydro::apply_velocity_bc(mesh, ctx.opts, s.u, s.v);
+}
+
+void aleadvect(const hydro::Context& ctx, hydro::State& s, const Options& opts,
+               Workspace& w) {
+    aleadvect_centroids(ctx, s, w);
+    aleadvect_gradients(ctx, s, opts, w, ctx.mesh->n_cells());
+    aleadvect_fluxes(ctx, s, opts, w);
+    aleadvect_cells(ctx, s, w, ctx.mesh->n_cells());
+    aleadvect_dual(ctx, s, w, ctx.mesh->n_cells());
+    aleadvect_nodes(ctx, s, w);
 }
 
 } // namespace bookleaf::ale

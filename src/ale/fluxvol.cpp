@@ -5,6 +5,13 @@
 ///   V_L(target) - V_L(old) = sum over L's faces of (-fvol)   [exact].
 /// The identity holds to round-off because both sides are shoelace sums,
 /// which is what keeps the remap volume-conservative.
+///
+/// Faces are independent, so the subrange overload (the distributed
+/// remap's owned-incident face list) is bitwise identical per face to
+/// the full sweep. The boundary no-sweep check applies only to faces in
+/// the evaluated set — which is the point of the subrange form: a ghost
+/// cell's far face is locally boundary but globally interior (phantom),
+/// and its nodes legitimately move.
 
 #include <cmath>
 
@@ -13,36 +20,52 @@
 
 namespace bookleaf::ale {
 
+namespace {
+
+inline void fvol_face(const mesh::Mesh& mesh, const hydro::State& s,
+                      Workspace& w, std::size_t fi) {
+    const auto& f = mesh.faces[fi];
+    const auto a = static_cast<std::size_t>(f.a);
+    const auto b = static_cast<std::size_t>(f.b);
+    // Shoelace of (a_old, b_old, b_new, a_new).
+    const Real x0 = s.x[a], y0 = s.y[a];
+    const Real x1 = s.x[b], y1 = s.y[b];
+    const Real x2 = w.xt[b], y2 = w.yt[b];
+    const Real x3 = w.xt[a], y3 = w.yt[a];
+    Real fvol = Real(0.5) * ((x0 * y1 - x1 * y0) + (x1 * y2 - x2 * y1) +
+                             (x2 * y3 - x3 * y2) + (x3 * y0 - x0 * y3));
+    if (f.right == no_index) {
+        // Boundary nodes slide along straight walls, so the swept area
+        // is zero up to round-off (products like x*y_wall cancel only
+        // to machine precision for walls away from coordinate zero).
+        // Snap the residue; anything larger means a node actually left
+        // its wall.
+        const Real len2 = (x1 - x0) * (x1 - x0) + (y1 - y0) * (y1 - y0);
+        util::require(std::abs(fvol) <= Real(1e-10) * (len2 + tiny),
+                      "alegetfvol: boundary face swept volume (node left "
+                      "its wall)");
+        fvol = 0.0;
+    }
+    w.fvol[fi] = fvol;
+}
+
+} // namespace
+
 void alegetfvol(const hydro::Context& ctx, const hydro::State& s, Workspace& w) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::alegetfvol);
     const auto& mesh = *ctx.mesh;
     w.fvol.assign(mesh.faces.size(), 0.0);
+    for (std::size_t fi = 0; fi < mesh.faces.size(); ++fi)
+        fvol_face(mesh, s, w, fi);
+}
 
-    for (std::size_t fi = 0; fi < mesh.faces.size(); ++fi) {
-        const auto& f = mesh.faces[fi];
-        const auto a = static_cast<std::size_t>(f.a);
-        const auto b = static_cast<std::size_t>(f.b);
-        // Shoelace of (a_old, b_old, b_new, a_new).
-        const Real x0 = s.x[a], y0 = s.y[a];
-        const Real x1 = s.x[b], y1 = s.y[b];
-        const Real x2 = w.xt[b], y2 = w.yt[b];
-        const Real x3 = w.xt[a], y3 = w.yt[a];
-        Real fvol = Real(0.5) * ((x0 * y1 - x1 * y0) + (x1 * y2 - x2 * y1) +
-                                 (x2 * y3 - x3 * y2) + (x3 * y0 - x0 * y3));
-        if (f.right == no_index) {
-            // Boundary nodes slide along straight walls, so the swept area
-            // is zero up to round-off (products like x*y_wall cancel only
-            // to machine precision for walls away from coordinate zero).
-            // Snap the residue; anything larger means a node actually left
-            // its wall.
-            const Real len2 = (x1 - x0) * (x1 - x0) + (y1 - y0) * (y1 - y0);
-            util::require(std::abs(fvol) <= Real(1e-10) * (len2 + tiny),
-                          "alegetfvol: boundary face swept volume (node left "
-                          "its wall)");
-            fvol = 0.0;
-        }
-        w.fvol[fi] = fvol;
-    }
+void alegetfvol(const hydro::Context& ctx, const hydro::State& s, Workspace& w,
+                std::span<const Index> faces) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::alegetfvol);
+    const auto& mesh = *ctx.mesh;
+    w.fvol.assign(mesh.faces.size(), 0.0);
+    for (const Index fi : faces)
+        fvol_face(mesh, s, w, static_cast<std::size_t>(fi));
 }
 
 } // namespace bookleaf::ale

@@ -6,10 +6,27 @@
 /// Leer / Barth-Jespersen [30]), first-order upwind in the dual-mesh
 /// momentum transport, exactly conservative in mass, internal energy and
 /// momentum.
+///
+/// Every kernel is *per-entity independent* given its inputs — cells,
+/// faces and nodes are each updated from read-only neighbour data — and
+/// every cross-entity reduction (the Jacobi smoothing average, the
+/// cell-flux gather, the dual-mesh corner/momentum gather) sums its
+/// contributions in ascending global-id order. That structure is what
+/// lets the distributed driver run the very same code over subdomain
+/// subranges and land bitwise-identical results on owned entities: the
+/// subrange + ghost-aware overloads below take an explicit entity set
+/// (the owned prefix, the owned-incident faces, the stencil-complete
+/// nodes), and dist::remap interleaves them with Typhon ghost exchanges
+/// that supply exactly the foreign inputs each phase reads (target node
+/// positions per smoothing pass, ghost-cell gradients before the face
+/// fluxes, ghost cell/corner results after the sweeps).
 
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "hydro/kernels.hpp"
+#include "util/csr.hpp"
 #include "util/types.hpp"
 
 namespace bookleaf::ale {
@@ -31,7 +48,9 @@ struct Options {
     bool limit = true;          ///< van Leer limiting (ablation switch)
 };
 
-/// Scratch arrays reused across remaps (sized on first use).
+/// Scratch arrays reused across remaps (sized on first use). One
+/// workspace serves one mesh: the cached node adjacency is keyed only on
+/// the node count.
 struct Workspace {
     std::vector<Real> xt, yt;       ///< target node positions
     std::vector<Real> fvol;         ///< per-face signed swept volume (left->right)
@@ -41,27 +60,112 @@ struct Workspace {
     std::vector<Real> grad_e_x, grad_e_y;
     std::vector<Real> cx, cy;       ///< cell centroids (old geometry)
     std::vector<Real> pmx, pmy;     ///< nodal momentum accumulator
+    std::vector<Real> nmass;        ///< remapped nodal masses (nodal sweep)
+    /// Median-dual flux per corner [cell*4 + k]: mass moved from corner k
+    /// to corner k+1 within the cell. Written by aleadvect_dual and read
+    /// by the nodal momentum gather — and, in distributed runs, exchanged
+    /// for ghost cells (their far faces leave the subdomain, so their
+    /// dual fluxes are not locally computable).
+    std::vector<Real> dflux;
+    /// Node -> edge-connected neighbours, each row ascending by node id
+    /// (built lazily from the mesh faces). Ascending order makes the
+    /// Jacobi average sum in global-id order on every rank: subdomain
+    /// node numbering is global-ascending, so local rows are the global
+    /// rows restricted — same contributions, same order, bitwise-equal
+    /// averages wherever the stencil is complete.
+    util::Csr node_adj;
+    std::vector<Real> next_x, next_y; ///< Jacobi pass scratch
 };
+
+/// Ghost-aware smoothing hook: refreshes non-owned entries of the target
+/// positions from their owning ranks. Invoked after every Jacobi pass and
+/// once after the displacement clamp (a fringe node's stencil is
+/// incomplete locally; its owner has the full stencil and computes the
+/// bitwise-serial value). Serial runs pass none.
+using TargetSync = std::function<void(std::vector<Real>&, std::vector<Real>&)>;
 
 /// Select the target mesh (smoothed or original). Honors boundary
 /// conditions: fix_u nodes slide only in y, fix_v only in x, piston and
 /// corner nodes stay put.
 void alegetmesh(const hydro::Context& ctx, const hydro::State& s,
                 const Options& opts, Workspace& w);
+/// Ghost-aware overload: `sync` refreshes non-owned target positions
+/// between Jacobi passes and after the clamp (ALE mode only — Eulerian
+/// and Lagrange targets are exact everywhere locally, so the hook is
+/// never called for them).
+void alegetmesh(const hydro::Context& ctx, const hydro::State& s,
+                const Options& opts, Workspace& w, const TargetSync& sync);
 
 /// Signed swept volume per face: positive moves volume from the face's
 /// left cell to its right cell. For boundary faces the target must equal
 /// the current position (boundary nodes never move) so the flux is zero.
 void alegetfvol(const hydro::Context& ctx, const hydro::State& s, Workspace& w);
+/// Subrange overload over an explicit face list (the distributed remap
+/// evaluates only faces incident to an owned cell; a ghost cell's far
+/// face is locally boundary but globally interior — *phantom* — and must
+/// not be checked against the boundary no-sweep contract). Unlisted
+/// faces get zero swept volume.
+void alegetfvol(const hydro::Context& ctx, const hydro::State& s, Workspace& w,
+                std::span<const Index> faces);
 
-/// Advect independent variables: cell mass and internal energy with
-/// limited linear reconstruction; corner masses via half-face and
-/// median-dual transfers; nodal momentum via upwind dual fluxes.
+// --- ALEADVECT phases -------------------------------------------------------
+// The advection sweep decomposed so the distributed driver can interleave
+// ghost exchanges; aleadvect() composes them over the full mesh. Cell
+// phases take an owned-cell *prefix* (subdomain numbering is owned-first;
+// the serial mesh is all-owned).
+
+/// Old-geometry centroids for every cell (ghosts included — they are
+/// donor candidates for owned faces).
+void aleadvect_centroids(const hydro::Context& ctx, const hydro::State& s,
+                         Workspace& w);
+
+/// Limited least-squares gradients of rho and ein for cells [0, n_cells).
+/// Needs complete face-neighbour data: in distributed runs only owned
+/// cells qualify, and ghost-cell gradients arrive by exchange before the
+/// fluxes read them.
+void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
+                         const Options& opts, Workspace& w, Index n_cells);
+
+/// Donor-cell mass/energy fluxes with limited reconstruction, all faces.
+void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
+                      const Options& opts, Workspace& w);
+/// Subrange overload (see alegetfvol). Unlisted faces get zero flux.
+void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
+                      const Options& opts, Workspace& w,
+                      std::span<const Index> faces);
+
+/// Cell mass / internal-energy update for cells [0, n_cells): each cell
+/// gathers the signed fluxes of its own four faces (ascending local face
+/// index — identical order on every rank).
+void aleadvect_cells(const hydro::Context& ctx, hydro::State& s, Workspace& w,
+                     Index n_cells);
+
+/// Corner-mass update and median-dual fluxes for cells [0, n_cells):
+/// writes w.dflux and the remapped cnmass.
+void aleadvect_dual(const hydro::Context& ctx, hydro::State& s, Workspace& w,
+                    Index n_cells);
+
+/// Dual-mesh nodal remap: gather the remapped corner masses and the
+/// upwind dual-flux momentum transfers at each node (rows from
+/// ctx.corner_gather(), i.e. ascending global corner order), then form
+/// the new nodal velocities and re-apply the kinematic BCs.
+void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w);
+/// Subrange overload: only the listed nodes are remapped (the distributed
+/// driver passes the stencil-complete set; fringe nodes are owned and
+/// computed elsewhere, and refreshed by the next pre-step halo).
+void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w,
+                     std::span<const Index> nodes);
+
+/// Advect independent variables: the full composition of the phases above
+/// over every cell, face and node.
 void aleadvect(const hydro::Context& ctx, hydro::State& s, const Options& opts,
                Workspace& w);
 
 /// Rebuild dependent variables on the target mesh: positions, geometry,
-/// density, velocity from momentum, EoS.
+/// density, velocity from momentum, EoS. Ghost-aware as-is: every input
+/// (target positions, remapped cell masses) is exact on all local cells
+/// once the distributed exchanges have run, so the full-range sweep is
+/// bitwise-serial everywhere.
 void aleupdate(const hydro::Context& ctx, hydro::State& s, Workspace& w);
 
 /// The full ALE step.

@@ -2,11 +2,14 @@
 /// Distributed (flat-MPI analogue) driver. Each typhon rank owns a
 /// subdomain and runs the Lagrangian predictor-corrector locally; ghost
 /// data is refreshed with the paper's two halo exchanges per step:
-///   1. before GETQ: node positions/velocities + ghost internal energy
-///      (the dependent thermodynamic state is rebuilt locally);
+///   1. before GETQ: node positions/velocities + ghost internal energy as
+///      one fused wire exchange (the dependent thermodynamic state is
+///      rebuilt locally);
 ///   2. before GETACC: ghost corner forces, so the nodal assembly at every
 ///      node of an owned cell is complete and exact.
-/// The timestep is the global min-reduction of the owned-cell dt.
+/// The timestep is the global min-reduction of the owned-cell dt. On
+/// remap-due steps of ALE/Eulerian decks, remap() below runs the
+/// ghost-aware ALE step after the corrector.
 ///
 /// Two schedules implement the step. The *blocking* schedule is the
 /// paper's: reduce, exchange, compute, exchange, compute. The *overlap*
@@ -24,6 +27,8 @@
 
 #include "dist/distributed.hpp"
 
+#include <array>
+#include <span>
 #include <string>
 
 #include "geom/geometry.hpp"
@@ -80,20 +85,37 @@ void rebuild_ghost_state(const hydro::Context& ctx, hydro::State& s,
 // Blocking schedule (ablation baseline, Options::overlap = false)
 // ---------------------------------------------------------------------------
 
+/// The fused pre-step state halo: node kinematics {x, y, u, v} and ghost
+/// internal energy {ein} as ONE wire exchange — where a peer appears in
+/// both schedules (the common case: a rank owning our ghost cells
+/// usually owns nodes of ours too) the coalesced packing ships a single
+/// message carrying both groups' slices, collapsing the per-step
+/// pre-exchange from two messages per peer to one.
+[[nodiscard]] typhon::PendingExchange
+start_state_halo(hydro::State& s, typhon::Comm& comm,
+                 const part::Subdomain& sub, typhon::Packing packing) {
+    // Field lists and the Subdomain wire-format metadata must change
+    // together (messages_per_step's accounting rests on them).
+    static_assert(part::Subdomain::node_exchange_fields == 4 &&
+                  part::Subdomain::cell_exchange_fields == 1);
+    const std::array<typhon::FieldGroup, 2> groups{
+        typhon::FieldGroup{&sub.node_schedule, {std::span<Real>(s.x),
+                                                std::span<Real>(s.y),
+                                                std::span<Real>(s.u),
+                                                std::span<Real>(s.v)}},
+        typhon::FieldGroup{&sub.cell_schedule, {std::span<Real>(s.ein)}}};
+    return typhon::exchange_start(comm, groups, 100, packing);
+}
+
 /// Pre-step halo: refresh ghost node kinematics and ghost internal energy,
 /// then rebuild the ghost dependent state.
 void refresh_ghosts(const hydro::Context& ctx, hydro::State& s,
                     typhon::Comm& comm, const part::Subdomain& sub,
                     typhon::Packing packing) {
     {
-        // Field lists and the Subdomain wire-format metadata must change
-        // together (messages_per_step's accounting rests on them).
-        static_assert(part::Subdomain::node_exchange_fields == 4 &&
-                      part::Subdomain::cell_exchange_fields == 1);
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
-        typhon::exchange_all(comm, sub.node_schedule, {s.x, s.y, s.u, s.v},
-                             100, packing);
-        typhon::exchange_all(comm, sub.cell_schedule, {s.ein}, 150, packing);
+        auto halo = start_state_halo(s, comm, sub, packing);
+        halo.finish();
     }
     rebuild_ghost_state(ctx, s, sub);
 }
@@ -172,25 +194,16 @@ hydro::ClampedDt overlap_step(const hydro::Context& ctx, hydro::State& s,
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::reduce);
         dt_reduce = comm.iallreduce_min(dt_local);
     }
-    typhon::PendingExchange state_halo, ein_halo;
+    typhon::PendingExchange state_halo;
     {
-        // Field lists and the Subdomain wire-format metadata must change
-        // together (messages_per_step's accounting rests on them).
-        static_assert(part::Subdomain::node_exchange_fields == 4 &&
-                      part::Subdomain::cell_exchange_fields == 1);
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
-        state_halo =
-            typhon::exchange_start(comm, sub.node_schedule,
-                                   {s.x, s.y, s.u, s.v}, 100, packing);
-        ein_halo = typhon::exchange_start(comm, sub.cell_schedule, {s.ein},
-                                          150, packing);
+        state_halo = start_state_halo(s, comm, sub, packing);
     }
     hydro::getq(ctx, s, interior);
     hydro::getforce(ctx, s, interior);
     {
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
         state_halo.finish();
-        ein_halo.finish();
     }
     rebuild_ghost_state(ctx, s, sub);
     snapshot(ctx, s);
@@ -247,18 +260,90 @@ hydro::ClampedDt overlap_step(const hydro::Context& ctx, hydro::State& s,
 
 } // namespace
 
+void remap(const hydro::Context& ctx, hydro::State& s, const ale::Options& ale,
+           ale::Workspace& w, typhon::Comm& comm, const part::Subdomain& sub,
+           typhon::Packing packing) {
+    // 1. Pre-remap state refresh: the corrector left ghost kinematics and
+    // energy stale (fringe assemblies are incomplete); the remap reads
+    // them everywhere, so run the same fused halo + ghost rebuild the
+    // next step would.
+    refresh_ghosts(ctx, s, comm, sub, packing);
+
+    // 2. Target mesh. ALE smoothing needs one node-position halo per
+    // Jacobi pass (and one after the clamp): a fringe node's local
+    // adjacency is incomplete, so its owner's value overwrites it before
+    // the next pass reads it. Eulerian targets are exact locally.
+    if (ale.mode == ale::Mode::ale) {
+        static_assert(part::Subdomain::remap_mesh_fields == 2);
+        ale::alegetmesh(ctx, s, ale, w,
+                        [&](std::vector<Real>& xt, std::vector<Real>& yt) {
+                            const util::ScopedTimer timer(*ctx.profiler,
+                                                          util::Kernel::halo);
+                            typhon::exchange_all(comm, sub.node_schedule,
+                                                 {xt, yt}, 300, packing);
+                        });
+    } else {
+        ale::alegetmesh(ctx, s, ale, w);
+    }
+
+    // 3. Swept volumes on the faces this rank remaps (owned-incident; a
+    // ghost cell's far face is phantom here and is never evaluated), then
+    // gradients for owned cells and the ghost-gradient exchange: limited
+    // reconstruction at a boundary cell reads its face-adjacent ghosts'
+    // gradients, which only their owner can compute with a full stencil.
+    ale::alegetfvol(ctx, s, w, sub.remap_faces);
+    ale::aleadvect_centroids(ctx, s, w);
+    ale::aleadvect_gradients(ctx, s, ale, w, sub.n_owned_cells);
+    {
+        static_assert(part::Subdomain::remap_grad_fields == 4);
+        const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
+        typhon::exchange_all(comm, sub.remap_cell_schedule,
+                             {w.grad_rho_x, w.grad_rho_y, w.grad_e_x,
+                              w.grad_e_y},
+                             320, packing);
+    }
+
+    // 4. Fluxes on the remap faces; cell and dual sweeps over owned cells.
+    ale::aleadvect_fluxes(ctx, s, ale, w, sub.remap_faces);
+    ale::aleadvect_cells(ctx, s, w, sub.n_owned_cells);
+    ale::aleadvect_dual(ctx, s, w, sub.n_owned_cells);
+
+    // 5. Fused result exchange: ghost cell results {cell_mass, ein} (the
+    // next steps' ghost rebuild divides cell_mass by volume) and ghost
+    // dual-mesh results {cnmass, dflux} — the acceleration assembly reads
+    // ghost corner masses every step, and the nodal remap below needs the
+    // dual fluxes of ghost cells, which their far faces make impossible
+    // to compute here.
+    {
+        static_assert(part::Subdomain::remap_cell_result_fields == 2 &&
+                      part::Subdomain::remap_dual_fields == 2);
+        const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
+        const std::array<typhon::FieldGroup, 2> groups{
+            typhon::FieldGroup{&sub.cell_schedule,
+                               {std::span<Real>(s.cell_mass),
+                                std::span<Real>(s.ein)}},
+            typhon::FieldGroup{&sub.remap_dual_schedule,
+                               {std::span<Real>(s.cnmass),
+                                std::span<Real>(w.dflux)}}};
+        typhon::exchange_all(comm, groups, 340, packing);
+    }
+
+    // 6. Nodal (dual-mesh) remap over the stencil-complete nodes, then
+    // move everything onto the target mesh and rebuild the dependent
+    // state — all inputs are exact on every local entity by now, so the
+    // full-range update is bitwise-serial even on ghosts.
+    ale::aleadvect_nodes(ctx, s, w, sub.remap_nodes);
+    ale::aleupdate(ctx, s, w);
+}
+
 Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
            const std::vector<Real>& rho, const std::vector<Real>& ein,
            const std::vector<Real>& u, const std::vector<Real>& v,
            const Options& opts) {
     util::require(opts.n_ranks >= 1, "dist::run: n_ranks must be >= 1");
-    // The distributed driver has no remap: running an ALE/Eulerian deck
-    // here would silently produce pure-Lagrangian physics. Fail loudly
-    // until distributed remap lands.
-    util::require(opts.ale.mode == ale::Mode::lagrange,
-                  "dist::run: only Lagrangian decks are supported (deck "
-                  "requests an ALE/Eulerian remap, which the distributed "
-                  "driver does not implement yet)");
+    util::require(opts.ale.mode == ale::Mode::lagrange ||
+                      opts.ale.frequency >= 1,
+                  "dist::run: ale frequency must be >= 1");
     util::require(rho.size() == static_cast<std::size_t>(global.n_cells()) &&
                       ein.size() == rho.size(),
                   "dist::run: cell field size mismatch");
@@ -276,6 +361,8 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
     result.ein.resize(ein.size());
     result.u.resize(u.size());
     result.v.resize(v.size());
+    result.x.resize(u.size());
+    result.y.resize(u.size());
     result.profiles.resize(static_cast<std::size_t>(opts.n_ranks));
     std::vector<util::Profiler> profilers(
         static_cast<std::size_t>(opts.n_ranks));
@@ -305,6 +392,11 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
         ctx.opts = opts.hydro;
         ctx.profiler = &profiler;
         ctx.dt_cells = sub.n_owned_cells; // dt over owned cells only
+        // Corner gathers in serial deposition order (bitwise == serial).
+        ctx.assembly_corners = &sub.assembly_corners;
+
+        ale::Workspace ale_work;
+        const bool remap_enabled = opts.ale.mode != ale::Mode::lagrange;
 
         Real t = 0.0;
         // Growth reference for getdt: always the *unclamped* controller
@@ -340,6 +432,12 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
                 dist_lagstep(ctx, s, step_dt.used, comm, sub, opts.packing);
                 t += step_dt.used;
             }
+            // Remap cadence as in core::Hydro::step_clamped: Eulerian
+            // every step, ALE every `frequency` steps (1-based).
+            if (remap_enabled &&
+                (opts.ale.mode == ale::Mode::eulerian ||
+                 (steps + 1) % opts.ale.frequency == 0))
+                remap(ctx, s, opts.ale, ale_work, comm, sub, opts.packing);
             ++steps;
         }
 
@@ -357,6 +455,8 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
             const auto gn = static_cast<std::size_t>(sub.local_nodes[ln]);
             result.u[gn] = s.u[ln];
             result.v[gn] = s.v[ln];
+            result.x[gn] = s.x[ln];
+            result.y[gn] = s.y[ln];
         }
         steps_per_rank[static_cast<std::size_t>(comm.rank())] = steps;
         t_per_rank[static_cast<std::size_t>(comm.rank())] = t;
@@ -372,7 +472,7 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
 
 bool bitwise_equal(const Result& a, const Result& b) {
     return a.steps == b.steps && a.rho == b.rho && a.ein == b.ein &&
-           a.u == b.u && a.v == b.v;
+           a.u == b.u && a.v == b.v && a.x == b.x && a.y == b.y;
 }
 
 } // namespace bookleaf::dist

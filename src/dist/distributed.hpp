@@ -5,12 +5,15 @@
 /// Algorithm 1 on its subdomain (owned cells first, node-adjacent ghost
 /// layer after), and the paper's communication pattern is reproduced
 /// exactly — two ghost exchanges per Lagrangian step (state before GETQ,
-/// corner forces before GETACC) plus one global dt min-reduction.
+/// corner forces before GETACC) plus one global dt min-reduction, and the
+/// ghost-aware remap exchanges on ALE/Eulerian remap steps.
 ///
-/// Rank-count invariance: every owned cell and every node of an owned cell
-/// sees bitwise the same *inputs* as a serial run (ghost corner forces come
-/// from their owning rank), so physics differences across rank counts are
-/// pure summation-order round-off.
+/// Rank-count invariance is *bitwise*: every owned cell and every node of
+/// an owned cell sees the same input bytes as a serial run (ghost data
+/// comes from its owning rank), and every cross-entity reduction gathers
+/// in ascending global order (Subdomain::assembly_corners), so the
+/// gathered fields equal the serial core::Hydro run bit for bit at any
+/// rank count — Lagrange, ALE and Eulerian alike.
 
 #include <functional>
 #include <vector>
@@ -19,6 +22,7 @@
 #include "hydro/kernels.hpp"
 #include "mesh/mesh.hpp"
 #include "part/partition.hpp"
+#include "part/subdomain.hpp"
 #include "typhon/typhon.hpp"
 #include "util/profiler.hpp"
 
@@ -52,11 +56,11 @@ struct Options {
     /// baseline. The two land bitwise-identical ghost bytes, so every
     /// (overlap, packing) combination produces bitwise-identical fields.
     typhon::Packing packing = typhon::Packing::coalesced;
-    /// ALE/remap configuration carried over from the source deck. The
-    /// distributed driver is Lagrange-only (no distributed remap yet), so
-    /// run() *rejects* any non-Lagrangian mode with util::Error instead
-    /// of silently producing pure-Lagrangian results for an ALE/Eulerian
-    /// deck.
+    /// ALE/remap configuration carried over from the source deck. All
+    /// three modes run distributed: after the Lagrangian corrector of a
+    /// remap-due step, each rank executes the ghost-aware ALE step (see
+    /// remap() below), whose exchanges make every owned-entity result
+    /// bitwise identical to the serial driver's remap.
     ale::Options ale;
 };
 
@@ -66,6 +70,7 @@ struct Result {
     Real t_final = 0.0;
     std::vector<Real> rho, ein; ///< per global cell
     std::vector<Real> u, v;     ///< per global node
+    std::vector<Real> x, y;     ///< per global node (remaps move the mesh)
     /// Per-rank kernel timing snapshots (halo / reduce included).
     std::vector<std::array<util::KernelStats, util::kernel_count>> profiles;
     /// Aggregate point-to-point traffic of the run (all ranks): what the
@@ -75,13 +80,38 @@ struct Result {
     typhon::Traffic traffic;
 };
 
-/// Partition, run Algorithm 1 to t_end on every rank, gather owned fields
-/// back to the global numbering. Lagrange-only (no ALE remap), matching
-/// the paper's distributed experiments.
+/// Partition, run Algorithm 1 to t_end on every rank (including the
+/// ALE/Eulerian remap when the deck requests one), gather owned fields
+/// back to the global numbering.
 Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
            const std::vector<Real>& rho, const std::vector<Real>& ein,
            const std::vector<Real>& u, const std::vector<Real>& v,
            const Options& opts);
+
+/// One distributed ALE/Eulerian remap on a rank's subdomain state — the
+/// ghost-aware ALE step dist::run executes after the Lagrangian corrector
+/// of every remap-due step. Exposed so the remap unit tests and the
+/// remap-halo bench can drive it directly inside a typhon::run.
+///
+/// Exchange schedule (all blocking, all charged to Kernel::halo):
+///   1. pre-remap state refresh — the same fused node{x,y,u,v}+cell{ein}
+///      halo as the pre-step exchange, then the ghost dependent state is
+///      rebuilt (the corrector left ghosts stale);
+///   2. ALE mode only: a node{xt,yt} halo after every Jacobi smoothing
+///      pass and after the clamp (fringe stencils are incomplete);
+///      Eulerian needs none — the target is the original mesh;
+///   3. ghost-cell gradients over part::Subdomain::remap_cell_schedule
+///      (face-adjacent ghosts), so limited reconstruction at boundary
+///      cells sees bitwise the serial inputs;
+///   4. after the cell and dual sweeps: one fused exchange of the cell
+///      results {cell_mass, ein} and the dual-mesh results {cnmass,
+///      dflux} — ghost dual fluxes are not locally computable (their far
+///      faces leave the subdomain) yet drive owned-node momentum.
+/// ctx.assembly_corners must point at sub.assembly_corners (dist::run
+/// arranges this) so the nodal gathers sum in serial order.
+void remap(const hydro::Context& ctx, hydro::State& s, const ale::Options& ale,
+           ale::Workspace& w, typhon::Comm& comm, const part::Subdomain& sub,
+           typhon::Packing packing);
 
 /// True when every gathered field of the two results is bitwise equal
 /// (and the step counts match). The single definition of the

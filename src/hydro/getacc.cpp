@@ -56,8 +56,11 @@ inline void gather_node(const util::Csr& nc, State& s, Index n) {
 }
 
 /// Gather-based assembly: one pass over nodes, zero+accumulate fused.
+/// Rows come from ctx.corner_gather(): the mesh CSR in serial runs, the
+/// subdomain's globally-ordered permutation in distributed runs (same
+/// sums, serial deposition order — bitwise identical to the serial run).
 void assemble_gather(const Context& ctx, State& s, Index n_nodes) {
-    const auto& nc = ctx.mesh->node_corners;
+    const auto& nc = ctx.corner_gather();
     par::for_each(ctx.exec, n_nodes,
                   [&](Index n) { gather_node(nc, s, n); });
 }
@@ -98,7 +101,7 @@ void assemble_scatter(const Context& ctx, State& s, Index n_nodes,
 void getacc_assemble(const Context& ctx, State& s,
                      std::span<const Index> nodes) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
-    const auto& nc = ctx.mesh->node_corners;
+    const auto& nc = ctx.corner_gather();
     par::for_each(ctx.exec, static_cast<Index>(nodes.size()), [&](Index i) {
         gather_node(nc, s, nodes[static_cast<std::size_t>(i)]);
     });

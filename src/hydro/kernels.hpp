@@ -33,6 +33,20 @@ struct Context {
     /// getdt reduces over these only, so the post-reduction global dt is
     /// identical to a serial run; no_index means "all cells".
     Index dt_cells = no_index;
+    /// Distributed runs: overrides mesh->node_corners for every
+    /// corner->node gather (the acceleration assembly and the dual-mesh
+    /// remap). part::decompose permutes each row to ascending *global*
+    /// flat corner id, so the gathers sum a boundary node's corner
+    /// contributions in exactly the serial deposition order — the bitwise
+    /// dist == serial contract. nullptr (the serial driver) means
+    /// mesh->node_corners, whose rows are already in global order.
+    const util::Csr* assembly_corners = nullptr;
+
+    /// The corner gather CSR in effect (see assembly_corners).
+    [[nodiscard]] const util::Csr& corner_gather() const {
+        return assembly_corners != nullptr ? *assembly_corners
+                                           : mesh->node_corners;
+    }
 };
 
 /// Move nodes to x0 + w*dt_move and rebuild geometry (volumes, corner

@@ -3,6 +3,7 @@
 /// Small CSV table writer for time histories and bench output.
 
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -18,7 +19,10 @@ public:
     CsvWriter(const std::string& path, const std::vector<std::string>& header)
         : out_(path) {
         util::require(static_cast<bool>(out_), "CsvWriter: cannot open " + path);
-        out_.precision(12);
+        // max_digits10: values round-trip exactly, so "diff == 0" checks
+        // on dumped fields (the CI bitwise cross-rank gates) really do
+        // compare bits, not prints.
+        out_.precision(std::numeric_limits<Real>::max_digits10);
         for (std::size_t i = 0; i < header.size(); ++i)
             out_ << (i ? "," : "") << header[i];
         out_ << '\n';

@@ -15,15 +15,54 @@ Index Subdomain::n_sending_peers(const typhon::ExchangeSchedule& schedule) {
     return n;
 }
 
+namespace {
+
+/// Sending peers of a fused two-schedule exchange: the union of the two
+/// sending peer sets (one coalesced message per union peer).
+Index n_union_sending_peers(const typhon::ExchangeSchedule& a,
+                            const typhon::ExchangeSchedule& b) {
+    std::vector<int> ranks;
+    for (const auto* schedule : {&a, &b})
+        for (const auto& peer : schedule->peers)
+            if (!peer.send_items.empty() &&
+                std::find(ranks.begin(), ranks.end(), peer.rank) == ranks.end())
+                ranks.push_back(peer.rank);
+    return static_cast<Index>(ranks.size());
+}
+
+} // namespace
+
+Index Subdomain::n_state_peers() const {
+    return n_union_sending_peers(node_schedule, cell_schedule);
+}
+
 Index Subdomain::messages_per_step(typhon::Packing packing) const {
     const Index node_peers = n_sending_peers(node_schedule);
     const Index cell_peers = n_sending_peers(cell_schedule);
     const Index corner_peers = n_sending_peers(corner_schedule);
     if (packing == typhon::Packing::coalesced)
-        return node_peers + cell_peers + corner_peers;
+        return n_state_peers() + corner_peers;
     return node_exchange_fields * node_peers +
            cell_exchange_fields * cell_peers +
            corner_exchange_fields * corner_peers;
+}
+
+Index Subdomain::messages_per_remap(typhon::Packing packing,
+                                    int n_mesh_exchanges) const {
+    const Index node_peers = n_sending_peers(node_schedule);
+    const Index cell_peers = n_sending_peers(cell_schedule);
+    const Index grad_peers = n_sending_peers(remap_cell_schedule);
+    const Index dual_peers = n_sending_peers(remap_dual_schedule);
+    if (packing == typhon::Packing::coalesced)
+        // Pre-remap fused state refresh + per-sync target-mesh halo +
+        // gradient halo + fused {cell results, dual-mesh results}.
+        return n_state_peers() + n_mesh_exchanges * node_peers + grad_peers +
+               n_union_sending_peers(cell_schedule, remap_dual_schedule);
+    return (node_exchange_fields * node_peers + cell_exchange_fields * cell_peers) +
+           n_mesh_exchanges * remap_mesh_fields * node_peers +
+           remap_grad_fields * grad_peers +
+           (remap_cell_result_fields * cell_peers +
+            remap_dual_fields * dual_peers);
 }
 
 std::vector<Subdomain> decompose(const mesh::Mesh& global,
@@ -169,6 +208,62 @@ std::vector<Subdomain> decompose(const mesh::Mesh& global,
             }
             (boundary ? sub.boundary_cells : sub.interior_cells).push_back(lc);
         }
+
+        // --- distributed remap stencil metadata -----------------------------
+        // Faces the remap evaluates here: incident to an owned cell. Faces
+        // deeper in the ghost layer are either ghost-interior or phantom
+        // (locally boundary, globally interior — a ghost cell's far face);
+        // their fluxes arrive through remap_dual_schedule instead. Note a
+        // face of an owned cell can never be phantom: its far neighbour is
+        // node-adjacent to the owned cell and hence in the ghost layer, so
+        // right == no_index on a remap face means a true global boundary.
+        for (std::size_t fi = 0; fi < lm.faces.size(); ++fi) {
+            const auto& f = lm.faces[fi];
+            if (f.left < sub.n_owned_cells ||
+                (f.right != no_index && f.right < sub.n_owned_cells))
+                sub.remap_faces.push_back(static_cast<Index>(fi));
+        }
+
+        // Nodes with the complete global cell stencil present locally: the
+        // nodal (dual-mesh) remap is evaluated exactly for these. Every
+        // node of an owned cell qualifies (the ghost layer is
+        // node-complete around owned cells); fringe nodes do not.
+        for (Index ln = 0; ln < n_local_nodes; ++ln) {
+            const auto gn =
+                static_cast<std::size_t>(sub.local_nodes[static_cast<std::size_t>(ln)]);
+            if (lm.node_cells.row(ln).size() ==
+                global.node_cells.row(static_cast<Index>(gn)).size())
+                sub.remap_nodes.push_back(ln);
+        }
+
+        // Corner gather CSR in *global* deposition order: local numbering
+        // is owned-first, so a boundary node's local node_corners row
+        // visits its corners in a different order than the global mesh;
+        // re-sorting each row by global flat corner id makes every
+        // corner->node gather sum in exactly the serial order (the bitwise
+        // dist == serial contract). Entries stay local flat ids.
+        sub.assembly_corners = lm.node_corners;
+        for (Index ln = 0; ln < n_local_nodes; ++ln) {
+            const auto lo = static_cast<std::size_t>(
+                sub.assembly_corners.offsets[static_cast<std::size_t>(ln)]);
+            const auto hi = static_cast<std::size_t>(
+                sub.assembly_corners.offsets[static_cast<std::size_t>(ln) + 1]);
+            std::sort(sub.assembly_corners.items.begin() +
+                          static_cast<std::ptrdiff_t>(lo),
+                      sub.assembly_corners.items.begin() +
+                          static_cast<std::ptrdiff_t>(hi),
+                      [&](Index a, Index b) {
+                          const Index ga =
+                              sub.local_cells[static_cast<std::size_t>(
+                                  a / corners_per_cell)] * corners_per_cell +
+                              a % corners_per_cell;
+                          const Index gb =
+                              sub.local_cells[static_cast<std::size_t>(
+                                  b / corners_per_cell)] * corners_per_cell +
+                              b % corners_per_cell;
+                          return ga < gb;
+                      });
+        }
     }
 
     // --- exchange schedules --------------------------------------------------
@@ -183,6 +278,15 @@ std::vector<Subdomain> decompose(const mesh::Mesh& global,
             by_owner[static_cast<int>(part[static_cast<std::size_t>(gc)])]
                 .emplace_back(gc, lc);
         }
+        // A ghost is *face-adjacent* when it shares a face with an owned
+        // cell — the only ghosts whose gradients any owned face flux reads.
+        const auto face_adjacent = [&](Index lc) {
+            for (int k = 0; k < corners_per_cell; ++k) {
+                const Index nb = sub.local.neighbor(lc, k);
+                if (nb != no_index && nb < sub.n_owned_cells) return true;
+            }
+            return false;
+        };
         for (auto& [o, items] : by_owner) {
             // items already sorted by global id (ghost ordering).
             typhon::ExchangeSchedule::Peer recv_peer;
@@ -193,6 +297,10 @@ std::vector<Subdomain> decompose(const mesh::Mesh& global,
             recv_corner.rank = o;
             typhon::ExchangeSchedule::Peer send_corner;
             send_corner.rank = r;
+            typhon::ExchangeSchedule::Peer recv_grad;
+            recv_grad.rank = o;
+            typhon::ExchangeSchedule::Peer send_grad;
+            send_grad.rank = r;
             for (const auto& [gc, lc] : items) {
                 recv_peer.recv_items.push_back(lc);
                 const Index ol = owner_local[static_cast<std::size_t>(gc)];
@@ -201,6 +309,10 @@ std::vector<Subdomain> decompose(const mesh::Mesh& global,
                     recv_corner.recv_items.push_back(lc * corners_per_cell + k);
                     send_corner.send_items.push_back(ol * corners_per_cell + k);
                 }
+                if (face_adjacent(lc)) {
+                    recv_grad.recv_items.push_back(lc);
+                    send_grad.send_items.push_back(ol);
+                }
             }
             sub.cell_schedule.peers.push_back(std::move(recv_peer));
             sub.corner_schedule.peers.push_back(std::move(recv_corner));
@@ -208,8 +320,21 @@ std::vector<Subdomain> decompose(const mesh::Mesh& global,
                 std::move(send_peer));
             subs[static_cast<std::size_t>(o)].corner_schedule.peers.push_back(
                 std::move(send_corner));
+            // Entries stay pairwise consistent because both sides are
+            // derived from the same face_adjacent(lc) classification (the
+            // ghost side decides; empty entries post no message).
+            if (!recv_grad.recv_items.empty()) {
+                sub.remap_cell_schedule.peers.push_back(std::move(recv_grad));
+                subs[static_cast<std::size_t>(o)]
+                    .remap_cell_schedule.peers.push_back(std::move(send_grad));
+            }
         }
     }
+
+    // The dual-mesh remap exchange pairs the same ghost corners as the
+    // per-step corner-force halo; keep it as its own schedule (see the
+    // header) now that both sides of every corner peering exist.
+    for (auto& sub : subs) sub.remap_dual_schedule = sub.corner_schedule;
 
     // Node schedule: ghost nodes of r receive from their owner o. Both
     // sides ordered by global node id.

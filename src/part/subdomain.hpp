@@ -12,6 +12,7 @@
 
 #include "mesh/mesh.hpp"
 #include "typhon/typhon.hpp"
+#include "util/csr.hpp"
 #include "util/types.hpp"
 
 namespace bookleaf::part {
@@ -28,6 +29,50 @@ struct Subdomain {
     typhon::ExchangeSchedule cell_schedule;   ///< ghost cell scalars
     typhon::ExchangeSchedule corner_schedule; ///< ghost corner fields (4/cell)
     typhon::ExchangeSchedule node_schedule;   ///< ghost node scalars
+
+    // --- distributed remap schedules and stencil metadata ------------------
+    /// Cell-centred remap schedule: *face-adjacent* ghost cells only (the
+    /// donor/limiter stencil of the flux reconstruction). Carries the four
+    /// limited-gradient fields from their owning rank before the face
+    /// fluxes are evaluated, so limited reconstruction at a boundary cell
+    /// sees bitwise the same gradients as a serial run. A strict subset of
+    /// cell_schedule's node-adjacent ghost layer — gradients of ghosts
+    /// that are only node-adjacent are never read by any owned face flux.
+    typhon::ExchangeSchedule remap_cell_schedule;
+    /// Dual-mesh remap schedule: ghost corners (4 per ghost cell),
+    /// carrying the remapped corner masses and the median-dual fluxes
+    /// {cnmass, dflux} from their owning rank after the cell sweep. The
+    /// dual fluxes of a ghost cell are NOT locally computable (its far
+    /// faces leave the subdomain), yet they drive the momentum transfer
+    /// into nodes this rank owns — this schedule is what closes the
+    /// dual-mesh (momentum/corner-mass) remap at partition boundaries.
+    /// Item-for-item the same ghost-corner pairing as corner_schedule,
+    /// kept as its own schedule so the remap wire format is independently
+    /// documented and counted.
+    typhon::ExchangeSchedule remap_dual_schedule;
+    /// Local faces incident to at least one owned cell — the faces whose
+    /// swept volumes / fluxes the remap evaluates here. Every other local
+    /// face is either interior to the ghost layer or *phantom* (a ghost
+    /// cell's far face that is locally boundary but globally interior);
+    /// their fluxes come in through remap_dual_schedule instead of being
+    /// computed against a nonexistent neighbour.
+    std::vector<Index> remap_faces;
+    /// Local nodes whose full global cell stencil is present locally (the
+    /// local node_cells row has the global row's length). The nodal remap
+    /// (momentum + corner-mass gather) is evaluated exactly for these —
+    /// a superset of every node of an owned cell — and skipped for the
+    /// fringe, whose owners compute them and whose state the next
+    /// pre-step halo refreshes.
+    std::vector<Index> remap_nodes;
+    /// node -> (cell, corner) gather CSR with each row permuted to
+    /// ascending *global* flat corner id. Local cell numbering is
+    /// owned-first, so the local mesh's node_corners rows visit a
+    /// boundary node's corners in a different order than the global mesh
+    /// — summing in that order would make nodal assembly differ from the
+    /// serial run in round-off. hydro::Context::assembly_corners points
+    /// here in distributed runs, making the corner->node gathers (getacc
+    /// and the dual-mesh remap) bitwise identical to serial.
+    util::Csr assembly_corners;
 
     // --- halo/compute overlap sets (local ids, ascending) -----------------
     // boundary_cells / interior_cells partition all local cells. A cell is
@@ -48,28 +93,51 @@ struct Subdomain {
     std::vector<Index> boundary_nodes, interior_nodes;
 
     // --- schedule field-count metadata ------------------------------------
-    // How many fields each of the distributed driver's per-step exchanges
-    // carries — i.e. how many item slices a coalesced per-peer message
-    // packs back-to-back: node halo {x, y, u, v}, cell halo {ein}, corner
-    // halo {fx, fy}. The driver's exchange calls static_assert against
-    // these at the field lists themselves, and the coalescing ablation
-    // bench + DistPacking tests check the Hub's measured message counts
-    // against messages_per_step() at runtime, so the metadata cannot
-    // silently drift from the real wire format.
+    // How many fields each of the distributed driver's exchanges carries —
+    // i.e. how many item slices a coalesced per-peer message packs
+    // back-to-back. Per step: the fused state halo {x, y, u, v} + {ein}
+    // (node and cell groups of ONE wire exchange) and the corner halo
+    // {fx, fy}. Per remap: the same fused state refresh, the target-mesh
+    // halo {xt, yt} per smoothing sync, the gradient halo {grad_rho_x,
+    // grad_rho_y, grad_e_x, grad_e_y}, and the fused result exchange
+    // {cell_mass, ein} + {cnmass, dflux}. The driver's exchange calls
+    // static_assert against these at the field lists themselves, and the
+    // coalescing ablation bench + DistPacking/DistRemap tests check the
+    // Hub's measured message counts against messages_per_step() /
+    // messages_per_remap() at runtime, so the metadata cannot silently
+    // drift from the real wire format.
     static constexpr int node_exchange_fields = 4;
     static constexpr int cell_exchange_fields = 1;
     static constexpr int corner_exchange_fields = 2;
+    static constexpr int remap_mesh_fields = 2;
+    static constexpr int remap_grad_fields = 4;
+    static constexpr int remap_cell_result_fields = 2;
+    static constexpr int remap_dual_fields = 2;
 
     /// Schedule entries that actually send (non-empty send_items) — the
     /// messages one coalesced exchange posts from this rank.
     [[nodiscard]] static Index n_sending_peers(
         const typhon::ExchangeSchedule& schedule);
 
+    /// Sending peers of the fused pre-step state halo: the union of the
+    /// node and cell schedules' sending peer sets (one coalesced message
+    /// per union peer — the ein halo rides in the node-halo message
+    /// wherever the peer sets align, and alone where they do not).
+    [[nodiscard]] Index n_state_peers() const;
+
     /// Point-to-point messages this rank posts per Lagrangian step:
-    /// coalesced packing posts one message per sending peer of each of
-    /// the three per-step exchanges; per-field packing multiplies each
-    /// exchange by its field count.
+    /// coalesced packing posts one message per union peer of the fused
+    /// state halo plus one per sending peer of the corner halo; per-field
+    /// packing falls back to one message per field per peer per schedule.
     [[nodiscard]] Index messages_per_step(typhon::Packing packing) const;
+
+    /// Point-to-point messages this rank posts per ALE/Eulerian remap.
+    /// `n_mesh_exchanges` is the number of target-mesh {xt, yt} syncs the
+    /// remap performs: 0 in Eulerian mode (the target is the original
+    /// mesh, exact everywhere locally), smoothing_passes + 1 in ALE mode
+    /// (one per Jacobi pass plus the post-clamp sync).
+    [[nodiscard]] Index messages_per_remap(typhon::Packing packing,
+                                           int n_mesh_exchanges) const;
 };
 
 /// Split the global mesh into n_parts subdomains. `part[c]` is the rank

@@ -390,6 +390,18 @@ struct ExchangeSchedule {
     std::vector<Peer> peers;
 };
 
+/// One schedule together with the fields exchanged over its item lists —
+/// the unit a *fused* exchange composes. Several groups may share one
+/// wire exchange: in coalesced packing the per-peer message concatenates
+/// every group's field slices (group-major, then field-major), so two
+/// halos whose peer sets overlap (e.g. the pre-step node kinematics and
+/// the ghost cell energy) collapse to a single message per peer instead
+/// of one per schedule.
+struct FieldGroup {
+    const ExchangeSchedule* schedule = nullptr;
+    std::vector<std::span<Real>> fields;
+};
+
 /// An in-flight ghost exchange: all sends are posted, all receives are
 /// pending requests bound to the destination fields. `finish()` completes
 /// the receives (in arrival order) and unpacks each into its field's
@@ -419,18 +431,23 @@ public:
     [[nodiscard]] bool finished() const { return slots_.empty(); }
 
 private:
-    friend PendingExchange
-    exchange_start(Comm& comm, const ExchangeSchedule& schedule,
-                   std::initializer_list<std::span<Real>> fields, int base_tag,
-                   Packing packing);
-    /// One pending receive and the fields its payload unpacks into: the
-    /// coalesced layout binds every exchanged field to the peer's single
-    /// message (payload = fields.size() * recv_items->size() Reals,
-    /// field-major); the per-field layout binds exactly one.
-    struct Slot {
-        Request request;
+    friend PendingExchange exchange_start(Comm& comm,
+                                          std::span<const FieldGroup> groups,
+                                          int base_tag, Packing packing);
+    /// One slice run of a pending message: the recv_items of one group and
+    /// the fields unpacked from that group's part of the payload.
+    struct Section {
         const std::vector<Index>* recv_items = nullptr;
         std::vector<std::span<Real>> fields;
+    };
+    /// One pending receive and the sections its payload unpacks into: a
+    /// fused coalesced message carries one section per group with data for
+    /// this peer (payload = sum over sections of fields.size() *
+    /// recv_items->size() Reals, group-major then field-major); a
+    /// per-field message carries exactly one section with one field.
+    struct Slot {
+        Request request;
+        std::vector<Section> sections;
     };
     std::vector<Slot> slots_;
 };
@@ -447,6 +464,21 @@ exchange_start(Comm& comm, const ExchangeSchedule& schedule,
                std::initializer_list<std::span<Real>> fields, int base_tag,
                Packing packing = Packing::coalesced);
 
+/// Fused form: start several (schedule, fields) groups as ONE wire
+/// exchange. Coalesced packing posts a single message per peer rank that
+/// appears (with data) in any group — the payload lays the groups'
+/// slices back-to-back in group order, each group field-major — so halos
+/// with aligned peer sets cost one message per peer total rather than
+/// one per schedule. Peers present in only some groups simply omit the
+/// other groups' slices (schedules are pairwise consistent, so both
+/// sides agree on the layout). per_field packing degenerates to the
+/// historical one-message-per-field-per-peer baseline, consuming one tag
+/// per field across all groups in order (base_tag .. base_tag +
+/// total_fields - 1); coalesced consumes base_tag only.
+[[nodiscard]] PendingExchange exchange_start(Comm& comm,
+                                             std::span<const FieldGroup> groups,
+                                             int base_tag, Packing packing);
+
 /// Exchange one field: pack send_items, post all sends, then receive and
 /// unpack recv_items. (With one field the two packings are the same wire
 /// format.) Tags partition the field space so multiple exchanges can run
@@ -457,6 +489,10 @@ void exchange(Comm& comm, const ExchangeSchedule& schedule,
 /// Blocking multi-field exchange: exchange_start + finish.
 void exchange_all(Comm& comm, const ExchangeSchedule& schedule,
                   std::initializer_list<std::span<Real>> fields, int base_tag,
+                  Packing packing = Packing::coalesced);
+
+/// Blocking fused multi-group exchange: exchange_start + finish.
+void exchange_all(Comm& comm, std::span<const FieldGroup> groups, int base_tag,
                   Packing packing = Packing::coalesced);
 
 } // namespace bookleaf::typhon
