@@ -6,10 +6,14 @@
 ///   ./bookleaf_main data/sod.in [--threads N] [--grain N] [--max_steps N]
 ///                   [--assembly gather|serial|colored]
 ///                   [--banner-every N] [--vtk out.vtk]
+///                   [--restart snapshot.ckpt]
 ///
-/// Without a deck argument, runs the default Sod problem.
+/// Without a deck argument, runs the default Sod problem. A deck with
+/// `[checkpoint] restart_from` (or the --restart flag, which overrides
+/// it) restores the snapshot and continues the run bitwise.
 
 #include <cstdio>
+#include <memory>
 
 #include "core/driver.hpp"
 #include "io/vtk.hpp"
@@ -25,12 +29,24 @@ int main(int argc, char** argv) {
             cli.positional().empty()
                 ? setup::sod()
                 : setup::make_problem(setup::Deck::parse_file(cli.positional()[0]));
+        const auto restart = cli.get("restart", problem.checkpoint.restart_from);
 
         std::printf("BookLeaf-CPP: problem '%s', %d cells, %d nodes, t_end %.4g\n",
                     problem.name.c_str(), problem.mesh.n_cells(),
                     problem.mesh.n_nodes(), problem.t_end);
 
-        core::Hydro hydro(std::move(problem));
+        std::unique_ptr<core::Hydro> hydro_ptr;
+        if (restart.empty()) {
+            hydro_ptr = std::make_unique<core::Hydro>(std::move(problem));
+        } else {
+            const auto snapshot = ckpt::read(restart);
+            std::printf("restarting from %s: step %ld, t %.6e\n",
+                        restart.c_str(), static_cast<long>(snapshot.steps),
+                        snapshot.t);
+            hydro_ptr =
+                std::make_unique<core::Hydro>(std::move(problem), snapshot);
+        }
+        core::Hydro& hydro = *hydro_ptr;
 
         const int threads = cli.get_int("threads", 1);
         par::ThreadPool pool(threads);
@@ -58,7 +74,7 @@ int main(int argc, char** argv) {
         const Real t_end = hydro.problem().t_end;
         util::Timer timer;
         while (hydro.time() < t_end * (Real(1) - eps) &&
-               hydro.steps() < max_steps) {
+               hydro.steps() < max_steps && !hydro.halted()) {
             // Banner via single steps; finish with a clamped run so the
             // final time lands exactly on t_end.
             if (hydro.steps() + 1 >= max_steps ||
@@ -101,7 +117,8 @@ int main(int argc, char** argv) {
 
         if (cli.has("vtk")) {
             const auto path = cli.get("vtk", "out.vtk");
-            io::write_vtk(path, hydro.mesh(), hydro.state());
+            io::write_vtk(path, hydro.mesh(), hydro.state(), hydro.steps(),
+                          hydro.time());
             std::printf("wrote %s\n", path.c_str());
         }
         return 0;

@@ -12,6 +12,8 @@
 ///                     [--overlap on|off] [--packing coalesced|perfield]
 ///                     [--mode lagrange|eulerian|ale] [--dump fields.csv]
 ///                     [--tol 1e-8]
+///                     [--save-prefix ck --save-at 0.1 [--halt-after-save]]
+///                     [--restart ck_<step>.ckpt]
 ///
 /// Exits nonzero if the distributed result drifts from the serial
 /// reference by more than --tol, or if the other schedule (overlap vs
@@ -20,9 +22,17 @@
 /// With --mode eulerian the run exercises the distributed remap (the
 /// sod_eulerian.in configuration) and additionally cross-checks the
 /// gathered fields bitwise against a serial core::Hydro run.
+///
+/// Checkpoint/restart smoke: --save-at T writes a checkpoint at the first
+/// natural step past T (--halt-after-save stops the run there);
+/// --restart continues a saved snapshot at the requested rank count —
+/// every self-check (overlap/packing ablations, serial reference) then
+/// restarts from the same snapshot, so the bitwise gates also hold the
+/// rank-elastic restart contract.
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "core/driver.hpp"
 #include "dist/distributed.hpp"
@@ -69,6 +79,26 @@ int main(int argc, char** argv) {
         opts.partitioner = [](const mesh::Mesh& m, int n) {
             return part::multilevel(m, n);
         };
+    if (cli.has("save-at")) {
+        opts.checkpoint.at_time = cli.get_real("save-at", 0.1);
+        opts.checkpoint.prefix = cli.get("save-prefix", "bookleaf_ck");
+        opts.checkpoint.halt_after = cli.has("halt-after-save");
+    }
+    // Restart source: every run below (the main run, the ablation
+    // cross-checks and the serial references) starts from this snapshot.
+    ckpt::Snapshot snapshot;
+    const bool restarting = cli.has("restart");
+    if (restarting) {
+        snapshot = ckpt::read(cli.get("restart", ""));
+        std::printf("restarting from step %ld, t %.6e\n",
+                    static_cast<long>(snapshot.steps), snapshot.t);
+    }
+    const auto run_dist = [&](const dist::Options& o) {
+        return restarting
+                   ? dist::run(problem.mesh, problem.materials, snapshot, o)
+                   : dist::run(problem.mesh, problem.materials, problem.rho,
+                               problem.ein, problem.u, problem.v, o);
+    };
 
     // Partition diagnostics.
     const auto part = opts.partitioner ? opts.partitioner(problem.mesh, ranks)
@@ -80,17 +110,17 @@ int main(int argc, char** argv) {
                 opts.overlap ? "on" : "off", packing_arg.c_str(),
                 quality.edge_cut, quality.imbalance);
 
-    const auto distributed = dist::run(problem.mesh, problem.materials,
-                                       problem.rho, problem.ein, problem.u,
-                                       problem.v, opts);
+    const auto distributed = run_dist(opts);
+    for (const auto& path : distributed.checkpoints)
+        std::printf("wrote checkpoint %s (t >= %.4g)\n", path.c_str(),
+                    opts.checkpoint.at_time);
 
     // Ablation cross-checks: the other schedule and the other halo wire
     // format must both agree bitwise (same ghost bytes, only the kernel
     // order / message shapes change).
     dist::Options other = opts;
     other.overlap = !opts.overlap;
-    const auto cross = dist::run(problem.mesh, problem.materials, problem.rho,
-                                 problem.ein, problem.u, problem.v, other);
+    const auto cross = run_dist(other);
     const bool bitwise = dist::bitwise_equal(distributed, cross);
     std::printf("overlap vs blocking: %s\n",
                 bitwise ? "bitwise identical" : "MISMATCH");
@@ -99,9 +129,7 @@ int main(int argc, char** argv) {
     repacked.packing = opts.packing == typhon::Packing::coalesced
                            ? typhon::Packing::per_field
                            : typhon::Packing::coalesced;
-    const auto cross_packing =
-        dist::run(problem.mesh, problem.materials, problem.rho, problem.ein,
-                  problem.u, problem.v, repacked);
+    const auto cross_packing = run_dist(repacked);
     const bool bitwise_packing =
         dist::bitwise_equal(distributed, cross_packing);
     std::printf("coalesced vs per-field: %s (%ld vs %ld messages)\n",
@@ -109,13 +137,11 @@ int main(int argc, char** argv) {
                 distributed.traffic.messages,
                 cross_packing.traffic.messages);
 
-    // Serial reference.
+    // Serial reference (restarts restore the same snapshot at 1 rank).
     dist::Options serial = opts;
     serial.n_ranks = 1;
     serial.partitioner = nullptr;
-    const auto reference = dist::run(problem.mesh, problem.materials,
-                                     problem.rho, problem.ein, problem.u,
-                                     problem.v, serial);
+    const auto reference = run_dist(serial);
 
     Real max_err = 0;
     for (std::size_t c = 0; c < reference.rho.size(); ++c)
@@ -141,7 +167,18 @@ int main(int argc, char** argv) {
     if (problem.ale.mode != ale::Mode::lagrange) {
         auto serial_problem = setup::sod(nx, 4);
         serial_problem.ale = opts.ale;
-        core::Hydro h(std::move(serial_problem));
+        // Mirror the checkpoint cadence (with a distinct prefix) so a
+        // --halt-after-save run halts the serial reference at the same
+        // natural step — and the serial driver's snapshot of the same
+        // trajectory lands on disk next to the distributed one.
+        serial_problem.checkpoint = opts.checkpoint;
+        serial_problem.checkpoint.prefix += "_serial";
+        const auto h_ptr =
+            restarting ? std::make_unique<core::Hydro>(
+                             std::move(serial_problem), snapshot)
+                       : std::make_unique<core::Hydro>(
+                             std::move(serial_problem));
+        core::Hydro& h = *h_ptr;
         h.run(opts.t_end);
         bitwise_serial = h.steps() == distributed.steps &&
                          h.state().rho == distributed.rho &&

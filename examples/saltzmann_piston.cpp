@@ -74,7 +74,8 @@ int main(int argc, char** argv) {
 
         if (cli.has("vtk")) {
             const auto path = cli.get("vtk", "saltzmann.vtk");
-            io::write_vtk(path, hydro.mesh(), hydro.state());
+            io::write_vtk(path, hydro.mesh(), hydro.state(), hydro.steps(),
+                          hydro.time());
             std::printf("  wrote %s\n", path.c_str());
         }
     } catch (const util::Error& e) {

@@ -1,0 +1,261 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "geom/geometry.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace bookleaf::ckpt {
+
+namespace {
+
+constexpr std::array<char, 8> magic = {'B', 'L', 'F', 'C', 'K', 'P', 'T', '\n'};
+constexpr std::size_t field_name_bytes = 12;
+
+/// The serialized fields, in file order. Kind selects the entity space the
+/// count is validated against.
+enum class Kind : std::uint8_t { node, cell, corner };
+
+struct FieldRef {
+    const char* name;
+    Kind kind;
+    std::vector<Real> Snapshot::* member;
+};
+
+constexpr std::array<FieldRef, 10> fields = {{
+    {"x", Kind::node, &Snapshot::x},
+    {"y", Kind::node, &Snapshot::y},
+    {"u", Kind::node, &Snapshot::u},
+    {"v", Kind::node, &Snapshot::v},
+    {"node_mass", Kind::node, &Snapshot::node_mass},
+    {"rho", Kind::cell, &Snapshot::rho},
+    {"ein", Kind::cell, &Snapshot::ein},
+    {"q", Kind::cell, &Snapshot::q},
+    {"cell_mass", Kind::cell, &Snapshot::cell_mass},
+    {"cnmass", Kind::corner, &Snapshot::cnmass},
+}};
+
+template <typename T>
+void put(std::ostream& out, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in, const std::string& path, const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    in.read(reinterpret_cast<char*>(&v), sizeof(T));
+    if (in.gcount() != static_cast<std::streamsize>(sizeof(T)))
+        throw util::Error("ckpt: truncated checkpoint '" + path +
+                          "' (while reading " + what + ")");
+    return v;
+}
+
+std::size_t expected_count(Kind kind, std::int64_t n_nodes,
+                           std::int64_t n_cells) {
+    switch (kind) {
+    case Kind::node: return static_cast<std::size_t>(n_nodes);
+    case Kind::cell: return static_cast<std::size_t>(n_cells);
+    case Kind::corner:
+        return static_cast<std::size_t>(n_cells) * corners_per_cell;
+    }
+    return 0;
+}
+
+} // namespace
+
+std::uint64_t checksum(const void* data, std::size_t bytes) {
+    return util::fnv1a(data, bytes);
+}
+
+std::uint64_t mesh_hash(const mesh::Mesh& mesh) {
+    std::uint64_t h = util::fnv1a_offset;
+    const std::int64_t counts[2] = {mesh.n_nodes(), mesh.n_cells()};
+    h = util::fnv1a(h, counts, sizeof(counts));
+    const auto over = [&](const auto& vec) {
+        h = util::fnv1a(h, vec.data(), vec.size() * sizeof(vec[0]));
+    };
+    over(mesh.x);
+    over(mesh.y);
+    over(mesh.cell_nodes);
+    over(mesh.cell_region);
+    over(mesh.node_bc);
+    return h;
+}
+
+void write(const std::string& path, const Snapshot& snapshot) {
+    const std::int64_t n_nodes = snapshot.n_nodes();
+    const std::int64_t n_cells = snapshot.n_cells();
+    for (const auto& f : fields)
+        util::require((snapshot.*(f.member)).size() ==
+                          expected_count(f.kind, n_nodes, n_cells),
+                      std::string("ckpt: inconsistent field size for '") +
+                          f.name + "' while writing " + path);
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    util::require(static_cast<bool>(out), "ckpt: cannot open " + path);
+
+    out.write(magic.data(), static_cast<std::streamsize>(magic.size()));
+    put(out, format_version);
+    put(out, static_cast<std::uint32_t>(fields.size()));
+    put(out, snapshot.mesh_hash);
+    put(out, snapshot.steps);
+    put(out, snapshot.t);
+    put(out, snapshot.dt);
+    put(out, n_nodes);
+    put(out, n_cells);
+
+    for (const auto& f : fields) {
+        const auto& data = snapshot.*(f.member);
+        std::array<char, field_name_bytes> name{};
+        std::strncpy(name.data(), f.name, field_name_bytes - 1);
+        out.write(name.data(), static_cast<std::streamsize>(name.size()));
+        put(out, static_cast<std::uint64_t>(data.size()));
+        put(out, checksum(data.data(), data.size() * sizeof(Real)));
+        out.write(reinterpret_cast<const char*>(data.data()),
+                  static_cast<std::streamsize>(data.size() * sizeof(Real)));
+    }
+    out.flush();
+    util::require(static_cast<bool>(out), "ckpt: write failed for " + path);
+}
+
+Snapshot read(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    util::require(static_cast<bool>(in), "ckpt: cannot open " + path);
+
+    std::array<char, 8> file_magic{};
+    in.read(file_magic.data(), static_cast<std::streamsize>(file_magic.size()));
+    if (in.gcount() != static_cast<std::streamsize>(file_magic.size()) ||
+        file_magic != magic)
+        throw util::Error("ckpt: '" + path + "' is not a BookLeaf checkpoint");
+
+    const auto version = get<std::uint32_t>(in, path, "version");
+    if (version != format_version)
+        throw util::Error("ckpt: '" + path + "' has format version " +
+                          std::to_string(version) + ", expected " +
+                          std::to_string(format_version));
+    const auto n_fields = get<std::uint32_t>(in, path, "field count");
+    if (n_fields != fields.size())
+        throw util::Error("ckpt: '" + path + "' carries " +
+                          std::to_string(n_fields) + " fields, expected " +
+                          std::to_string(fields.size()));
+
+    Snapshot snapshot;
+    snapshot.mesh_hash = get<std::uint64_t>(in, path, "mesh hash");
+    snapshot.steps = get<std::int64_t>(in, path, "step count");
+    snapshot.t = get<Real>(in, path, "time");
+    snapshot.dt = get<Real>(in, path, "dt");
+    const auto n_nodes = get<std::int64_t>(in, path, "node count");
+    const auto n_cells = get<std::int64_t>(in, path, "cell count");
+    if (n_nodes < 0 || n_cells < 0 ||
+        n_nodes > std::numeric_limits<Index>::max() ||
+        n_cells > std::numeric_limits<Index>::max() / corners_per_cell)
+        throw util::Error("ckpt: '" + path + "' has implausible entity counts");
+
+    for (const auto& f : fields) {
+        std::array<char, field_name_bytes> name{};
+        in.read(name.data(), static_cast<std::streamsize>(name.size()));
+        if (in.gcount() != static_cast<std::streamsize>(name.size()))
+            throw util::Error("ckpt: truncated checkpoint '" + path +
+                              "' (field header)");
+        if (std::strncmp(name.data(), f.name, field_name_bytes) != 0)
+            throw util::Error("ckpt: '" + path + "' field '" +
+                              std::string(name.data(),
+                                          strnlen(name.data(),
+                                                  field_name_bytes)) +
+                              "' where '" + f.name + "' was expected");
+        const auto count = get<std::uint64_t>(in, path, "field count");
+        const auto sum = get<std::uint64_t>(in, path, "field checksum");
+        if (count != expected_count(f.kind, n_nodes, n_cells))
+            throw util::Error("ckpt: '" + path + "' field '" + f.name +
+                              "' count disagrees with the header");
+        auto& data = snapshot.*(f.member);
+        data.resize(count);
+        const auto bytes = static_cast<std::streamsize>(count * sizeof(Real));
+        in.read(reinterpret_cast<char*>(data.data()), bytes);
+        if (in.gcount() != bytes)
+            throw util::Error("ckpt: truncated checkpoint '" + path +
+                              "' (field '" + f.name + "')");
+        if (checksum(data.data(), data.size() * sizeof(Real)) != sum)
+            throw util::Error("ckpt: checksum mismatch in '" + path +
+                              "' field '" + f.name + "' (corrupt file)");
+    }
+    return snapshot;
+}
+
+Snapshot capture(const mesh::Mesh& mesh, const hydro::State& s, Real t,
+                 Real dt, std::int64_t steps) {
+    Snapshot snap;
+    snap.mesh_hash = mesh_hash(mesh);
+    snap.steps = steps;
+    snap.t = t;
+    snap.dt = dt;
+    snap.x = s.x;
+    snap.y = s.y;
+    snap.u = s.u;
+    snap.v = s.v;
+    snap.node_mass = s.node_mass;
+    snap.rho = s.rho;
+    snap.ein = s.ein;
+    snap.q = s.q;
+    snap.cell_mass = s.cell_mass;
+    snap.cnmass = s.cnmass;
+    return snap;
+}
+
+void rebuild_derived(const mesh::Mesh& mesh,
+                     const eos::MaterialTable& materials, hydro::State& s) {
+    for (Index c = 0; c < mesh.n_cells(); ++c) {
+        const auto quad = geom::gather(mesh, s.x, s.y, c);
+        s.cache_geometry(c, quad);
+        const Real vol = geom::quad_area(quad);
+        if (vol <= 0.0)
+            throw util::Error("ckpt: non-positive volume in cell " +
+                              std::to_string(c) + " while restoring");
+        const auto ci = static_cast<std::size_t>(c);
+        s.volume[ci] = vol;
+        s.char_len[ci] = geom::char_length(quad);
+        const auto cv = geom::corner_volumes(quad);
+        for (int k = 0; k < corners_per_cell; ++k)
+            s.cnvol[hydro::State::cidx(c, k)] =
+                cv[static_cast<std::size_t>(k)];
+        const Index r = mesh.cell_region[ci];
+        s.pre[ci] = materials.pressure(r, s.rho[ci], s.ein[ci]);
+        s.csqrd[ci] = materials.sound_speed2(r, s.rho[ci], s.ein[ci]);
+    }
+}
+
+void restore(const mesh::Mesh& mesh, const eos::MaterialTable& materials,
+             const Snapshot& snapshot, hydro::State& s) {
+    if (snapshot.mesh_hash != mesh_hash(mesh))
+        throw util::Error(
+            "ckpt: checkpoint/deck mismatch — the snapshot was written for a "
+            "different mesh (restart the deck that produced it)");
+    util::require(snapshot.n_nodes() == mesh.n_nodes() &&
+                      snapshot.n_cells() == mesh.n_cells(),
+                  "ckpt: snapshot entity counts disagree with the mesh");
+    s.x = snapshot.x;
+    s.y = snapshot.y;
+    s.u = snapshot.u;
+    s.v = snapshot.v;
+    s.node_mass = snapshot.node_mass;
+    s.rho = snapshot.rho;
+    s.ein = snapshot.ein;
+    s.q = snapshot.q;
+    s.cell_mass = snapshot.cell_mass;
+    s.cnmass = snapshot.cnmass;
+    rebuild_derived(mesh, materials, s);
+    // Seed the step-start scratch as initialise does; every step rewrites
+    // these before reading them.
+    s.x0 = s.x;
+    s.y0 = s.y;
+    s.u0 = s.u;
+    s.v0 = s.v;
+    s.ein0 = s.ein;
+}
+
+} // namespace bookleaf::ckpt

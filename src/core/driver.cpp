@@ -1,10 +1,28 @@
 #include "core/driver.hpp"
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
 #include "util/csr.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace bookleaf::core {
+
+namespace {
+
+const std::vector<std::string> history_header = {
+    "step", "t", "dt", "mass", "internal_energy", "kinetic_energy"};
+
+std::string history_header_line() {
+    std::string line;
+    for (const auto& col : history_header)
+        line += (line.empty() ? "" : ",") + col;
+    return line;
+}
+
+} // namespace
 
 Hydro::Hydro(setup::Problem problem) : problem_(std::move(problem)) {
     state_ = hydro::allocate(problem_.mesh);
@@ -14,25 +32,136 @@ Hydro::Hydro(setup::Problem problem) : problem_(std::move(problem)) {
     state_.v = problem_.v;
     hydro::initialise(problem_.mesh, problem_.materials, state_);
 
+    init_context();
+    dt_ = problem_.hydro.dt_initial;
+    open_history_fresh();
+}
+
+Hydro::Hydro(setup::Problem problem, const ckpt::Snapshot& snapshot)
+    : problem_(std::move(problem)) {
+    state_ = hydro::allocate(problem_.mesh);
+    ckpt::restore(problem_.mesh, problem_.materials, snapshot, state_);
+
+    init_context();
+    t_ = snapshot.t;
+    dt_ = snapshot.dt;
+    steps_ = static_cast<int>(snapshot.steps);
+    // (An at_time trigger the snapshot already passed cannot re-fire:
+    // Config::due needs the step to cross it, and t only grows.)
+    continue_history();
+}
+
+void Hydro::init_context() {
     ctx_.mesh = &problem_.mesh;
     ctx_.materials = &problem_.materials;
     ctx_.opts = problem_.hydro;
     ctx_.profiler = &profiler_;
-    dt_ = problem_.hydro.dt_initial;
+}
 
-    if (!problem_.history.empty()) {
-        history_ = std::make_unique<io::CsvWriter>(
-            problem_.history,
-            std::vector<std::string>{"step", "t", "dt", "mass",
-                                     "internal_energy", "kinetic_energy"});
-        write_history_row(0.0);
+void Hydro::open_history_fresh() {
+    if (problem_.history.empty()) return;
+    history_ = std::make_unique<io::CsvWriter>(problem_.history,
+                                               history_header);
+    write_history_row(0.0);
+}
+
+/// Restart-aware history continuation: keep the existing header and every
+/// row up to (and including) the checkpointed step, drop rows the crashed
+/// run wrote past it (including a crash-truncated partial final line),
+/// then append — so after the restored run finishes, the file is
+/// byte-identical to the uninterrupted run's history. The last kept row
+/// must be the checkpointed step (the last-step handshake — guaranteed
+/// reachable because maybe_checkpoint flushes the history before writing
+/// the snapshot); a file that never reached it pairs with a different
+/// checkpoint and is rejected. A missing/empty file starts fresh with a
+/// restored-state baseline row instead.
+void Hydro::continue_history() {
+    if (problem_.history.empty()) return;
+
+    std::ifstream in(problem_.history);
+    std::vector<std::string> raw;
+    if (in) {
+        std::string line;
+        while (std::getline(in, line)) raw.push_back(line);
     }
+    in.close();
+
+    std::vector<std::string> kept;
+    bool dropped = false;
+    if (!raw.empty()) {
+        util::require(raw.front() == history_header_line(),
+                      "history restart: header mismatch in " +
+                          problem_.history);
+        kept.push_back(raw.front());
+        for (std::size_t i = 1; i < raw.size(); ++i) {
+            const auto& line = raw[i];
+            if (line.empty()) continue;
+            std::istringstream row(line);
+            Real step = -1.0;
+            row >> step;
+            if (!row || std::count(line.begin(), line.end(), ',') !=
+                            static_cast<long>(history_header.size()) - 1) {
+                // A malformed *final* line is what a crash mid-write
+                // leaves; discard it. Malformed rows elsewhere mean the
+                // file is not this run's history.
+                util::require(i == raw.size() - 1,
+                              "history restart: malformed row in " +
+                                  problem_.history);
+                dropped = true;
+                continue;
+            }
+            if (step > static_cast<Real>(steps_) + Real(0.5)) {
+                dropped = true; // written past the checkpoint; discard
+                continue;
+            }
+            kept.push_back(line);
+        }
+    }
+
+    if (kept.size() <= 1) {
+        // No prior rows survive: start a fresh history whose baseline is
+        // the restored state (there is nothing to duplicate).
+        open_history_fresh();
+        return;
+    }
+    std::istringstream last(kept.back());
+    Real last_step = -1.0;
+    last >> last_step;
+    util::require(last_step == static_cast<Real>(steps_),
+                  "history restart: " + problem_.history + " ends at step " +
+                      std::to_string(static_cast<long>(last_step)) +
+                      ", checkpoint is at step " + std::to_string(steps_) +
+                      " (stale or mismatched history file)");
+    if (dropped) {
+        std::ofstream rewrite(problem_.history, std::ios::trunc);
+        util::require(static_cast<bool>(rewrite),
+                      "history restart: cannot rewrite " + problem_.history);
+        for (const auto& line : kept) rewrite << line << '\n';
+    }
+    history_ = std::make_unique<io::CsvWriter>(problem_.history,
+                                               history_header,
+                                               io::CsvWriter::Mode::append);
 }
 
 void Hydro::write_history_row(Real dt) {
     const auto tot = totals();
     history_->row({static_cast<Real>(steps_), t_, dt, tot.mass,
                    tot.internal_energy, tot.kinetic_energy});
+}
+
+/// Write a checkpoint if the deck cadence (ckpt::Config::due — the one
+/// trigger definition, shared with the distributed driver) says one is
+/// due after the step that advanced t_before -> t_. Checkpoints never
+/// perturb the trajectory: they are written after completed natural
+/// steps only. The history CSV is flushed first so the on-disk rows are
+/// durable up to the checkpointed step — what the restore handshake
+/// requires of a file recovered from a crash.
+void Hydro::maybe_checkpoint(Real t_before) {
+    const auto& cfg = problem_.checkpoint;
+    if (!cfg.enabled() || !cfg.due(steps_, t_before, t_)) return;
+    if (history_) history_->flush();
+    save(cfg.path_for(steps_));
+    if (cfg.halt_after) halt_requested_ = true;
 }
 
 void Hydro::set_assembly(par::Assembly assembly) {
@@ -79,9 +208,11 @@ StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
         }
     }
 
+    const Real t_before = t_;
     t_ += dt;
     ++steps_;
     if (history_) write_history_row(dt);
+    maybe_checkpoint(t_before);
     info.step = steps_;
     info.t = t_;
     info.dt = dt;
@@ -95,7 +226,9 @@ RunSummary Hydro::run(std::optional<Real> t_end_opt, int max_steps) {
     RunSummary summary;
     summary.initial = totals();
     const util::Timer timer;
-    while (t_ < t_end * (Real(1.0) - eps) && steps_ < max_steps)
+    halt_requested_ = false;
+    while (t_ < t_end * (Real(1.0) - eps) && steps_ < max_steps &&
+           !halt_requested_)
         step_clamped(t_end);
     summary.steps = steps_;
     summary.t_final = t_;

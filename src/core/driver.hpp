@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "ale/remap.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "hydro/kernels.hpp"
 #include "io/csv.hpp"
 #include "setup/problems.hpp"
@@ -40,6 +41,17 @@ public:
     /// Takes ownership of the problem (mesh, materials, IC, options).
     explicit Hydro(setup::Problem problem);
 
+    /// Restore from a checkpoint: the problem supplies the mesh, materials
+    /// and options (it must be the deck that produced the snapshot — the
+    /// mesh hash is validated), the snapshot supplies the state and the
+    /// clock. Continuation is bitwise: stepping the restored driver to
+    /// t_end reproduces the uninterrupted run's fields and conservation
+    /// totals bit for bit. An `[io] history` file is continued in place —
+    /// rows past the checkpointed step are dropped, the header is kept,
+    /// and new rows append (the file ends byte-identical to an
+    /// uninterrupted run's history).
+    Hydro(setup::Problem problem, const ckpt::Snapshot& snapshot);
+
     /// Optional execution policy (threading) — set before stepping. An
     /// assembly strategy chosen via set_assembly() survives this call
     /// (set_exec configures the pool, not the assembly ablation).
@@ -58,9 +70,21 @@ public:
     /// One step of Algorithm 1. Returns the step record.
     StepInfo step();
 
-    /// Run until t_end (default: the problem's t_end) or max_steps.
+    /// Run until t_end (default: the problem's t_end) or max_steps — or,
+    /// with `[checkpoint] halt_after`, until a checkpoint is written.
     RunSummary run(std::optional<Real> t_end = std::nullopt,
                    int max_steps = std::numeric_limits<int>::max());
+
+    /// Capture the current state + clock as a Snapshot (including the
+    /// unclamped dt growth reference).
+    [[nodiscard]] ckpt::Snapshot snapshot() const {
+        return ckpt::capture(problem_.mesh, state_, t_, dt_, steps_);
+    }
+    /// Write a checkpoint of the current state to `path`.
+    void save(const std::string& path) const { ckpt::write(path, snapshot()); }
+    /// True once a `[checkpoint] halt_after` checkpoint has been written:
+    /// run() stops there, and step()-driven loops should too.
+    [[nodiscard]] bool halted() const { return halt_requested_; }
 
     [[nodiscard]] const hydro::State& state() const { return state_; }
     [[nodiscard]] hydro::State& state() { return state_; }
@@ -77,6 +101,10 @@ public:
 private:
     StepInfo step_clamped(std::optional<Real> t_end);
     void write_history_row(Real dt);
+    void init_context();
+    void open_history_fresh();
+    void continue_history();
+    void maybe_checkpoint(Real t_before);
 
     setup::Problem problem_;
     hydro::State state_;
@@ -97,6 +125,9 @@ private:
     /// run(t1) must not be growth-limited by the tiny final clamped step.
     Real dt_ = 0.0;
     int steps_ = 0;
+    /// Set when a checkpoint was written and `halt_after` asks the run
+    /// loop to stop there (the step itself still completed normally).
+    bool halt_requested_ = false;
 };
 
 } // namespace bookleaf::core

@@ -258,6 +258,158 @@ hydro::ClampedDt overlap_step(const hydro::Context& ctx, hydro::State& s,
     return step_dt;
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint/restart: owned-slice gather to a writer rank, global restore
+// through part::decompose
+// ---------------------------------------------------------------------------
+
+/// Tag of the checkpoint gather (the step halos use 100/200, the remap
+/// 300..340; repeated checkpoints reuse the channel FIFO in step order).
+constexpr int ckpt_tag = 500;
+
+/// Pack this rank's owned entities for the checkpoint gather: the
+/// snapshot's node fields (x, y, u, v, node_mass), cell fields (rho, ein,
+/// q, cell_mass) and corner field (cnmass), field-major, each field's
+/// owned items in ascending local (= ascending global) order.
+std::vector<Real> pack_owned(const part::Subdomain& sub,
+                             const hydro::State& s) {
+    std::vector<Real> out;
+    const auto owned_nodes = static_cast<std::size_t>(sub.n_owned_nodes());
+    const auto owned_cells = static_cast<std::size_t>(sub.n_owned_cells);
+    out.reserve(5 * owned_nodes + (4 + corners_per_cell) * owned_cells);
+    const auto nodes = [&](const std::vector<Real>& f) {
+        for (std::size_t ln = 0; ln < sub.local_nodes.size(); ++ln)
+            if (sub.node_owned[ln]) out.push_back(f[ln]);
+    };
+    nodes(s.x);
+    nodes(s.y);
+    nodes(s.u);
+    nodes(s.v);
+    nodes(s.node_mass);
+    const auto cells = [&](const std::vector<Real>& f) {
+        for (std::size_t lc = 0; lc < owned_cells; ++lc) out.push_back(f[lc]);
+    };
+    cells(s.rho);
+    cells(s.ein);
+    cells(s.q);
+    cells(s.cell_mass);
+    for (Index lc = 0; lc < sub.n_owned_cells; ++lc)
+        for (int k = 0; k < corners_per_cell; ++k)
+            out.push_back(s.cnmass[hydro::State::cidx(lc, k)]);
+    return out;
+}
+
+/// Scatter one rank's packed owned slice into the global snapshot arrays
+/// (the exact inverse of pack_owned, routed through the subdomain's
+/// local->global maps).
+void unpack_owned(const part::Subdomain& sub, std::span<const Real> payload,
+                  ckpt::Snapshot& snap) {
+    std::size_t pos = 0;
+    const auto nodes = [&](std::vector<Real>& f) {
+        for (std::size_t ln = 0; ln < sub.local_nodes.size(); ++ln)
+            if (sub.node_owned[ln])
+                f[static_cast<std::size_t>(sub.local_nodes[ln])] =
+                    payload[pos++];
+    };
+    nodes(snap.x);
+    nodes(snap.y);
+    nodes(snap.u);
+    nodes(snap.v);
+    nodes(snap.node_mass);
+    const auto cells = [&](std::vector<Real>& f) {
+        for (Index lc = 0; lc < sub.n_owned_cells; ++lc)
+            f[static_cast<std::size_t>(
+                sub.local_cells[static_cast<std::size_t>(lc)])] =
+                payload[pos++];
+    };
+    cells(snap.rho);
+    cells(snap.ein);
+    cells(snap.q);
+    cells(snap.cell_mass);
+    for (Index lc = 0; lc < sub.n_owned_cells; ++lc) {
+        const Index gc = sub.local_cells[static_cast<std::size_t>(lc)];
+        for (int k = 0; k < corners_per_cell; ++k)
+            snap.cnmass[hydro::State::cidx(gc, k)] = payload[pos++];
+    }
+    util::require(pos == payload.size(),
+                  "dist: checkpoint gather payload size mismatch");
+}
+
+/// Write one distributed checkpoint: every rank ships its owned slice to
+/// rank 0 through the typhon point-to-point layer; rank 0 assembles the
+/// global arrays (ascending entity order, the serial layout) and writes
+/// the file. Because owned fields are bitwise-serial, the bytes on disk
+/// are identical to a serial run's checkpoint at the same step — at any
+/// rank count.
+void write_distributed_checkpoint(
+    typhon::Comm& comm, const std::vector<part::Subdomain>& subs,
+    const mesh::Mesh& global, std::uint64_t mesh_hash, const hydro::State& s,
+    const part::Subdomain& sub, Real t, Real dt_ref, std::int64_t steps,
+    const ckpt::Config& cfg, std::vector<std::string>& written,
+    util::Profiler& profiler) {
+    const util::ScopedTimer timer(profiler, util::Kernel::other);
+    comm.send(0, ckpt_tag, pack_owned(sub, s));
+    if (comm.rank() != 0) return;
+
+    ckpt::Snapshot snap;
+    snap.mesh_hash = mesh_hash;
+    snap.steps = steps;
+    snap.t = t;
+    snap.dt = dt_ref;
+    const auto nn = static_cast<std::size_t>(global.n_nodes());
+    const auto nc = static_cast<std::size_t>(global.n_cells());
+    snap.x.resize(nn);
+    snap.y.resize(nn);
+    snap.u.resize(nn);
+    snap.v.resize(nn);
+    snap.node_mass.resize(nn);
+    snap.rho.resize(nc);
+    snap.ein.resize(nc);
+    snap.q.resize(nc);
+    snap.cell_mass.resize(nc);
+    snap.cnmass.resize(nc * corners_per_cell);
+    for (int r = 0; r < comm.size(); ++r) {
+        const auto payload = comm.recv(r, ckpt_tag);
+        unpack_owned(subs[static_cast<std::size_t>(r)], payload, snap);
+    }
+    const auto path = cfg.path_for(steps);
+    ckpt::write(path, snap);
+    written.push_back(path);
+}
+
+/// Restore one rank's subdomain state from the global snapshot: owned and
+/// ghost entities alike take the global (bitwise-serial) values — exactly
+/// the bytes a pre-step ghost refresh would land — then the derived state
+/// is rebuilt with the same per-cell sequence the serial restore uses.
+void restore_rank_state(const part::Subdomain& sub,
+                        const eos::MaterialTable& materials,
+                        const ckpt::Snapshot& snap, hydro::State& s) {
+    for (std::size_t ln = 0; ln < sub.local_nodes.size(); ++ln) {
+        const auto gn = static_cast<std::size_t>(sub.local_nodes[ln]);
+        s.x[ln] = snap.x[gn];
+        s.y[ln] = snap.y[gn];
+        s.u[ln] = snap.u[gn];
+        s.v[ln] = snap.v[gn];
+        s.node_mass[ln] = snap.node_mass[gn];
+    }
+    for (std::size_t lc = 0; lc < sub.local_cells.size(); ++lc) {
+        const auto gc = static_cast<std::size_t>(sub.local_cells[lc]);
+        s.rho[lc] = snap.rho[gc];
+        s.ein[lc] = snap.ein[gc];
+        s.q[lc] = snap.q[gc];
+        s.cell_mass[lc] = snap.cell_mass[gc];
+        for (int k = 0; k < corners_per_cell; ++k)
+            s.cnmass[hydro::State::cidx(static_cast<Index>(lc), k)] =
+                snap.cnmass[hydro::State::cidx(static_cast<Index>(gc), k)];
+    }
+    ckpt::rebuild_derived(sub.local, materials, s);
+    s.x0 = s.x;
+    s.y0 = s.y;
+    s.u0 = s.u;
+    s.v0 = s.v;
+    s.ein0 = s.ein;
+}
+
 } // namespace
 
 void remap(const hydro::Context& ctx, hydro::State& s, const ale::Options& ale,
@@ -336,33 +488,32 @@ void remap(const hydro::Context& ctx, hydro::State& s, const ale::Options& ale,
     ale::aleupdate(ctx, s, w);
 }
 
-Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
-           const std::vector<Real>& rho, const std::vector<Real>& ein,
-           const std::vector<Real>& u, const std::vector<Real>& v,
-           const Options& opts) {
-    util::require(opts.n_ranks >= 1, "dist::run: n_ranks must be >= 1");
-    util::require(opts.ale.mode == ale::Mode::lagrange ||
-                      opts.ale.frequency >= 1,
-                  "dist::run: ale frequency must be >= 1");
-    util::require(rho.size() == static_cast<std::size_t>(global.n_cells()) &&
-                      ein.size() == rho.size(),
-                  "dist::run: cell field size mismatch");
-    util::require(u.size() == static_cast<std::size_t>(global.n_nodes()) &&
-                      v.size() == u.size(),
-                  "dist::run: node field size mismatch");
+namespace {
 
+/// The shared driver body. Exactly one of `snap` (restart) or the four
+/// initial-condition fields (fresh run) is non-null.
+Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
+                const Options& opts, const ckpt::Snapshot* snap,
+                const std::vector<Real>* rho_ic,
+                const std::vector<Real>* ein_ic, const std::vector<Real>* u_ic,
+                const std::vector<Real>* v_ic) {
     const std::vector<Index> part =
         opts.partitioner ? opts.partitioner(global, opts.n_ranks)
                          : part::rcb(global, opts.n_ranks);
     const auto subs = part::decompose(global, part, opts.n_ranks);
 
+    // The writer rank needs the global mesh identity; hash it once here
+    // rather than per checkpoint.
+    const std::uint64_t global_hash =
+        opts.checkpoint.enabled() ? ckpt::mesh_hash(global) : 0;
+
     Result result;
-    result.rho.resize(rho.size());
-    result.ein.resize(ein.size());
-    result.u.resize(u.size());
-    result.v.resize(v.size());
-    result.x.resize(u.size());
-    result.y.resize(u.size());
+    result.rho.resize(static_cast<std::size_t>(global.n_cells()));
+    result.ein.resize(result.rho.size());
+    result.u.resize(static_cast<std::size_t>(global.n_nodes()));
+    result.v.resize(result.u.size());
+    result.x.resize(result.u.size());
+    result.y.resize(result.u.size());
     result.profiles.resize(static_cast<std::size_t>(opts.n_ranks));
     std::vector<util::Profiler> profilers(
         static_cast<std::size_t>(opts.n_ranks));
@@ -374,17 +525,21 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
         auto& profiler = profilers[static_cast<std::size_t>(comm.rank())];
 
         hydro::State s = hydro::allocate(sub.local);
-        for (std::size_t lc = 0; lc < sub.local_cells.size(); ++lc) {
-            const auto gc = static_cast<std::size_t>(sub.local_cells[lc]);
-            s.rho[lc] = rho[gc];
-            s.ein[lc] = ein[gc];
+        if (snap != nullptr) {
+            restore_rank_state(sub, materials, *snap, s);
+        } else {
+            for (std::size_t lc = 0; lc < sub.local_cells.size(); ++lc) {
+                const auto gc = static_cast<std::size_t>(sub.local_cells[lc]);
+                s.rho[lc] = (*rho_ic)[gc];
+                s.ein[lc] = (*ein_ic)[gc];
+            }
+            for (std::size_t ln = 0; ln < sub.local_nodes.size(); ++ln) {
+                const auto gn = static_cast<std::size_t>(sub.local_nodes[ln]);
+                s.u[ln] = (*u_ic)[gn];
+                s.v[ln] = (*v_ic)[gn];
+            }
+            hydro::initialise(sub.local, materials, s);
         }
-        for (std::size_t ln = 0; ln < sub.local_nodes.size(); ++ln) {
-            const auto gn = static_cast<std::size_t>(sub.local_nodes[ln]);
-            s.u[ln] = u[gn];
-            s.v[ln] = v[gn];
-        }
-        hydro::initialise(sub.local, materials, s);
 
         hydro::Context ctx;
         ctx.mesh = &sub.local;
@@ -398,14 +553,19 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
         ale::Workspace ale_work;
         const bool remap_enabled = opts.ale.mode != ale::Mode::lagrange;
 
-        Real t = 0.0;
+        // Clock: fresh runs start at zero; restarts continue the
+        // snapshot's clock (so the remap cadence, the `steps > 0` getdt
+        // gate and max_steps all behave as in the serial restore).
+        Real t = snap != nullptr ? snap->t : 0.0;
         // Growth reference for getdt: always the *unclamped* controller
         // value. Feeding a t_end-clamped dt back would growth-limit the
         // next step from an arbitrarily tiny final step (the continuation
         // bug fixed in core::Hydro::step_clamped — same pattern here).
-        Real dt_prev = opts.hydro.dt_initial;
-        int steps = 0;
+        Real dt_prev =
+            snap != nullptr ? snap->dt : opts.hydro.dt_initial;
+        int steps = snap != nullptr ? static_cast<int>(snap->steps) : 0;
         while (t < opts.t_end * (Real(1.0) - eps) && steps < opts.max_steps) {
+            const Real t_before = t;
             const Real dt_local =
                 steps > 0 ? hydro::getdt(ctx, s, dt_prev).dt
                           : opts.hydro.dt_initial;
@@ -439,6 +599,18 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
                  (steps + 1) % opts.ale.frequency == 0))
                 remap(ctx, s, opts.ale, ale_work, comm, sub, opts.packing);
             ++steps;
+            // Checkpoint cadence: every rank evaluates the same trigger
+            // (t and steps are globally identical), so the gather below
+            // is collective. The cadence only ever fires after completed
+            // natural steps — a checkpointing run is bitwise the run
+            // without checkpoints.
+            if (opts.checkpoint.enabled() &&
+                opts.checkpoint.due(steps, t_before, t)) {
+                write_distributed_checkpoint(
+                    comm, subs, global, global_hash, s, sub, t, dt_prev,
+                    steps, opts.checkpoint, result.checkpoints, profiler);
+                if (opts.checkpoint.halt_after) break;
+            }
         }
 
         // Gather owned fields into the global result. Each global cell has
@@ -468,6 +640,44 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
         result.profiles[static_cast<std::size_t>(r)] =
             profilers[static_cast<std::size_t>(r)].snapshot();
     return result;
+}
+
+/// Shared argument checks of both run() entry points.
+void check_options(const Options& opts) {
+    util::require(opts.n_ranks >= 1, "dist::run: n_ranks must be >= 1");
+    util::require(opts.ale.mode == ale::Mode::lagrange ||
+                      opts.ale.frequency >= 1,
+                  "dist::run: ale frequency must be >= 1");
+}
+
+} // namespace
+
+Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
+           const std::vector<Real>& rho, const std::vector<Real>& ein,
+           const std::vector<Real>& u, const std::vector<Real>& v,
+           const Options& opts) {
+    check_options(opts);
+    util::require(rho.size() == static_cast<std::size_t>(global.n_cells()) &&
+                      ein.size() == rho.size(),
+                  "dist::run: cell field size mismatch");
+    util::require(u.size() == static_cast<std::size_t>(global.n_nodes()) &&
+                      v.size() == u.size(),
+                  "dist::run: node field size mismatch");
+    return run_impl(global, materials, opts, nullptr, &rho, &ein, &u, &v);
+}
+
+Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
+           const ckpt::Snapshot& snapshot, const Options& opts) {
+    check_options(opts);
+    if (snapshot.mesh_hash != ckpt::mesh_hash(global))
+        throw util::Error(
+            "dist::run: checkpoint/deck mismatch — the snapshot was written "
+            "for a different mesh");
+    util::require(snapshot.n_nodes() == global.n_nodes() &&
+                      snapshot.n_cells() == global.n_cells(),
+                  "dist::run: snapshot entity counts disagree with the mesh");
+    return run_impl(global, materials, opts, &snapshot, nullptr, nullptr,
+                    nullptr, nullptr);
 }
 
 bool bitwise_equal(const Result& a, const Result& b) {

@@ -16,9 +16,11 @@
 /// rank count — Lagrange, ALE and Eulerian alike.
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "ale/remap.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "hydro/kernels.hpp"
 #include "mesh/mesh.hpp"
 #include "part/partition.hpp"
@@ -62,6 +64,13 @@ struct Options {
     /// remap() below), whose exchanges make every owned-entity result
     /// bitwise identical to the serial driver's remap.
     ale::Options ale;
+    /// Checkpoint cadence (deck `[checkpoint]`). When a checkpoint is due
+    /// every rank sends its owned slice to rank 0 through the typhon
+    /// point-to-point layer; rank 0 assembles the fields in ascending
+    /// global entity order and writes the file — byte-identical to the
+    /// snapshot a serial run would write at the same step (the bitwise
+    /// owned-entity contract), which is what makes restart rank-elastic.
+    ckpt::Config checkpoint;
 };
 
 /// Gathered (global-numbering) result of a distributed run.
@@ -78,6 +87,8 @@ struct Result {
     /// bitwise_equal — coalesced and per-field packings move the same
     /// field bytes in different message shapes.
     typhon::Traffic traffic;
+    /// Paths of the checkpoints rank 0 wrote during the run (in order).
+    std::vector<std::string> checkpoints;
 };
 
 /// Partition, run Algorithm 1 to t_end on every rank (including the
@@ -87,6 +98,20 @@ Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
            const std::vector<Real>& rho, const std::vector<Real>& ein,
            const std::vector<Real>& u, const std::vector<Real>& v,
            const Options& opts);
+
+/// Rank-elastic restart: continue a checkpointed run at opts.n_ranks —
+/// which need not be the rank count (or the serial driver) that wrote the
+/// snapshot. The global snapshot fields are routed through
+/// part::decompose: each rank restores its owned + ghost slice from the
+/// global arrays (exactly the bytes a serial run would hold there),
+/// rebuilds the derived state, and steps from (snapshot.t,
+/// snapshot.steps) with the snapshot's unclamped dt growth reference.
+/// Contract: the gathered result at t_end is bitwise identical to the
+/// uninterrupted run at any rank count, under every (overlap x packing)
+/// combination. Throws util::Error if the snapshot does not match the
+/// mesh.
+Result run(const mesh::Mesh& global, const eos::MaterialTable& materials,
+           const ckpt::Snapshot& snapshot, const Options& opts);
 
 /// One distributed ALE/Eulerian remap on a rank's subdomain state — the
 /// ghost-aware ALE step dist::run executes after the Lagrangian corrector

@@ -13,19 +13,36 @@
 namespace bookleaf::io {
 
 /// Column-oriented CSV writer: set a header once, append rows, flushes on
-/// destruction or close().
+/// destruction or close(). `Mode::append` continues an existing table
+/// (restart-aware history files): rows go after the current contents and
+/// the header is written only when the file is absent or empty — the
+/// caller is responsible for the existing rows being a matching table
+/// (core::Hydro's restore path performs that handshake).
 class CsvWriter {
 public:
-    CsvWriter(const std::string& path, const std::vector<std::string>& header)
-        : out_(path) {
+    enum class Mode { truncate, append };
+
+    CsvWriter(const std::string& path, const std::vector<std::string>& header,
+              Mode mode = Mode::truncate) {
+        // Probe before opening: tellp() on a fresh append stream is
+        // implementation-defined until the first write.
+        const bool had_rows = mode == Mode::append && [&] {
+            std::ifstream probe(path, std::ios::binary | std::ios::ate);
+            return probe && probe.tellg() > 0;
+        }();
+        out_.open(path, mode == Mode::append
+                            ? std::ios::out | std::ios::app
+                            : std::ios::out | std::ios::trunc);
         util::require(static_cast<bool>(out_), "CsvWriter: cannot open " + path);
         // max_digits10: values round-trip exactly, so "diff == 0" checks
         // on dumped fields (the CI bitwise cross-rank gates) really do
         // compare bits, not prints.
         out_.precision(std::numeric_limits<Real>::max_digits10);
-        for (std::size_t i = 0; i < header.size(); ++i)
-            out_ << (i ? "," : "") << header[i];
-        out_ << '\n';
+        if (!had_rows) {
+            for (std::size_t i = 0; i < header.size(); ++i)
+                out_ << (i ? "," : "") << header[i];
+            out_ << '\n';
+        }
         columns_ = header.size();
     }
 
@@ -35,6 +52,10 @@ public:
             out_ << (i ? "," : "") << values[i];
         out_ << '\n';
     }
+
+    /// Push buffered rows to disk (e.g. before a checkpoint is written,
+    /// so a crash cannot leave the table behind the snapshot).
+    void flush() { out_.flush(); }
 
     void close() { out_.close(); }
 

@@ -1,16 +1,19 @@
 #include "io/vtk.hpp"
 
 #include <fstream>
+#include <limits>
 
 #include "util/error.hpp"
 
 namespace bookleaf::io {
 
 void write_vtk(const std::string& path, const mesh::Mesh& mesh,
-               const hydro::State& s) {
+               const hydro::State& s, int step, Real t) {
     std::ofstream out(path);
     util::require(static_cast<bool>(out), "write_vtk: cannot open " + path);
-    out.precision(12);
+    // max_digits10, as in CsvWriter: dumped values round-trip exactly, so
+    // a bitwise diff of two VTK files really compares field bits.
+    out.precision(std::numeric_limits<Real>::max_digits10);
 
     const Index n_nodes = mesh.n_nodes();
     const Index n_cells = mesh.n_cells();
@@ -34,7 +37,14 @@ void write_vtk(const std::string& path, const mesh::Mesh& mesh,
     out << "CELL_TYPES " << n_cells << '\n';
     for (Index c = 0; c < n_cells; ++c) out << "9\n"; // VTK_QUAD
 
-    out << "CELL_DATA " << n_cells << '\n';
+    // Step/time metadata as the conventional CYCLE / TIME field arrays,
+    // so a dump records *when* it was taken and CI can pair files.
+    out << "CELL_DATA " << n_cells << '\n'
+        << "FIELD FieldData 2\n"
+        << "CYCLE 1 1 int\n"
+        << step << '\n'
+        << "TIME 1 1 double\n"
+        << t << '\n';
     const auto cell_field = [&](const char* name, const std::vector<Real>& f) {
         out << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
         for (Index c = 0; c < n_cells; ++c)

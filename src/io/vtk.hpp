@@ -2,6 +2,10 @@
 /// \file vtk.hpp
 /// Legacy-VTK unstructured-grid writer for visualising runs (cell fields:
 /// density, pressure, internal energy, viscosity; point field: velocity).
+/// Values are printed at max_digits10 so they round-trip exactly — a
+/// dumped file can be diffed bitwise, the same contract as CsvWriter —
+/// and each file carries a FIELD block with the step count (CYCLE) and
+/// simulation time (TIME), so CI can pair and compare dumps.
 
 #include <string>
 
@@ -10,9 +14,11 @@
 
 namespace bookleaf::io {
 
-/// Write the current state as an ASCII legacy .vtk file. Throws
-/// util::Error if the file cannot be opened.
+/// Write the current state as an ASCII legacy .vtk file. `step` and `t`
+/// are recorded in the CELL_DATA FIELD block (the conventional CYCLE /
+/// TIME metadata ParaView and VisIt read). Throws util::Error if the file
+/// cannot be opened.
 void write_vtk(const std::string& path, const mesh::Mesh& mesh,
-               const hydro::State& state);
+               const hydro::State& state, int step = 0, Real t = 0.0);
 
 } // namespace bookleaf::io

@@ -36,6 +36,12 @@ Index Subdomain::n_state_peers() const {
     return n_union_sending_peers(node_schedule, cell_schedule);
 }
 
+Index Subdomain::n_owned_nodes() const {
+    Index n = 0;
+    for (const auto owned : node_owned) n += owned;
+    return n;
+}
+
 Index Subdomain::messages_per_step(typhon::Packing packing) const {
     const Index node_peers = n_sending_peers(node_schedule);
     const Index cell_peers = n_sending_peers(cell_schedule);

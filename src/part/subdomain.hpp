@@ -119,6 +119,11 @@ struct Subdomain {
     [[nodiscard]] static Index n_sending_peers(
         const typhon::ExchangeSchedule& schedule);
 
+    /// Local nodes this rank owns (the node_owned popcount) — the node
+    /// slice it contributes to a checkpoint gather. Owned cell counts are
+    /// n_owned_cells directly.
+    [[nodiscard]] Index n_owned_nodes() const;
+
     /// Sending peers of the fused pre-step state halo: the union of the
     /// node and cell schedules' sending peer sets (one coalesced message
     /// per union peer — the ein halo rides in the node-halo message

@@ -184,6 +184,19 @@ Problem make_problem(const Deck& deck) {
     // [io]
     p.history = deck.get("io", "history", p.history);
 
+    // [checkpoint]
+    p.checkpoint.every_steps =
+        deck.get_int("checkpoint", "every_steps", p.checkpoint.every_steps);
+    p.checkpoint.at_time =
+        deck.get_real("checkpoint", "at_time", p.checkpoint.at_time);
+    p.checkpoint.prefix = deck.get("checkpoint", "prefix", p.checkpoint.prefix);
+    p.checkpoint.restart_from =
+        deck.get("checkpoint", "restart_from", p.checkpoint.restart_from);
+    p.checkpoint.halt_after =
+        deck.get_bool("checkpoint", "halt_after", p.checkpoint.halt_after);
+    util::require(p.checkpoint.every_steps >= 0,
+                  "deck: checkpoint.every_steps must be >= 0");
+
     return p;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ale/remap.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "eos/eos.hpp"
 #include "hydro/options.hpp"
 #include "mesh/mesh.hpp"
@@ -28,6 +29,9 @@ struct Problem {
     /// disables. The driver appends one row per step: step, t, dt, total
     /// mass, internal energy, kinetic energy.
     std::string history;
+    /// Checkpoint cadence and restart source (deck section `[checkpoint]`:
+    /// every_steps / at_time / prefix / restart_from / halt_after).
+    ckpt::Config checkpoint;
 };
 
 /// Sod's shock tube [32] on a strip: (rho, P) = (1, 1) | (0.125, 0.1),

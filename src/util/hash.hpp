@@ -1,0 +1,33 @@
+#pragma once
+/// \file hash.hpp
+/// FNV-1a — the repo's one byte-stream hash. Used by the checkpoint
+/// subsystem for the per-field payload checksums and the mesh/deck
+/// identity hash; deliberately simple, endian-honest (it hashes the bytes
+/// actually serialized) and dependency-free.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bookleaf::util {
+
+inline constexpr std::uint64_t fnv1a_offset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t fnv1a_prime = 0x100000001b3ULL;
+
+/// Fold `bytes` bytes into a running FNV-1a state `h` (seed with
+/// fnv1a_offset).
+[[nodiscard]] inline std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                                         std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= fnv1a_prime;
+    }
+    return h;
+}
+
+/// One-shot convenience form.
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+    return fnv1a(fnv1a_offset, data, bytes);
+}
+
+} // namespace bookleaf::util

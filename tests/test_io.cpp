@@ -42,6 +42,48 @@ TEST(Vtk, WritesWellFormedLegacyFile) {
     std::remove(path.c_str());
 }
 
+TEST(Vtk, FieldHeaderCarriesStepAndTime) {
+    bookleaf::core::Hydro h(bookleaf::setup::sod(8, 2));
+    h.run(std::nullopt, 5);
+    const std::string path = "/tmp/bookleaf_test_field.vtk";
+    bi::write_vtk(path, h.mesh(), h.state(), h.steps(), h.time());
+    const auto text = slurp(path);
+    // The conventional CYCLE/TIME field arrays head the CELL_DATA block.
+    const auto field = text.find("FIELD FieldData 2\nCYCLE 1 1 int\n5\n"
+                                 "TIME 1 1 double\n");
+    ASSERT_NE(field, std::string::npos);
+    EXPECT_GT(field, text.find("CELL_DATA"));
+    // The recorded time round-trips exactly (max_digits10).
+    std::istringstream t_text(
+        text.substr(text.find('\n', text.find("TIME 1 1 double")) + 1));
+    Real t_back = -1.0;
+    t_text >> t_back;
+    EXPECT_EQ(t_back, h.time());
+    std::remove(path.c_str());
+}
+
+TEST(Vtk, DumpsRoundTripAtFullPrecision) {
+    // precision(12) used to truncate dumped fields; at max_digits10 every
+    // value parses back to the identical double, so VTK dumps can be
+    // diffed bitwise like the CSV dumps.
+    bookleaf::core::Hydro h(bookleaf::setup::sod(4, 2));
+    auto& rho = h.state().rho;
+    rho[0] = 1.0 / 3.0;
+    rho[1] = 0.1234567890123456789; // not representable at 12 digits
+    const std::string path = "/tmp/bookleaf_test_precision.vtk";
+    bi::write_vtk(path, h.mesh(), h.state());
+    const auto text = slurp(path);
+    auto pos = text.find("SCALARS density double 1");
+    ASSERT_NE(pos, std::string::npos);
+    pos = text.find('\n', text.find("LOOKUP_TABLE default", pos)) + 1;
+    std::istringstream values(text.substr(pos));
+    Real v0 = 0, v1 = 0;
+    values >> v0 >> v1;
+    EXPECT_EQ(v0, rho[0]);
+    EXPECT_EQ(v1, rho[1]);
+    std::remove(path.c_str());
+}
+
 TEST(Vtk, FailsLoudlyOnBadPath) {
     bookleaf::core::Hydro h(bookleaf::setup::sod(4, 2));
     EXPECT_THROW(bi::write_vtk("/nonexistent/dir/x.vtk", h.mesh(), h.state()),
@@ -65,5 +107,31 @@ TEST(Csv, RejectsWrongArity) {
     const std::string path = "/tmp/bookleaf_test2.csv";
     bi::CsvWriter csv(path, {"a", "b"});
     EXPECT_THROW(csv.row({1.0}), bu::Error);
+    std::remove(path.c_str());
+}
+
+TEST(Csv, AppendModeContinuesWithoutASecondHeader) {
+    const std::string path = "/tmp/bookleaf_test_append.csv";
+    std::remove(path.c_str());
+    {
+        bi::CsvWriter csv(path, {"a", "b"});
+        csv.row({1.0, 2.0});
+    }
+    {
+        bi::CsvWriter csv(path, {"a", "b"}, bi::CsvWriter::Mode::append);
+        csv.row({3.0, 4.0});
+    }
+    EXPECT_EQ(slurp(path), "a,b\n1,2\n3,4\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, AppendModeWritesTheHeaderForAFreshFile) {
+    const std::string path = "/tmp/bookleaf_test_append_fresh.csv";
+    std::remove(path.c_str());
+    {
+        bi::CsvWriter csv(path, {"a", "b"}, bi::CsvWriter::Mode::append);
+        csv.row({1.0, 2.0});
+    }
+    EXPECT_EQ(slurp(path), "a,b\n1,2\n");
     std::remove(path.c_str());
 }

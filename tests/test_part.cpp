@@ -179,6 +179,21 @@ TEST(Subdomain, NodeOwnershipIsExclusiveAndComplete) {
     for (const int o : owners) EXPECT_EQ(o, 1);
 }
 
+TEST(Subdomain, OwnedNodeCountsSumToTheGlobalMesh) {
+    // n_owned_nodes is the checkpoint gather's slice size: across ranks
+    // the owned slices must tile the global node set exactly.
+    const auto m = bm::generate_rect({.nx = 8, .ny = 8});
+    for (const int n_parts : {1, 2, 4, 5}) {
+        const auto subs = bp::decompose(m, bp::rcb(m, n_parts), n_parts);
+        Index total = 0;
+        for (const auto& sub : subs) {
+            EXPECT_GT(sub.n_owned_nodes(), 0);
+            total += sub.n_owned_nodes();
+        }
+        EXPECT_EQ(total, m.n_nodes()) << n_parts << " parts";
+    }
+}
+
 TEST(Subdomain, SchedulesAreMutuallyConsistent) {
     // For each (sender, receiver) pair the flattened send list must map to
     // the same global entities as the receiver's recv list.
