@@ -1,10 +1,12 @@
 #include "ckpt/checkpoint.hpp"
 
 #include <array>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <utility>
 
-#include "geom/geometry.hpp"
+#include "hydro/kernels.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 
@@ -96,31 +98,53 @@ void write(const std::string& path, const Snapshot& snapshot) {
                       std::string("ckpt: inconsistent field size for '") +
                           f.name + "' while writing " + path);
 
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    util::require(static_cast<bool>(out), "ckpt: cannot open " + path);
+    // Atomic write: stream to <path>.tmp, rename into place only after a
+    // successful flush. A crash (or injected rank kill) mid-write leaves
+    // at worst a stale .tmp that snapshot discovery and restart_from
+    // never match — never a truncated .ckpt.
+    const std::string tmp = path + ".tmp";
+    try {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        util::require(static_cast<bool>(out), "ckpt: cannot open " + tmp);
 
-    out.write(magic.data(), static_cast<std::streamsize>(magic.size()));
-    put(out, format_version);
-    put(out, static_cast<std::uint32_t>(fields.size()));
-    put(out, snapshot.mesh_hash);
-    put(out, snapshot.steps);
-    put(out, snapshot.t);
-    put(out, snapshot.dt);
-    put(out, n_nodes);
-    put(out, n_cells);
+        // The header checksum folds in every byte as it is written.
+        std::uint64_t hsum = util::fnv1a_offset;
+        const auto put_h = [&](const auto& v) {
+            hsum = util::fnv1a(hsum, &v, sizeof(v));
+            put(out, v);
+        };
+        out.write(magic.data(), static_cast<std::streamsize>(magic.size()));
+        hsum = util::fnv1a(hsum, magic.data(), magic.size());
+        put_h(format_version);
+        put_h(static_cast<std::uint32_t>(fields.size()));
+        put_h(snapshot.mesh_hash);
+        put_h(snapshot.steps);
+        put_h(snapshot.t);
+        put_h(snapshot.dt);
+        put_h(snapshot.regrow);
+        put_h(n_nodes);
+        put_h(n_cells);
+        put(out, hsum);
 
-    for (const auto& f : fields) {
-        const auto& data = snapshot.*(f.member);
-        std::array<char, field_name_bytes> name{};
-        std::strncpy(name.data(), f.name, field_name_bytes - 1);
-        out.write(name.data(), static_cast<std::streamsize>(name.size()));
-        put(out, static_cast<std::uint64_t>(data.size()));
-        put(out, checksum(data.data(), data.size() * sizeof(Real)));
-        out.write(reinterpret_cast<const char*>(data.data()),
-                  static_cast<std::streamsize>(data.size() * sizeof(Real)));
+        for (const auto& f : fields) {
+            const auto& data = snapshot.*(f.member);
+            std::array<char, field_name_bytes> name{};
+            std::strncpy(name.data(), f.name, field_name_bytes - 1);
+            out.write(name.data(), static_cast<std::streamsize>(name.size()));
+            put(out, static_cast<std::uint64_t>(data.size()));
+            put(out, checksum(data.data(), data.size() * sizeof(Real)));
+            out.write(reinterpret_cast<const char*>(data.data()),
+                      static_cast<std::streamsize>(data.size() * sizeof(Real)));
+        }
+        out.flush();
+        util::require(static_cast<bool>(out), "ckpt: write failed for " + tmp);
+        out.close();
+        util::require(std::rename(tmp.c_str(), path.c_str()) == 0,
+                      "ckpt: cannot move " + tmp + " into place as " + path);
+    } catch (...) {
+        std::remove(tmp.c_str());
+        throw;
     }
-    out.flush();
-    util::require(static_cast<bool>(out), "ckpt: write failed for " + path);
 }
 
 Snapshot read(const std::string& path) {
@@ -133,28 +157,63 @@ Snapshot read(const std::string& path) {
         file_magic != magic)
         throw util::Error("ckpt: '" + path + "' is not a BookLeaf checkpoint");
 
-    const auto version = get<std::uint32_t>(in, path, "version");
+    // Recompute the header checksum byte-for-byte as the fields come in.
+    std::uint64_t hsum = util::fnv1a(magic.data(), magic.size());
+    const auto get_h = [&]<typename T>(std::in_place_type_t<T>,
+                                       const char* what) {
+        const T v = get<T>(in, path, what);
+        hsum = util::fnv1a(hsum, &v, sizeof(v));
+        return v;
+    };
+    const auto version =
+        get_h(std::in_place_type<std::uint32_t>, "version");
     if (version != format_version)
         throw util::Error("ckpt: '" + path + "' has format version " +
                           std::to_string(version) + ", expected " +
                           std::to_string(format_version));
-    const auto n_fields = get<std::uint32_t>(in, path, "field count");
+    const auto n_fields =
+        get_h(std::in_place_type<std::uint32_t>, "field count");
     if (n_fields != fields.size())
         throw util::Error("ckpt: '" + path + "' carries " +
                           std::to_string(n_fields) + " fields, expected " +
                           std::to_string(fields.size()));
 
     Snapshot snapshot;
-    snapshot.mesh_hash = get<std::uint64_t>(in, path, "mesh hash");
-    snapshot.steps = get<std::int64_t>(in, path, "step count");
-    snapshot.t = get<Real>(in, path, "time");
-    snapshot.dt = get<Real>(in, path, "dt");
-    const auto n_nodes = get<std::int64_t>(in, path, "node count");
-    const auto n_cells = get<std::int64_t>(in, path, "cell count");
+    snapshot.mesh_hash = get_h(std::in_place_type<std::uint64_t>, "mesh hash");
+    snapshot.steps = get_h(std::in_place_type<std::int64_t>, "step count");
+    snapshot.t = get_h(std::in_place_type<Real>, "time");
+    snapshot.dt = get_h(std::in_place_type<Real>, "dt");
+    snapshot.regrow = get_h(std::in_place_type<Real>, "regrow limit");
+    const auto n_nodes = get_h(std::in_place_type<std::int64_t>, "node count");
+    const auto n_cells = get_h(std::in_place_type<std::int64_t>, "cell count");
+    if (get<std::uint64_t>(in, path, "header checksum") != hsum)
+        throw util::Error("ckpt: header checksum mismatch in '" + path +
+                          "' (corrupt file)");
     if (n_nodes < 0 || n_cells < 0 ||
         n_nodes > std::numeric_limits<Index>::max() ||
         n_cells > std::numeric_limits<Index>::max() / corners_per_cell)
         throw util::Error("ckpt: '" + path + "' has implausible entity counts");
+
+    // Bound every allocation by the bytes actually on disk *before*
+    // trusting any count: a forged header demanding gigabytes must throw
+    // here, not inside a resize. The format has no padding, so the size
+    // is exact.
+    {
+        const auto header_end = in.tellg();
+        in.seekg(0, std::ios::end);
+        const auto file_size = static_cast<std::uint64_t>(in.tellg());
+        in.seekg(header_end);
+        std::uint64_t expected = static_cast<std::uint64_t>(header_end);
+        for (const auto& f : fields)
+            expected += field_name_bytes + 2 * sizeof(std::uint64_t) +
+                        static_cast<std::uint64_t>(
+                            expected_count(f.kind, n_nodes, n_cells)) *
+                            sizeof(Real);
+        if (file_size != expected)
+            throw util::Error("ckpt: '" + path +
+                              "' size disagrees with its header (truncated "
+                              "or corrupt file)");
+    }
 
     for (const auto& f : fields) {
         std::array<char, field_name_bytes> name{};
@@ -188,12 +247,13 @@ Snapshot read(const std::string& path) {
 }
 
 Snapshot capture(const mesh::Mesh& mesh, const hydro::State& s, Real t,
-                 Real dt, std::int64_t steps) {
+                 Real dt, std::int64_t steps, Real regrow) {
     Snapshot snap;
     snap.mesh_hash = mesh_hash(mesh);
     snap.steps = steps;
     snap.t = t;
     snap.dt = dt;
+    snap.regrow = regrow;
     snap.x = s.x;
     snap.y = s.y;
     snap.u = s.u;
@@ -209,24 +269,10 @@ Snapshot capture(const mesh::Mesh& mesh, const hydro::State& s, Real t,
 
 void rebuild_derived(const mesh::Mesh& mesh,
                      const eos::MaterialTable& materials, hydro::State& s) {
-    for (Index c = 0; c < mesh.n_cells(); ++c) {
-        const auto quad = geom::gather(mesh, s.x, s.y, c);
-        s.cache_geometry(c, quad);
-        const Real vol = geom::quad_area(quad);
-        if (vol <= 0.0)
-            throw util::Error("ckpt: non-positive volume in cell " +
-                              std::to_string(c) + " while restoring");
-        const auto ci = static_cast<std::size_t>(c);
-        s.volume[ci] = vol;
-        s.char_len[ci] = geom::char_length(quad);
-        const auto cv = geom::corner_volumes(quad);
-        for (int k = 0; k < corners_per_cell; ++k)
-            s.cnvol[hydro::State::cidx(c, k)] =
-                cv[static_cast<std::size_t>(k)];
-        const Index r = mesh.cell_region[ci];
-        s.pre[ci] = materials.pressure(r, s.rho[ci], s.ein[ci]);
-        s.csqrd[ci] = materials.sound_speed2(r, s.rho[ci], s.ein[ci]);
-    }
+    // Restored rho is a primary: strict rebuild without the density
+    // recompute (hydro::rebuild_cells is the shared per-cell sequence).
+    hydro::rebuild_cells(mesh, materials, s, 0, mesh.n_cells(),
+                         /*with_rho=*/false, /*strict=*/true, "ckpt");
 }
 
 void restore(const mesh::Mesh& mesh, const eos::MaterialTable& materials,

@@ -26,12 +26,21 @@
 /// On-disk format (native endianness, version-gated):
 ///   header: magic "BLFCKPT\n", u32 version, u32 field count,
 ///           u64 mesh hash (deck/mesh identity), i64 steps, f64 t,
-///           f64 dt (unclamped growth reference), i64 n_nodes, i64 n_cells
+///           f64 dt (unclamped growth reference), f64 regrow (health-guard
+///           re-growth ceiling, v2), i64 n_nodes, i64 n_cells,
+///           u64 FNV-1a checksum of all preceding header bytes (v2)
 ///   fields: per field, a 12-byte name, u64 count, u64 FNV-1a checksum of
 ///           the raw bytes, then the f64 payload in ascending global
 ///           entity order.
 /// Every structural violation (bad magic, unsupported version, truncated
-/// payload, checksum or count mismatch) is a util::Error, never UB.
+/// payload, checksum or count mismatch) is a util::Error, never UB. The
+/// header checksum means a bit-flipped header cannot silently alter the
+/// restart clock or entity counts, and the reader bounds every allocation
+/// by the *actual file size* before trusting a count — hostile bytes can
+/// make it throw, never crash or OOM. Writes are atomic: the stream goes
+/// to `<path>.tmp` and is renamed into place only after a successful
+/// flush, so a crash mid-write can never leave a truncated file where
+/// snapshot discovery or `restart_from` would pick it up.
 
 #include <cstdint>
 #include <string>
@@ -45,8 +54,8 @@
 namespace bookleaf::ckpt {
 
 /// On-disk format version (bump on any layout change; readers reject
-/// other versions loudly).
-inline constexpr std::uint32_t format_version = 1;
+/// other versions loudly). v2 appended the header checksum.
+inline constexpr std::uint32_t format_version = 2;
 
 /// Everything needed to continue a run exactly (see file comment). All
 /// arrays are global-numbering, ascending entity id; corner data is flat
@@ -56,6 +65,7 @@ struct Snapshot {
     std::int64_t steps = 0;      ///< completed steps
     Real t = 0.0;                ///< simulation time
     Real dt = 0.0;               ///< *unclamped* dt growth reference
+    Real regrow = 0.0;           ///< health-guard re-growth ceiling (0 = off)
     // --- node fields -------------------------------------------------------
     std::vector<Real> x, y;      ///< positions
     std::vector<Real> u, v;      ///< velocities
@@ -107,18 +117,24 @@ struct Config {
 /// FNV-1a over raw bytes (the per-field checksum).
 [[nodiscard]] std::uint64_t checksum(const void* data, std::size_t bytes);
 
-/// Serialize to `path`. Throws util::Error on IO failure or inconsistent
-/// field sizes.
+/// Serialize to `path`, atomically: the bytes stream to `<path>.tmp` and
+/// the file is renamed into place only after a successful flush (a failed
+/// write removes the temporary). Throws util::Error on IO failure or
+/// inconsistent field sizes.
 void write(const std::string& path, const Snapshot& snapshot);
 
 /// Deserialize from `path`. Throws util::Error on a missing file, bad
-/// magic, unsupported version, count mismatch, truncation, or a per-field
-/// checksum failure.
+/// magic, unsupported version, header or per-field checksum failure,
+/// count mismatch, or truncation. Allocations are bounded by the actual
+/// file size before any count from the header is trusted.
 [[nodiscard]] Snapshot read(const std::string& path);
 
-/// Capture a snapshot from a (serial, global-numbering) state.
+/// Capture a snapshot from a (serial, global-numbering) state. `regrow`
+/// is the driver's health-guard re-growth ceiling (0 when inactive) — it
+/// is part of the exact continuation state.
 [[nodiscard]] Snapshot capture(const mesh::Mesh& mesh, const hydro::State& s,
-                               Real t, Real dt, std::int64_t steps);
+                               Real t, Real dt, std::int64_t steps,
+                               Real regrow = 0.0);
 
 /// Rebuild every derived field of `s` from the restored primaries, using
 /// exactly the per-cell sequence getgeom/getpc (and initialise) use:

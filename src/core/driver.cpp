@@ -45,6 +45,7 @@ Hydro::Hydro(setup::Problem problem, const ckpt::Snapshot& snapshot)
     init_context();
     t_ = snapshot.t;
     dt_ = snapshot.dt;
+    regrow_limit_ = snapshot.regrow;
     steps_ = static_cast<int>(snapshot.steps);
     // (An at_time trigger the snapshot already passed cannot re-fire:
     // Config::due needs the step to cross it, and t only grows.)
@@ -179,12 +180,28 @@ StepInfo Hydro::step() { return step_clamped(std::nullopt); }
 
 StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
     StepInfo info;
+    const auto& guard = ctx_.opts.guard;
     // Algorithm 1: the very first step uses dt_initial.
     if (steps_ > 0) {
         const auto dt_result = hydro::getdt(ctx_, state_, dt_);
         dt_ = dt_result.dt;
         info.dt_cell = dt_result.cell;
         info.dt_reason = dt_result.reason;
+        // Re-growth ceiling after a health-guard backoff: binds the
+        // controller until its own value ducks back under, then clears.
+        // (The distributed driver replicates this sequence exactly; the
+        // cap commutes with the min-reduction because every rank holds
+        // the same limit.)
+        if (regrow_limit_ > 0.0) {
+            if (dt_ > regrow_limit_) {
+                dt_ = regrow_limit_;
+                info.dt_cell = no_index;
+                info.dt_reason = "regrow";
+                regrow_limit_ *= guard.regrow_cap;
+            } else {
+                regrow_limit_ = 0.0;
+            }
+        }
     } else {
         info.dt_reason = "initial";
     }
@@ -194,10 +211,38 @@ StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
     // from the arbitrarily tiny final clamped step.
     const auto clamped = t_end ? hydro::clamp_to_t_end(t_, dt_, *t_end)
                                : hydro::ClampedDt{dt_, dt_};
-    const Real dt = clamped.used;
+    Real dt = clamped.used;
     if (dt != clamped.unclamped) info.dt_reason = "t_end";
 
+    if (guard.enabled) hydro::capture_step(state_, step_backup_);
     hydro::lagstep(ctx_, state_, dt);
+    if (guard.enabled) {
+        // Health-guard retry: a step that produced non-finite or
+        // non-physical fields is rolled back and retaken with a smaller
+        // dt. The accepted dt becomes the growth reference and arms the
+        // re-growth ceiling, so the controller climbs back gradually.
+        int retries = 0;
+        while (!hydro::step_healthy(state_, state_.n_cells())) {
+            util::require(retries < guard.max_retries,
+                          "hydro: step " + std::to_string(steps_ + 1) +
+                              " rejected by health guards after " +
+                              std::to_string(retries) + " dt-backoff retries");
+            ++retries;
+            const Real dt_try = dt * guard.backoff;
+            util::require(dt_try >= ctx_.opts.dt_min,
+                          "hydro: health-guard backoff drove dt below dt_min "
+                          "at step " + std::to_string(steps_ + 1));
+            hydro::restore_step(ctx_, state_, step_backup_);
+            dt = dt_try;
+            hydro::lagstep(ctx_, state_, dt);
+        }
+        if (retries > 0) {
+            dt_ = dt;
+            regrow_limit_ = dt * guard.regrow_cap;
+            info.dt_cell = no_index;
+            info.dt_reason = "health-retry";
+        }
+    }
 
     if (problem_.ale.mode != ale::Mode::lagrange) {
         const bool due = problem_.ale.mode == ale::Mode::eulerian ||

@@ -76,9 +76,11 @@ public:
                    int max_steps = std::numeric_limits<int>::max());
 
     /// Capture the current state + clock as a Snapshot (including the
-    /// unclamped dt growth reference).
+    /// unclamped dt growth reference and the health-guard re-growth
+    /// ceiling).
     [[nodiscard]] ckpt::Snapshot snapshot() const {
-        return ckpt::capture(problem_.mesh, state_, t_, dt_, steps_);
+        return ckpt::capture(problem_.mesh, state_, t_, dt_, steps_,
+                             regrow_limit_);
     }
     /// Write a checkpoint of the current state to `path`.
     void save(const std::string& path) const { ckpt::write(path, snapshot()); }
@@ -125,6 +127,16 @@ private:
     /// run(t1) must not be growth-limited by the tiny final clamped step.
     Real dt_ = 0.0;
     int steps_ = 0;
+    /// Health-guard re-growth ceiling on the controller dt (0 = inactive).
+    /// Armed after a dt-backoff retry at `accepted dt * guard.regrow_cap`
+    /// and raised by regrow_cap per step while it binds; cleared the
+    /// first step the controller's own value ducks under it. Keeps a
+    /// freshly stabilised dt from leaping straight back to the value
+    /// that failed. Evolves from collectively-agreed quantities only, so
+    /// the distributed driver replicates it bitwise on every rank.
+    Real regrow_limit_ = 0.0;
+    /// Loop-top state for the health-guard rollback (reused across steps).
+    hydro::StepBackup step_backup_;
     /// Set when a checkpoint was written and `halt_after` asks the run
     /// loop to stop there (the step itself still completed normally).
     bool halt_requested_ = false;

@@ -27,12 +27,18 @@
 
 #include "dist/distributed.hpp"
 
+#include <algorithm>
 #include <array>
+#include <chrono>
+#include <deque>
+#include <optional>
 #include <span>
 #include <string>
+#include <thread>
 
 #include "geom/geometry.hpp"
 #include "part/subdomain.hpp"
+#include "typhon/fault.hpp"
 #include "typhon/typhon.hpp"
 #include "util/error.hpp"
 
@@ -59,26 +65,13 @@ void snapshot(const hydro::Context& ctx, hydro::State& s) {
 void rebuild_ghost_state(const hydro::Context& ctx, hydro::State& s,
                          const part::Subdomain& sub) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::other);
-    const auto& mesh = *ctx.mesh;
-    const auto& materials = *ctx.materials;
-    for (Index c = sub.n_owned_cells; c < mesh.n_cells(); ++c) {
-        const auto quad = geom::gather(mesh, s.x, s.y, c);
-        s.cache_geometry(c, quad);
-        const auto ci = static_cast<std::size_t>(c);
-        const Real vol = geom::quad_area(quad);
-        if (vol <= 0.0)
-            throw util::Error("dist: non-positive ghost volume in cell " +
-                              std::to_string(c));
-        s.volume[ci] = vol;
-        s.char_len[ci] = geom::char_length(quad);
-        const auto cv = geom::corner_volumes(quad);
-        for (int k = 0; k < corners_per_cell; ++k)
-            s.cnvol[hydro::State::cidx(c, k)] = cv[static_cast<std::size_t>(k)];
-        s.rho[ci] = s.cell_mass[ci] / std::max(vol, tiny);
-        const Index r = mesh.cell_region[ci];
-        s.pre[ci] = materials.pressure(r, s.rho[ci], s.ein[ci]);
-        s.csqrd[ci] = materials.sound_speed2(r, s.rho[ci], s.ein[ci]);
-    }
+    // Strict (throwing) on a non-positive ghost volume — except under the
+    // health guards, where a tangled geometry must propagate quietly to
+    // the post-corrector vote so every rank reaches the collective retry
+    // decision instead of one rank dying mid-step.
+    hydro::rebuild_cells(*ctx.mesh, *ctx.materials, s, sub.n_owned_cells,
+                         ctx.mesh->n_cells(), /*with_rho=*/true,
+                         /*strict=*/!ctx.opts.guard.enabled, "dist ghost");
 }
 
 // ---------------------------------------------------------------------------
@@ -175,7 +168,7 @@ void dist_lagstep(const hydro::Context& ctx, hydro::State& s, Real dt,
 hydro::ClampedDt overlap_step(const hydro::Context& ctx, hydro::State& s,
                               Real dt_local, bool reduce, Real t, Real t_end,
                               typhon::Comm& comm, const part::Subdomain& sub,
-                              typhon::Packing packing) {
+                              typhon::Packing packing, Real& regrow_limit) {
     const std::span<const Index> interior(sub.interior_cells);
     const std::span<const Index> boundary(sub.boundary_cells);
 
@@ -215,6 +208,18 @@ hydro::ClampedDt overlap_step(const hydro::Context& ctx, hydro::State& s,
     if (reduce) {
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::reduce);
         dt_global = dt_reduce.wait();
+    }
+    // Health-guard re-growth ceiling, applied to the *reduced* controller
+    // value — the exact serial sequence (core::Hydro::step_clamped),
+    // evaluated identically on every rank because the reduced dt and the
+    // limit are globally agreed quantities.
+    if (reduce && regrow_limit > 0.0) {
+        if (dt_global > regrow_limit) {
+            dt_global = regrow_limit;
+            regrow_limit *= ctx.opts.guard.regrow_cap;
+        } else {
+            regrow_limit = 0.0;
+        }
     }
     const auto step_dt = hydro::clamp_to_t_end(t, dt_global, t_end);
 
@@ -335,27 +340,29 @@ void unpack_owned(const part::Subdomain& sub, std::span<const Real> payload,
                   "dist: checkpoint gather payload size mismatch");
 }
 
-/// Write one distributed checkpoint: every rank ships its owned slice to
+/// Assemble one global snapshot: every rank ships its owned slice to
 /// rank 0 through the typhon point-to-point layer; rank 0 assembles the
-/// global arrays (ascending entity order, the serial layout) and writes
-/// the file. Because owned fields are bitwise-serial, the bytes on disk
-/// are identical to a serial run's checkpoint at the same step — at any
-/// rank count.
-void write_distributed_checkpoint(
+/// global arrays (ascending entity order, the serial layout) and returns
+/// the snapshot — other ranks return nullopt. Because owned fields are
+/// bitwise-serial, the assembled snapshot is identical to the one a
+/// serial run would capture at the same step — at any rank count. One
+/// gather serves both consumers: the on-disk checkpoint cadence and the
+/// supervisor's in-memory rollback ring.
+std::optional<ckpt::Snapshot> gather_snapshot(
     typhon::Comm& comm, const std::vector<part::Subdomain>& subs,
     const mesh::Mesh& global, std::uint64_t mesh_hash, const hydro::State& s,
-    const part::Subdomain& sub, Real t, Real dt_ref, std::int64_t steps,
-    const ckpt::Config& cfg, std::vector<std::string>& written,
-    util::Profiler& profiler) {
+    const part::Subdomain& sub, Real t, Real dt_ref, Real regrow,
+    std::int64_t steps, util::Profiler& profiler) {
     const util::ScopedTimer timer(profiler, util::Kernel::other);
     comm.send(0, ckpt_tag, pack_owned(sub, s));
-    if (comm.rank() != 0) return;
+    if (comm.rank() != 0) return std::nullopt;
 
     ckpt::Snapshot snap;
     snap.mesh_hash = mesh_hash;
     snap.steps = steps;
     snap.t = t;
     snap.dt = dt_ref;
+    snap.regrow = regrow;
     const auto nn = static_cast<std::size_t>(global.n_nodes());
     const auto nc = static_cast<std::size_t>(global.n_cells());
     snap.x.resize(nn);
@@ -372,9 +379,7 @@ void write_distributed_checkpoint(
         const auto payload = comm.recv(r, ckpt_tag);
         unpack_owned(subs[static_cast<std::size_t>(r)], payload, snap);
     }
-    const auto path = cfg.path_for(steps);
-    ckpt::write(path, snap);
-    written.push_back(path);
+    return snap;
 }
 
 /// Restore one rank's subdomain state from the global snapshot: owned and
@@ -492,20 +497,30 @@ namespace {
 
 /// The shared driver body. Exactly one of `snap` (restart) or the four
 /// initial-condition fields (fresh run) is non-null.
+///
+/// Supervised mode (opts.supervise) wraps the whole run in an attempt
+/// loop: a typhon::RankFailure — an injected kill or any real rank error —
+/// rolls the run back to the newest ring snapshot (or the restart
+/// snapshot, or the initial conditions), drops the failed rank, and
+/// re-runs partition/decompose/typhon::run on the survivors. Because
+/// snapshots are rank-count invariant and the owned-entity contract is
+/// bitwise at any rank count, the recovered result is bitwise identical
+/// to an uninterrupted run. Failed attempts leave no residue: every
+/// global entity is owned by some rank at every rank count, so the
+/// successful attempt's gather overwrites the result arrays completely,
+/// and thread-join ordering makes the cross-attempt reuse race-free.
 Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                 const Options& opts, const ckpt::Snapshot* snap,
                 const std::vector<Real>* rho_ic,
                 const std::vector<Real>* ein_ic, const std::vector<Real>* u_ic,
                 const std::vector<Real>* v_ic) {
-    const std::vector<Index> part =
-        opts.partitioner ? opts.partitioner(global, opts.n_ranks)
-                         : part::rcb(global, opts.n_ranks);
-    const auto subs = part::decompose(global, part, opts.n_ranks);
+    const bool supervised = opts.supervise.enabled;
 
     // The writer rank needs the global mesh identity; hash it once here
-    // rather than per checkpoint.
+    // rather than per checkpoint/ring snapshot.
     const std::uint64_t global_hash =
-        opts.checkpoint.enabled() ? ckpt::mesh_hash(global) : 0;
+        (opts.checkpoint.enabled() || supervised) ? ckpt::mesh_hash(global)
+                                                  : 0;
 
     Result result;
     result.rho.resize(static_cast<std::size_t>(global.n_cells()));
@@ -514,19 +529,46 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
     result.v.resize(result.u.size());
     result.x.resize(result.u.size());
     result.y.resize(result.u.size());
-    result.profiles.resize(static_cast<std::size_t>(opts.n_ranks));
-    std::vector<util::Profiler> profilers(
-        static_cast<std::size_t>(opts.n_ranks));
-    std::vector<int> steps_per_rank(static_cast<std::size_t>(opts.n_ranks), 0);
-    std::vector<Real> t_per_rank(static_cast<std::size_t>(opts.n_ranks), 0.0);
 
-    result.traffic = typhon::run(opts.n_ranks, [&](typhon::Comm& comm) {
+    // Rollback ring: the newest supervised snapshots, oldest evicted.
+    // Only the rank-0 thread touches it inside typhon::run; the
+    // supervisor reads it after the join (thread-join ordering, no lock).
+    std::deque<ckpt::Snapshot> ring;
+    const auto ring_capacity =
+        static_cast<std::size_t>(std::max(1, opts.supervise.ring_capacity));
+
+    int ranks_now = opts.n_ranks;
+    const ckpt::Snapshot* start_snap = snap;
+    ckpt::Snapshot rollback; // owns the ring snapshot a recovery resumes from
+
+    for (int attempt = 0;; ++attempt) {
+        const std::vector<Index> part =
+            opts.partitioner ? opts.partitioner(global, ranks_now)
+                             : part::rcb(global, ranks_now);
+        const auto subs = part::decompose(global, part, ranks_now);
+
+        std::vector<util::Profiler> profilers(
+            static_cast<std::size_t>(ranks_now));
+        std::vector<int> steps_per_rank(static_cast<std::size_t>(ranks_now),
+                                        0);
+        std::vector<Real> t_per_rank(static_cast<std::size_t>(ranks_now), 0.0);
+
+        // The fault plan is scripted per attempt: a kill recorded for
+        // attempt 0 stays quiet during recovery re-runs. An empty plan
+        // never touches the transport hot path (nullptr injector).
+        typhon::FaultInjector injector(opts.faults, ranks_now, attempt);
+        typhon::FaultInjector* fault =
+            opts.faults.empty() ? nullptr : &injector;
+
+        try {
+            result.traffic =
+                typhon::run(ranks_now, [&](typhon::Comm& comm) {
         const auto& sub = subs[static_cast<std::size_t>(comm.rank())];
         auto& profiler = profilers[static_cast<std::size_t>(comm.rank())];
 
         hydro::State s = hydro::allocate(sub.local);
-        if (snap != nullptr) {
-            restore_rank_state(sub, materials, *snap, s);
+        if (start_snap != nullptr) {
+            restore_rank_state(sub, materials, *start_snap, s);
         } else {
             for (std::size_t lc = 0; lc < sub.local_cells.size(); ++lc) {
                 const auto gc = static_cast<std::size_t>(sub.local_cells[lc]);
@@ -552,32 +594,45 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
 
         ale::Workspace ale_work;
         const bool remap_enabled = opts.ale.mode != ale::Mode::lagrange;
+        const auto& guard = opts.hydro.guard;
+        hydro::StepBackup backup;
 
         // Clock: fresh runs start at zero; restarts continue the
         // snapshot's clock (so the remap cadence, the `steps > 0` getdt
         // gate and max_steps all behave as in the serial restore).
-        Real t = snap != nullptr ? snap->t : 0.0;
+        Real t = start_snap != nullptr ? start_snap->t : 0.0;
         // Growth reference for getdt: always the *unclamped* controller
         // value. Feeding a t_end-clamped dt back would growth-limit the
         // next step from an arbitrarily tiny final step (the continuation
         // bug fixed in core::Hydro::step_clamped — same pattern here).
         Real dt_prev =
-            snap != nullptr ? snap->dt : opts.hydro.dt_initial;
-        int steps = snap != nullptr ? static_cast<int>(snap->steps) : 0;
+            start_snap != nullptr ? start_snap->dt : opts.hydro.dt_initial;
+        Real regrow_limit = start_snap != nullptr ? start_snap->regrow : 0.0;
+        int steps = start_snap != nullptr ? static_cast<int>(start_snap->steps)
+                                          : 0;
         while (t < opts.t_end * (Real(1.0) - eps) && steps < opts.max_steps) {
+            // Record the step for failure reports and tick the fault
+            // plan's kill-at-step trigger.
+            comm.set_step(steps);
             const Real t_before = t;
             const Real dt_local =
                 steps > 0 ? hydro::getdt(ctx, s, dt_prev).dt
                           : opts.hydro.dt_initial;
 
+            // Loop-top capture for the health-guard rollback — before the
+            // ghost refresh, so a retry replays the refresh from restored
+            // owned values (the same bytes the first attempt exchanged).
+            if (guard.enabled) hydro::capture_step(s, backup);
+
+            Real dt_used;
             if (opts.overlap) {
                 // The reduce is posted inside the step, concurrent with
                 // the pre-step state halo.
                 const auto step_dt =
                     overlap_step(ctx, s, dt_local, steps > 0, t, opts.t_end,
-                                 comm, sub, opts.packing);
+                                 comm, sub, opts.packing, regrow_limit);
                 dt_prev = step_dt.unclamped;
-                t += step_dt.used;
+                dt_used = step_dt.used;
             } else {
                 Real dt_global = dt_local;
                 if (steps > 0) {
@@ -585,13 +640,76 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                                                   util::Kernel::reduce);
                     dt_global = comm.allreduce_min(dt_local);
                 }
+                // Re-growth ceiling on the reduced controller value — the
+                // serial sequence, identical on every rank (see
+                // overlap_step).
+                if (steps > 0 && regrow_limit > 0.0) {
+                    if (dt_global > regrow_limit) {
+                        dt_global = regrow_limit;
+                        regrow_limit *= guard.regrow_cap;
+                    } else {
+                        regrow_limit = 0.0;
+                    }
+                }
                 const auto step_dt =
                     hydro::clamp_to_t_end(t, dt_global, opts.t_end);
                 dt_prev = step_dt.unclamped;
                 refresh_ghosts(ctx, s, comm, sub, opts.packing);
                 dist_lagstep(ctx, s, step_dt.used, comm, sub, opts.packing);
-                t += step_dt.used;
+                dt_used = step_dt.used;
             }
+
+            if (guard.enabled) {
+                // Collective health vote + dt-backoff retry. Every rank
+                // checks its owned entities (their union is the global
+                // set and owned bytes are bitwise-serial), so the
+                // min-reduced verdict equals the serial driver's
+                // step_healthy on the full state — the retry decision is
+                // agreed bitwise on all ranks. Retries replay the step on
+                // the blocking schedule (bitwise == overlap by contract);
+                // the reduce is a collective, so the per-step
+                // point-to-point message count of a healthy run is
+                // untouched.
+                int retries = 0;
+                bool healthy = hydro::step_healthy(s, sub.n_owned_cells,
+                                                   sub.node_owned);
+                for (;;) {
+                    Real all_ok;
+                    {
+                        const util::ScopedTimer timer(profiler,
+                                                      util::Kernel::reduce);
+                        all_ok = comm.allreduce_min(healthy ? Real(1.0)
+                                                            : Real(0.0));
+                    }
+                    if (all_ok > Real(0.5)) break;
+                    util::require(
+                        retries < guard.max_retries,
+                        "hydro: step " + std::to_string(steps + 1) +
+                            " rejected by health guards after " +
+                            std::to_string(retries) + " dt-backoff retries");
+                    ++retries;
+                    const Real dt_try = dt_used * guard.backoff;
+                    util::require(dt_try >= opts.hydro.dt_min,
+                                  "hydro: health-guard backoff drove dt below "
+                                  "dt_min at step " +
+                                      std::to_string(steps + 1));
+                    hydro::restore_step(ctx, s, backup);
+                    refresh_ghosts(ctx, s, comm, sub, opts.packing);
+                    dist_lagstep(ctx, s, dt_try, comm, sub, opts.packing);
+                    dt_used = dt_try;
+                    healthy = hydro::step_healthy(s, sub.n_owned_cells,
+                                                  sub.node_owned);
+                }
+                if (retries > 0) {
+                    // Accepted retried step: the used dt becomes the
+                    // growth reference and arms the re-growth ceiling
+                    // (serial semantics, collectively-agreed values only).
+                    dt_prev = dt_used;
+                    regrow_limit = dt_used * guard.regrow_cap;
+                }
+            }
+            t += dt_used;
+
             // Remap cadence as in core::Hydro::step_clamped: Eulerian
             // every step, ALE every `frequency` steps (1-based).
             if (remap_enabled &&
@@ -599,17 +717,45 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                  (steps + 1) % opts.ale.frequency == 0))
                 remap(ctx, s, opts.ale, ale_work, comm, sub, opts.packing);
             ++steps;
-            // Checkpoint cadence: every rank evaluates the same trigger
+            // Snapshot cadences: every rank evaluates the same triggers
             // (t and steps are globally identical), so the gather below
-            // is collective. The cadence only ever fires after completed
-            // natural steps — a checkpointing run is bitwise the run
-            // without checkpoints.
-            if (opts.checkpoint.enabled() &&
-                opts.checkpoint.due(steps, t_before, t)) {
-                write_distributed_checkpoint(
-                    comm, subs, global, global_hash, s, sub, t, dt_prev,
-                    steps, opts.checkpoint, result.checkpoints, profiler);
-                if (opts.checkpoint.halt_after) break;
+            // is collective. Both cadences only ever fire after completed
+            // natural steps — a checkpointing/supervised run is bitwise
+            // the run without either. One gather feeds the on-disk
+            // checkpoint, the supervisor's rollback ring and an optional
+            // ring spill to disk.
+            const bool disk_due = opts.checkpoint.enabled() &&
+                                  opts.checkpoint.due(steps, t_before, t);
+            const bool ring_due = supervised &&
+                                  opts.supervise.snapshot_every > 0 &&
+                                  steps % opts.supervise.snapshot_every == 0;
+            if (disk_due || ring_due) {
+                auto gathered = gather_snapshot(comm, subs, global,
+                                                global_hash, s, sub, t,
+                                                dt_prev, regrow_limit, steps,
+                                                profiler);
+                if (gathered.has_value()) { // rank 0 only
+                    if (disk_due) {
+                        const auto path = opts.checkpoint.path_for(steps);
+                        ckpt::write(path, *gathered);
+                        // A recovery replays steps, so a path may come up
+                        // twice; the rewrite is byte-identical (bitwise
+                        // contract) — record it once.
+                        if (std::find(result.checkpoints.begin(),
+                                      result.checkpoints.end(),
+                                      path) == result.checkpoints.end())
+                            result.checkpoints.push_back(path);
+                    }
+                    if (supervised) {
+                        if (!opts.supervise.spill_prefix.empty())
+                            ckpt::write(opts.supervise.spill_prefix + "_" +
+                                            std::to_string(steps) + ".ckpt",
+                                        *gathered);
+                        ring.push_back(std::move(*gathered));
+                        if (ring.size() > ring_capacity) ring.pop_front();
+                    }
+                }
+                if (disk_due && opts.checkpoint.halt_after) break;
             }
         }
 
@@ -632,14 +778,43 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
         }
         steps_per_rank[static_cast<std::size_t>(comm.rank())] = steps;
         t_per_rank[static_cast<std::size_t>(comm.rank())] = t;
-    });
+                }, fault);
+        } catch (const typhon::RankFailure& failure) {
+            if (!supervised ||
+                static_cast<int>(result.recoveries.size()) >=
+                    opts.supervise.max_recoveries ||
+                ranks_now <= 1)
+                throw;
+            Result::Recovery rec;
+            rec.failed_rank = failure.rank;
+            rec.failed_step = failure.step;
+            rec.survivors = ranks_now - 1;
+            rec.error = failure.what();
+            // Roll back to the newest ring snapshot; with an empty ring
+            // the run restarts from where this attempt began (the restart
+            // snapshot or the initial conditions).
+            if (!ring.empty()) {
+                rollback = ring.back();
+                start_snap = &rollback;
+            }
+            rec.resumed_step =
+                start_snap != nullptr ? start_snap->steps : 0;
+            result.recoveries.push_back(std::move(rec));
+            --ranks_now;
+            if (opts.supervise.backoff_ms > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(opts.supervise.backoff_ms));
+            continue;
+        }
 
-    result.steps = steps_per_rank[0];
-    result.t_final = t_per_rank[0];
-    for (int r = 0; r < opts.n_ranks; ++r)
-        result.profiles[static_cast<std::size_t>(r)] =
-            profilers[static_cast<std::size_t>(r)].snapshot();
-    return result;
+        result.steps = steps_per_rank[0];
+        result.t_final = t_per_rank[0];
+        result.profiles.resize(static_cast<std::size_t>(ranks_now));
+        for (int r = 0; r < ranks_now; ++r)
+            result.profiles[static_cast<std::size_t>(r)] =
+                profilers[static_cast<std::size_t>(r)].snapshot();
+        return result;
+    }
 }
 
 /// Shared argument checks of both run() entry points.

@@ -25,6 +25,8 @@
 #include "mesh/mesh.hpp"
 #include "part/partition.hpp"
 #include "part/subdomain.hpp"
+#include "resil/resilience.hpp"
+#include "typhon/fault.hpp"
 #include "typhon/typhon.hpp"
 #include "util/profiler.hpp"
 
@@ -71,6 +73,20 @@ struct Options {
     /// snapshot a serial run would write at the same step (the bitwise
     /// owned-entity contract), which is what makes restart rank-elastic.
     ckpt::Config checkpoint;
+    /// Supervised fault recovery (deck `[resilience]`). When enabled, a
+    /// rank failure inside the run does not kill the job: the supervisor
+    /// rolls the global state back to the newest in-memory snapshot (the
+    /// ring fed by `snapshot_every`, falling back to the restart snapshot
+    /// or the initial conditions), drops the failed rank, re-decomposes
+    /// the mesh over the survivors and resumes — rank-elastic restart in
+    /// flight. Because checkpoints are rank-count invariant and the
+    /// owned-entity contract is bitwise at any rank count, the recovered
+    /// run's result is bitwise identical to an uninterrupted run.
+    resil::Supervision supervise;
+    /// Deterministic fault plan consulted by the typhon transport (empty =
+    /// zero-cost). Kills, delays and slow-downs are scripted per rank by
+    /// step/message ordinal and seeded, so a failure reproduces exactly.
+    typhon::FaultPlan faults;
 };
 
 /// Gathered (global-numbering) result of a distributed run.
@@ -89,6 +105,17 @@ struct Result {
     typhon::Traffic traffic;
     /// Paths of the checkpoints rank 0 wrote during the run (in order).
     std::vector<std::string> checkpoints;
+    /// One entry per supervised rank-failure recovery, in order. Empty on
+    /// an undisturbed run. Deliberately *not* part of bitwise_equal — a
+    /// recovered run is bitwise-compared against an uninterrupted one.
+    struct Recovery {
+        int failed_rank = -1;        ///< rank typhon reported as failed
+        int failed_step = -1;        ///< step it was in (-1 if before any)
+        std::int64_t resumed_step = 0; ///< step of the rollback snapshot
+        int survivors = 0;           ///< rank count of the resumed attempt
+        std::string error;           ///< the failure's error message
+    };
+    std::vector<Recovery> recoveries;
 };
 
 /// Partition, run Algorithm 1 to t_end on every rank (including the

@@ -40,7 +40,13 @@ void getgeom(const Context& ctx, State& s, std::span<const Real> wu,
         }
     });
 
-    if (bad_cell.load() != no_index)
+    // With health guards enabled a tangled mesh is not fatal here: the
+    // bad volumes (and everything derived from them) flow deterministically
+    // into the post-corrector health check, which rolls the step back and
+    // retries with a smaller dt. Throwing mid-step would instead abort the
+    // run — and in the distributed driver would kill one rank before the
+    // collective retry vote, taking the peers down with it.
+    if (bad_cell.load() != no_index && !ctx.opts.guard.enabled)
         throw util::Error("getgeom: non-positive volume in cell " +
                           std::to_string(bad_cell.load()) +
                           " (mesh tangled; consider enabling ALE)");

@@ -5,6 +5,7 @@
 /// profiler under the matching Kernel id, which is what the Table II
 /// bench aggregates.
 
+#include <cstdint>
 #include <span>
 #include <string_view>
 
@@ -141,5 +142,56 @@ void lagstep(const Context& ctx, State& s, Real dt);
 /// the normal component; piston nodes get the prescribed velocity).
 void apply_velocity_bc(const mesh::Mesh& mesh, const Options& opts,
                        std::span<Real> u, std::span<Real> v);
+
+// ---------------------------------------------------------------------------
+// Step health guards + derived-state rebuild (resilience support).
+// ---------------------------------------------------------------------------
+
+/// Rebuild the derived per-cell state of cells [begin, end) from the
+/// primaries, using exactly the per-cell sequence getgeom/getpc use:
+/// geometry cache + volume + characteristic length + corner volumes from
+/// x/y, then EoS (pre, csqrd) from rho/ein. With `with_rho`, density is
+/// recomputed first as cell_mass / max(volume, tiny) — the ghost-refresh
+/// semantics; without it the stored rho is kept (the checkpoint-restore
+/// semantics, where rho is a primary). `strict` throws util::Error
+/// ("<who>: non-positive volume in cell N") on a tangled cell; tolerant
+/// mode lets bad values flow through (the step-retry rollback path, where
+/// loop-top ghost geometry may legitimately be tangled). The single
+/// definition shared by ckpt::restore, the distributed ghost refresh and
+/// the step-retry rollback, so their rebuild semantics cannot drift.
+void rebuild_cells(const mesh::Mesh& mesh, const eos::MaterialTable& materials,
+                   State& s, Index begin, Index end, bool with_rho, bool strict,
+                   const char* who);
+
+/// Loop-top primary state of one step, captured before lagstep so a
+/// rejected step can be rolled back exactly. Only the fields lagstep
+/// *reads* before writing are saved (positions, velocities, rho, ein, q);
+/// the masses are constant during Lagrangian motion, the derived fields
+/// are rebuilt, and the scratch arrays are rewritten by the retry before
+/// being read. Reused across steps — capture_step only reallocates on
+/// first use.
+struct StepBackup {
+    std::vector<Real> x, y, u, v, rho, ein, q;
+};
+
+/// Save the loop-top primaries of `s` into `b`.
+void capture_step(const State& s, StepBackup& b);
+
+/// Roll `s` back to the captured loop-top state: restores the primaries
+/// and rebuilds every derived field (tolerantly — see rebuild_cells). The
+/// rebuilt bytes are identical to what the pre-step state held, because
+/// the same deterministic kernels produced both from the same primaries.
+void restore_step(const Context& ctx, State& s, const StepBackup& b);
+
+/// Post-corrector health verdict over cells [0, n_cells) and the given
+/// nodes: finite and positive density and volume, finite non-negative
+/// internal energy, finite viscosity, finite node kinematics. The
+/// distributed driver passes its owned-cell count and owned-node mask
+/// (ghost entities may legitimately hold stale or tangled values at the
+/// loop top); an empty mask means "all nodes". Every rank checking its
+/// owned slice together covers exactly the serial check, which is what
+/// makes the collective retry vote bitwise-equal to the serial decision.
+[[nodiscard]] bool step_healthy(const State& s, Index n_cells,
+                                std::span<const std::uint8_t> node_owned = {});
 
 } // namespace bookleaf::hydro

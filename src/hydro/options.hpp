@@ -5,6 +5,7 @@
 /// coefficients, hourglass control, cutoffs).
 
 #include "eos/eos.hpp"
+#include "resil/resilience.hpp"
 #include "util/types.hpp"
 
 namespace bookleaf::hydro {
@@ -39,6 +40,9 @@ struct Options {
     // --- boundary driving (Saltzmann piston) --------------------------------
     Real piston_u = 0.0;
     Real piston_v = 0.0;
+
+    // --- step health guards (dt-backoff retry; see resil::Guard) ------------
+    resil::Guard guard;
 };
 
 } // namespace bookleaf::hydro

@@ -1,0 +1,62 @@
+#pragma once
+/// \file resilience.hpp
+/// Resilience policy knobs, shared by the serial and distributed drivers.
+///
+/// Two independent mechanisms, both off by default:
+///
+/// * Guard — step health guards + dt-backoff retry. After each Lagrangian
+///   corrector the driver validates the produced fields (finite, positive
+///   density/volume, non-negative energy); a violating step is rolled back
+///   and retried with dt scaled by `backoff`, up to `max_retries` times.
+///   After a retry, dt re-growth is capped at `regrow_cap` per step until
+///   the usual dt_growth ladder takes over — a freshly stabilised dt must
+///   not leap straight back to the value that failed. In the distributed
+///   driver the accept/retry verdict is a collective min-reduction, so
+///   every rank takes bitwise the same decision.
+///
+/// * Supervision — in-flight rank-failure recovery in dist::run. The
+///   driver keeps an in-memory ring of recent snapshots (cadence
+///   `snapshot_every` steps, capacity `ring_capacity`, optionally spilled
+///   to the on-disk checkpoint format under `spill_prefix`); when a rank
+///   dies mid-run (typhon::RankFailure) the supervisor rolls back to the
+///   newest snapshot and resumes on the survivor count — rank-elastic
+///   through part::decompose, so the recovered trajectory is bitwise
+///   identical to an uninterrupted run. Bounded by `max_recoveries`.
+
+#include <string>
+
+namespace bookleaf::resil {
+
+/// Step health-guard + dt-backoff retry policy (deck `[resilience]`:
+/// guards / backoff / max_retries / regrow_cap).
+struct Guard {
+    bool enabled = false;
+    /// dt multiplier per rejected attempt (in (0, 1)).
+    double backoff = 0.5;
+    /// Attempts per step beyond the first before giving up.
+    int max_retries = 8;
+    /// Per-step dt re-growth factor after a backoff (>= 1).
+    double regrow_cap = 1.02;
+};
+
+/// Rank-failure supervision policy for dist::run (deck `[resilience]`:
+/// supervise / max_recoveries / snapshot_every / ring / spill_prefix /
+/// recovery_backoff_ms).
+struct Supervision {
+    bool enabled = false;
+    /// Rank failures survived before the error propagates.
+    int max_recoveries = 2;
+    /// In-memory snapshot cadence in steps (0 = only the deck's own
+    /// checkpoint cadence feeds the ring).
+    int snapshot_every = 0;
+    /// Newest snapshots kept in memory.
+    int ring_capacity = 2;
+    /// When non-empty, each ring snapshot is also written (atomically) to
+    /// `<spill_prefix>_<step>.ckpt` — recovery insurance that outlives the
+    /// process.
+    std::string spill_prefix;
+    /// Sleep between a detected failure and the restart attempt.
+    int backoff_ms = 0;
+};
+
+} // namespace bookleaf::resil

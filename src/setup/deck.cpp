@@ -197,6 +197,77 @@ Problem make_problem(const Deck& deck) {
     util::require(p.checkpoint.every_steps >= 0,
                   "deck: checkpoint.every_steps must be >= 0");
 
+    // [resilience] — step health guards (serial + distributed) and the
+    // distributed supervisor.
+    auto& guard = p.hydro.guard;
+    guard.enabled = deck.get_bool("resilience", "guards", guard.enabled);
+    guard.backoff = deck.get_real("resilience", "backoff", guard.backoff);
+    guard.max_retries =
+        deck.get_int("resilience", "max_retries", guard.max_retries);
+    guard.regrow_cap =
+        deck.get_real("resilience", "regrow_cap", guard.regrow_cap);
+    util::require(guard.backoff > 0.0 && guard.backoff < 1.0,
+                  "deck: resilience.backoff must be in (0, 1)");
+    util::require(guard.max_retries >= 0,
+                  "deck: resilience.max_retries must be >= 0");
+    util::require(guard.regrow_cap >= 1.0,
+                  "deck: resilience.regrow_cap must be >= 1");
+    auto& sup = p.supervision;
+    sup.enabled = deck.get_bool("resilience", "supervise", sup.enabled);
+    sup.max_recoveries =
+        deck.get_int("resilience", "max_recoveries", sup.max_recoveries);
+    sup.snapshot_every =
+        deck.get_int("resilience", "snapshot_every", sup.snapshot_every);
+    sup.ring_capacity = deck.get_int("resilience", "ring", sup.ring_capacity);
+    sup.spill_prefix = deck.get("resilience", "spill_prefix", sup.spill_prefix);
+    sup.backoff_ms =
+        deck.get_int("resilience", "recovery_backoff_ms", sup.backoff_ms);
+    util::require(sup.max_recoveries >= 0,
+                  "deck: resilience.max_recoveries must be >= 0");
+    util::require(sup.snapshot_every >= 0,
+                  "deck: resilience.snapshot_every must be >= 0");
+    util::require(sup.ring_capacity >= 1,
+                  "deck: resilience.ring must be >= 1");
+    util::require(sup.backoff_ms >= 0,
+                  "deck: resilience.recovery_backoff_ms must be >= 0");
+
+    // [faults] — scripted transport faults (CI / testing decks).
+    const int kill_rank = deck.get_int("faults", "kill_rank", -1);
+    if (kill_rank >= 0) {
+        typhon::FaultPlan::Kill kill;
+        kill.rank = kill_rank;
+        kill.at_step = deck.get_int("faults", "kill_step", -1);
+        kill.at_message = deck.get_int("faults", "kill_message", -1);
+        kill.attempt = deck.get_int("faults", "kill_attempt", 0);
+        util::require(kill.at_step >= 0 || kill.at_message >= 1,
+                      "deck: faults.kill_rank needs kill_step >= 0 or "
+                      "kill_message >= 1");
+        util::require(kill.attempt >= 0,
+                      "deck: faults.kill_attempt must be >= 0");
+        p.faults.kills.push_back(kill);
+    }
+    const int delay_rank = deck.get_int("faults", "delay_rank", -1);
+    if (delay_rank >= 0) {
+        typhon::FaultPlan::Delay delay;
+        delay.rank = delay_rank;
+        delay.every = deck.get_int("faults", "delay_every", 3);
+        util::require(delay.every >= 1,
+                      "deck: faults.delay_every must be >= 1");
+        p.faults.delays.push_back(delay);
+    }
+    const int slow_rank = deck.get_int("faults", "slow_rank", -1);
+    if (slow_rank >= 0) {
+        typhon::FaultPlan::Slow slow;
+        slow.rank = slow_rank;
+        slow.microseconds = deck.get_int("faults", "slow_us", 50);
+        util::require(slow.microseconds >= 0,
+                      "deck: faults.slow_us must be >= 0");
+        p.faults.slows.push_back(slow);
+    }
+    p.faults.seed = static_cast<std::uint64_t>(
+        deck.get_int("faults", "fault_seed",
+                     static_cast<int>(p.faults.seed)));
+
     return p;
 }
 

@@ -12,6 +12,8 @@
 #include "eos/eos.hpp"
 #include "hydro/options.hpp"
 #include "mesh/mesh.hpp"
+#include "resil/resilience.hpp"
+#include "typhon/fault.hpp"
 
 namespace bookleaf::setup {
 
@@ -32,6 +34,17 @@ struct Problem {
     /// Checkpoint cadence and restart source (deck section `[checkpoint]`:
     /// every_steps / at_time / prefix / restart_from / halt_after).
     ckpt::Config checkpoint;
+    /// Supervised rank-failure recovery for the distributed driver (deck
+    /// `[resilience]`: supervise / max_recoveries / snapshot_every / ring /
+    /// spill_prefix / recovery_backoff_ms). The health guards live in
+    /// hydro.guard (`[resilience]` guards / backoff / max_retries /
+    /// regrow_cap) so the serial driver sees them too.
+    resil::Supervision supervision;
+    /// Deterministic fault plan for the distributed driver (deck
+    /// `[faults]` — CI/testing: kill_rank/kill_step/kill_message/
+    /// kill_attempt, delay_rank/delay_every, slow_rank/slow_us,
+    /// fault_seed). Empty = no faults.
+    typhon::FaultPlan faults;
 };
 
 /// Sod's shock tube [32] on a strip: (rho, P) = (1, 1) | (0.125, 0.1),

@@ -1,0 +1,70 @@
+#include "typhon/fault.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace bookleaf::typhon {
+
+namespace {
+
+// splitmix64 finalizer: a cheap, well-mixed hash so the delay selection is
+// a deterministic function of (seed, src, ordinal) with no shared RNG
+// state between rank threads.
+std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d649d9f8a5c1b3ULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int n_ranks, int attempt)
+    : plan_(plan),
+      attempt_(attempt),
+      active_(!plan.empty()),
+      sends_(static_cast<std::size_t>(n_ranks > 0 ? n_ranks : 1)) {
+    for (auto& s : sends_) s.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::on_step(int rank, int step) {
+    if (!active_) return;
+    for (const auto& k : plan_.kills) {
+        if (k.rank == rank && k.attempt == attempt_ && k.at_step >= 0 &&
+            k.at_step == step) {
+            throw RankKilled(rank, "at step " + std::to_string(step));
+        }
+    }
+}
+
+bool FaultInjector::on_send(int src) {
+    if (!active_) return false;
+    if (src < 0 || static_cast<std::size_t>(src) >= sends_.size()) return false;
+    const long ordinal =
+        sends_[static_cast<std::size_t>(src)].fetch_add(
+            1, std::memory_order_relaxed) +
+        1;
+    for (const auto& s : plan_.slows) {
+        if (s.rank == src && s.microseconds > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(s.microseconds));
+        }
+    }
+    for (const auto& k : plan_.kills) {
+        if (k.rank == src && k.attempt == attempt_ && k.at_message >= 0 &&
+            k.at_message == ordinal) {
+            throw RankKilled(src, "at message " + std::to_string(ordinal));
+        }
+    }
+    for (const auto& d : plan_.delays) {
+        if (d.rank == src && d.every > 0) {
+            const auto h = mix(plan_.seed ^
+                               (static_cast<std::uint64_t>(src) << 32) ^
+                               static_cast<std::uint64_t>(ordinal));
+            if (h % static_cast<std::uint64_t>(d.every) == 0) return true;
+        }
+    }
+    return false;
+}
+
+} // namespace bookleaf::typhon

@@ -1,0 +1,116 @@
+#pragma once
+/// \file fault.hpp
+/// Deterministic fault injection for the typhon transport.
+///
+/// A FaultPlan scripts failures the way a test (or a `[resilience]` deck
+/// section) wants them to happen: kill a chosen rank when it begins a
+/// chosen step or posts its Nth message, hold back (delay) a deterministic
+/// subset of a rank's sends so deliveries reorder against other channels,
+/// or slow a rank down by sleeping before each send. Every decision is a
+/// pure function of the plan, the seed and the per-rank send ordinal — no
+/// wall clock, no real randomness — so a faulty run is exactly
+/// reproducible, and the recovery machinery built on top of it can be
+/// tested bitwise.
+///
+/// The runtime face is FaultInjector: one per typhon::run attempt, owning
+/// the per-rank send counters. The Hub transport consults it on every
+/// send and Comm::set_step ticks it at each driver step. An injector built
+/// from an empty plan reports inactive and the transport skips every hook
+/// (zero cost for normal runs; typhon::run without an injector does not
+/// even take the branch).
+///
+/// Kills carry an `attempt` number: a kill scripted for attempt 0 fires
+/// during the first execution and stays quiet when dist::run's supervisor
+/// re-runs the deck on the survivors — which is what lets a single deck
+/// describe "rank 2 dies at step 12, then the run recovers".
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bookleaf::typhon {
+
+/// Scripted transport faults (deck section `[resilience]`, or built
+/// directly by tests). Empty plan == no faults.
+struct FaultPlan {
+    /// Kill `rank` when it begins step `at_step` (as reported through
+    /// Comm::set_step) or when it posts its `at_message`-th send
+    /// (1-based), whichever is scripted (>= 0). Fires only during
+    /// supervisor attempt `attempt` (0 = the initial run).
+    struct Kill {
+        int rank = -1;
+        int at_step = -1;
+        long at_message = -1;
+        int attempt = 0;
+    };
+    /// Hold back a deterministic ~1/`every` subset of `rank`'s sends:
+    /// a held message stays invisible to nonblocking probes (try_recv)
+    /// until a blocking receive on its channel claims it, so deliveries
+    /// reorder against other channels while per-channel FIFO order and
+    /// liveness are preserved.
+    struct Delay {
+        int rank = -1;
+        int every = 0;
+    };
+    /// Sleep `microseconds` before each of `rank`'s sends (a slow rank —
+    /// stresses the overlap schedule without changing any bytes).
+    struct Slow {
+        int rank = -1;
+        int microseconds = 0;
+    };
+
+    std::vector<Kill> kills;
+    std::vector<Delay> delays;
+    std::vector<Slow> slows;
+    /// Mixed into the delay-selection hash so different seeds hold
+    /// different message subsets.
+    std::uint64_t seed = 0;
+
+    [[nodiscard]] bool empty() const {
+        return kills.empty() && delays.empty() && slows.empty();
+    }
+};
+
+/// Thrown by the injector when the plan kills the calling rank. typhon::run
+/// treats it like any rank error (peers abort and unblock) and wraps it —
+/// with the rank id and step — in a RankFailure.
+struct RankKilled final : util::Error {
+    int rank;
+    RankKilled(int rank_, const std::string& where)
+        : util::Error("fault: rank " + std::to_string(rank_) +
+                      " killed by plan " + where),
+          rank(rank_) {}
+};
+
+/// Runtime face of a FaultPlan for ONE typhon::run: per-rank send
+/// ordinals plus the kill/hold/slow decisions. Safe for concurrent calls
+/// from all rank threads.
+class FaultInjector {
+public:
+    FaultInjector(const FaultPlan& plan, int n_ranks, int attempt = 0);
+
+    /// True when the plan scripts anything at all; the transport skips
+    /// every hook otherwise.
+    [[nodiscard]] bool active() const { return active_; }
+
+    /// Driver step tick (Comm::set_step): throws RankKilled when a kill
+    /// matches (rank, at_step, attempt).
+    void on_step(int rank, int step);
+
+    /// Send hook, called once per posted message. Counts the send, sleeps
+    /// if the plan slows this rank, throws RankKilled when a kill matches
+    /// (rank, at_message, attempt). Returns true when this message should
+    /// be held back (delayed) by the transport.
+    [[nodiscard]] bool on_send(int src);
+
+private:
+    FaultPlan plan_;
+    int attempt_;
+    bool active_;
+    std::vector<std::atomic<long>> sends_;
+};
+
+} // namespace bookleaf::typhon

@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "typhon/fault.hpp"
 #include "util/error.hpp"
 
 namespace bookleaf::typhon {
@@ -12,11 +13,27 @@ namespace bookleaf::typhon {
 namespace detail {
 
 void Hub::send(int src, int dst, int tag, std::vector<Real> payload) {
+    // Fault hooks run outside the lock: the injector may sleep (a slowed
+    // rank) or throw (a message-count kill), and the hold decision is a
+    // pure function of the sender's own ordinal.
+    const bool hold = fault_ != nullptr && fault_->active() &&
+                      fault_->on_send(src);
     {
         const std::lock_guard lock(mutex_);
         traffic_.messages += 1;
         traffic_.reals += static_cast<long long>(payload.size());
-        queues_[Channel{src, dst, tag}].push_back(std::move(payload));
+        const Channel k{src, dst, tag};
+        // A held message — or any message behind one — goes to the shadow
+        // queue, keeping per-channel FIFO order intact. Blocking recv
+        // promotes the backlog; try_recv never sees it.
+        if (hold || (!held_.empty() && [&] {
+                const auto it = held_.find(k);
+                return it != held_.end() && !it->second.empty();
+            }())) {
+            held_[k].push_back(std::move(payload));
+        } else {
+            queues_[k].push_back(std::move(payload));
+        }
     }
     cv_.notify_all();
 }
@@ -33,13 +50,25 @@ std::optional<std::vector<Real>> Hub::try_recv(int src, int dst, int tag) {
 std::vector<Real> Hub::recv(int src, int dst, int tag) {
     std::unique_lock lock(mutex_);
     const Channel k{src, dst, tag};
+    const auto promote_held = [&] {
+        // A blocking receive ends any injected delay on its channel:
+        // promote the whole held backlog (in order) so FIFO delivery is
+        // exact and no message can be stranded behind a hold.
+        const auto ht = held_.find(k);
+        if (ht == held_.end() || ht->second.empty()) return;
+        auto& q = queues_[k];
+        for (auto& m : ht->second) q.push_back(std::move(m));
+        ht->second.clear();
+    };
     cv_.wait(lock, [&] {
         if (aborted_) return true;
+        promote_held();
         const auto it = queues_.find(k);
         return it != queues_.end() && !it->second.empty();
     });
     // Prefer delivering a message that did arrive even after an abort;
     // only a wait that can never be satisfied turns into the error.
+    promote_held();
     const auto it = queues_.find(k);
     if (it == queues_.end() || it->second.empty()) throw AbortError();
     std::vector<Real> out = std::move(it->second.front());
@@ -50,6 +79,10 @@ std::vector<Real> Hub::recv(int src, int dst, int tag) {
 bool Hub::drained() {
     const std::lock_guard lock(mutex_);
     for (const auto& [channel, queue] : queues_)
+        if (!queue.empty()) return false;
+    // Held messages are undelivered too: a delay plan must not be able to
+    // turn the stranded-message check into a false pass.
+    for (const auto& [channel, queue] : held_)
         if (!queue.empty()) return false;
     return true;
 }
@@ -201,6 +234,12 @@ void wait_all(std::span<Request> requests) {
     }
 }
 
+void Comm::set_step(int step) {
+    if (step_slot_ != nullptr)
+        step_slot_->store(step, std::memory_order_relaxed);
+    if (fault_ != nullptr && fault_->active()) fault_->on_step(rank_, step);
+}
+
 Request Comm::isend(int dst, int tag, std::span<const Real> data) {
     // Buffered-eager transport: the payload is copied into the transport
     // at post time, so the send request is born complete — the null
@@ -239,16 +278,22 @@ Real CollRequest::wait() {
     return value_;
 }
 
-Traffic run(int n_ranks, const std::function<void(Comm&)>& rank_fn) {
+Traffic run(int n_ranks, const std::function<void(Comm&)>& rank_fn,
+            FaultInjector* fault) {
     util::require(n_ranks > 0, "typhon::run: n_ranks must be positive");
-    detail::Hub hub(n_ranks);
+    detail::Hub hub(n_ranks, fault);
     detail::Collective coll(n_ranks);
     std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n_ranks));
+    // Last step each rank reported through Comm::set_step (-1 = never):
+    // failure reports name the step the dead rank was in.
+    std::vector<std::atomic<int>> steps(static_cast<std::size_t>(n_ranks));
+    for (auto& s : steps) s.store(-1, std::memory_order_relaxed);
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(n_ranks));
     for (int r = 0; r < n_ranks; ++r) {
         threads.emplace_back([&, r] {
-            Comm comm(r, &hub, &coll);
+            Comm comm(r, &hub, &coll, fault,
+                      &steps[static_cast<std::size_t>(r)]);
             try {
                 rank_fn(comm);
             } catch (...) {
@@ -263,9 +308,9 @@ Traffic run(int n_ranks, const std::function<void(Comm&)>& rank_fn) {
         });
     }
     for (auto& t : threads) t.join();
-    // Rethrow the original failure, never a secondary AbortError a peer
-    // picked up while being unblocked (those only exist because some
-    // rank died first).
+    // Surface the original failure — wrapped in a RankFailure naming the
+    // rank and step — never a secondary AbortError a peer picked up while
+    // being unblocked (those only exist because some rank died first).
     const auto is_abort = [](const std::exception_ptr& e) {
         try {
             std::rethrow_exception(e);
@@ -275,10 +320,25 @@ Traffic run(int n_ranks, const std::function<void(Comm&)>& rank_fn) {
             return false;
         }
     };
-    for (const auto& e : errors)
-        if (e && !is_abort(e)) std::rethrow_exception(e);
-    for (const auto& e : errors)
-        if (e) std::rethrow_exception(e);
+    const auto fail = [&](int r, const std::exception_ptr& e) {
+        const int step = steps[static_cast<std::size_t>(r)].load(
+            std::memory_order_relaxed);
+        try {
+            std::rethrow_exception(e);
+        } catch (const std::exception& ex) {
+            throw RankFailure(r, step, ex.what());
+        } catch (...) {
+            throw RankFailure(r, step, "unknown error");
+        }
+    };
+    for (int r = 0; r < n_ranks; ++r) {
+        const auto& e = errors[static_cast<std::size_t>(r)];
+        if (e && !is_abort(e)) fail(r, e);
+    }
+    for (int r = 0; r < n_ranks; ++r) {
+        const auto& e = errors[static_cast<std::size_t>(r)];
+        if (e) fail(r, e);
+    }
     // Every clean run must leave the post office empty: a stranded
     // message means a posted send was never matched by a receive (an
     // asymmetric exchange schedule, a skipped irecv) — make that loud

@@ -30,6 +30,7 @@
 /// `Comm::iallreduce_min` returns a `CollRequest` that can be finished
 /// later, letting the dt reduction fly concurrently with a halo exchange.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -38,6 +39,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +47,8 @@
 #include "util/types.hpp"
 
 namespace bookleaf::typhon {
+
+class FaultInjector; // fault.hpp — deterministic fault injection
 
 /// Aggregate point-to-point traffic moved through a transport over one
 /// `typhon::run` (every posted send counts once; `reals` is the summed
@@ -85,9 +89,18 @@ namespace detail {
 
 /// Shared post office: tagged per-(src, dst, tag) message queues. The
 /// in-process Transport backend (ranks are threads of one process).
+///
+/// With a FaultInjector attached, every send first consults the injector
+/// (which may kill the sender or mark the message *held*). Held messages
+/// live in a shadow queue per channel: invisible to try_recv — so polling
+/// paths (PendingExchange::finish, wait_all) observe delivery reordering
+/// against other channels — but a *blocking* recv on the channel promotes
+/// them, so liveness and per-channel FIFO order are both preserved and no
+/// delay can deadlock a run.
 class Hub final : public Transport {
 public:
-    explicit Hub(int n_ranks) : n_ranks_(n_ranks) {}
+    explicit Hub(int n_ranks, FaultInjector* fault = nullptr)
+        : n_ranks_(n_ranks), fault_(fault) {}
 
     [[nodiscard]] int n_ranks() const override { return n_ranks_; }
     void send(int src, int dst, int tag, std::vector<Real> payload) override;
@@ -135,10 +148,17 @@ private:
     };
 
     int n_ranks_;
+    FaultInjector* fault_;
     std::mutex mutex_;
     std::condition_variable cv_;
     std::unordered_map<Channel, std::deque<std::vector<Real>>, ChannelHash>
         queues_;
+    /// Messages held back by the fault injector's delay plan, per channel.
+    /// Once a channel holds anything, every newer send on it queues here
+    /// too (FIFO within the channel is inviolable); a blocking recv
+    /// promotes the whole backlog into the visible queue.
+    std::unordered_map<Channel, std::deque<std::vector<Real>>, ChannelHash>
+        held_;
     Traffic traffic_;
     bool aborted_ = false;
 };
@@ -197,6 +217,22 @@ struct AbortError final : util::Error {
 };
 
 } // namespace detail
+
+/// What typhon::run throws when a rank dies: the original rank error's
+/// message, annotated with *which* rank failed and at what driver step (as
+/// last reported through Comm::set_step; -1 when the run never ticked a
+/// step). The original message is preserved verbatim as a substring, so
+/// callers matching on it keep working; supervisors (dist::run) switch on
+/// the type to drive recovery.
+struct RankFailure final : util::Error {
+    int rank;
+    int step;
+    RankFailure(int rank_, int step_, const std::string& original)
+        : util::Error("typhon: rank " + std::to_string(rank_) + " failed" +
+                      (step_ >= 0 ? " at step " + std::to_string(step_) : "") +
+                      ": " + original),
+          rank(rank_), step(step_) {}
+};
 
 // ---------------------------------------------------------------------------
 // Requests — nonblocking point-to-point handles.
@@ -279,11 +315,18 @@ private:
 /// the in-process rendezvous.
 class Comm {
 public:
-    Comm(int rank, Transport* transport, detail::Collective* coll)
-        : rank_(rank), transport_(transport), coll_(coll) {}
+    Comm(int rank, Transport* transport, detail::Collective* coll,
+         FaultInjector* fault = nullptr, std::atomic<int>* step_slot = nullptr)
+        : rank_(rank), transport_(transport), coll_(coll), fault_(fault),
+          step_slot_(step_slot) {}
 
     [[nodiscard]] int rank() const { return rank_; }
     [[nodiscard]] int size() const { return transport_->n_ranks(); }
+
+    /// Driver step tick: records the step for failure reports (RankFailure
+    /// carries it) and gives an attached fault injector its step-kill
+    /// window. Cheap no-op when the run has neither.
+    void set_step(int step);
 
     /// Non-blocking enqueue (buffered send — Typhon/MPI eager semantics).
     void send(int dst, int tag, std::span<const Real> data) {
@@ -340,16 +383,23 @@ private:
     int rank_;
     Transport* transport_;
     detail::Collective* coll_;
+    FaultInjector* fault_ = nullptr;
+    std::atomic<int>* step_slot_ = nullptr;
 };
 
 /// Launch `n_ranks` rank threads running `rank_fn(comm)`; joins all and
-/// rethrows the first rank exception (after all threads finish). A rank
-/// that dies with an exception aborts the Hub and the Collective, so
+/// rethrows the first rank exception (after all threads finish), wrapped
+/// in a RankFailure naming the failed rank and its last reported step. A
+/// rank that dies with an exception aborts the Hub and the Collective, so
 /// peers blocked on its traffic or at a rendezvous wake with
 /// detail::AbortError instead of hanging the join — the *original* rank
-/// error is what gets rethrown. Returns the aggregate point-to-point
-/// traffic of the run (what the coalescing ablation counts).
-Traffic run(int n_ranks, const std::function<void(Comm&)>& rank_fn);
+/// error is what gets wrapped, never the secondary aborts. Returns the
+/// aggregate point-to-point traffic of the run (what the coalescing
+/// ablation counts). An optional FaultInjector scripts deterministic
+/// failures into the transport (see fault.hpp); null means no fault hooks
+/// are even consulted.
+Traffic run(int n_ranks, const std::function<void(Comm&)>& rank_fn,
+            FaultInjector* fault = nullptr);
 
 // ---------------------------------------------------------------------------
 // Ghost (halo) exchange schedules — the "quant" layer of Typhon.

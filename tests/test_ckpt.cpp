@@ -4,7 +4,9 @@
 // restart-aware history CSV.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -178,6 +180,102 @@ TEST(Ckpt, ReadRejectsMissingAndMalformedFiles) {
     // Pristine bytes still read fine (the mutations above were the cause).
     spew(path, good);
     EXPECT_NO_THROW(bck::read(path));
+    std::remove(path.c_str());
+}
+
+TEST(Ckpt, WriteIsAtomicAndLeavesNoTemporary) {
+    bc::Hydro h(bs::sod(8, 2));
+    h.run(std::nullopt, 3);
+    const std::string path = "/tmp/bookleaf_ckpt_atomic.ckpt";
+    bck::write(path, h.snapshot());
+    // The temporary staging file must be gone (renamed into place).
+    std::ifstream tmp(path + ".tmp", std::ios::binary);
+    EXPECT_FALSE(static_cast<bool>(tmp));
+    EXPECT_NO_THROW(bck::read(path));
+    std::remove(path.c_str());
+}
+
+TEST(Ckpt, StrayTruncatedTmpFromACrashIsHarmless) {
+    // A crash mid-write leaves `<path>.tmp`, never a truncated `<path>`:
+    // the real file (if any) still reads, and a later write replaces the
+    // stray temporary cleanly.
+    bc::Hydro h(bs::sod(8, 2));
+    h.run(std::nullopt, 3);
+    const std::string path = "/tmp/bookleaf_ckpt_stray.ckpt";
+    bck::write(path, h.snapshot());
+    const auto good = slurp(path);
+    spew(path + ".tmp", good.substr(0, good.size() / 3)); // crashed write
+    EXPECT_NO_THROW(bck::read(path));
+    EXPECT_THROW(bck::read(path + ".tmp"), bu::Error);
+    h.run(std::nullopt, 5);
+    EXPECT_NO_THROW(bck::write(path, h.snapshot())); // replaces the tmp
+    EXPECT_NO_THROW(bck::read(path));
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+}
+
+TEST(Ckpt, TortureEveryTruncationAndHeaderBitFlipThrows) {
+    // Hostile-bytes hardening: truncate the file at EVERY byte position
+    // and flip every bit of the header — each mutation must be a clean
+    // util::Error, never UB, a crash or an attempted huge allocation.
+    bc::Hydro h(bs::sod(4, 2));
+    h.run(std::nullopt, 2);
+    const std::string path = "/tmp/bookleaf_ckpt_torture.ckpt";
+    bck::write(path, h.snapshot());
+    const auto good = slurp(path);
+    ASSERT_GT(good.size(), 80u);
+
+    for (std::size_t keep = 0; keep < good.size(); ++keep) {
+        spew(path, good.substr(0, keep));
+        EXPECT_THROW(bck::read(path), bu::Error) << "kept " << keep;
+    }
+
+    // Header = 72 payload bytes + the 8-byte header checksum.
+    for (std::size_t byte = 0; byte < 80; ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            auto bad = good;
+            bad[byte] = static_cast<char>(bad[byte] ^ (1 << bit));
+            spew(path, bad);
+            EXPECT_THROW(bck::read(path), bu::Error)
+                << "byte " << byte << " bit " << bit;
+        }
+    }
+
+    // Pristine bytes still read (the mutations were the cause).
+    spew(path, good);
+    EXPECT_NO_THROW(bck::read(path));
+    std::remove(path.c_str());
+}
+
+TEST(Ckpt, ForgedHugeEntityCountThrowsWithoutAllocating) {
+    // An attacker (or cosmic ray burst) who fixes up the header checksum
+    // can present any entity count; the reader must bound allocations by
+    // the actual on-disk size and throw — never OOM.
+    bc::Hydro h(bs::sod(4, 2));
+    h.run(std::nullopt, 2);
+    const std::string path = "/tmp/bookleaf_ckpt_forged.ckpt";
+    bck::write(path, h.snapshot());
+    auto bytes = slurp(path);
+    ASSERT_GT(bytes.size(), 80u);
+
+    const auto forge_n_nodes = [&](std::int64_t n_nodes) {
+        auto bad = bytes;
+        std::memcpy(bad.data() + 56, &n_nodes, sizeof n_nodes);
+        // Recompute the header checksum over the 72 preceding bytes so
+        // only the count is "wrong".
+        const std::uint64_t hsum = bck::checksum(bad.data(), 72);
+        std::memcpy(bad.data() + 72, &hsum, sizeof hsum);
+        spew(path, bad);
+    };
+    // Plausible-looking but enormous: caught by the exact file-size check.
+    forge_n_nodes(1'000'000'000);
+    EXPECT_THROW(bck::read(path), bu::Error);
+    // Beyond any index range: caught by the plausibility bound.
+    forge_n_nodes(std::int64_t{1} << 61);
+    EXPECT_THROW(bck::read(path), bu::Error);
+    // Negative: same.
+    forge_n_nodes(-1);
+    EXPECT_THROW(bck::read(path), bu::Error);
     std::remove(path.c_str());
 }
 

@@ -35,6 +35,40 @@ TEST(Typhon, RankExceptionPropagates) {
                  bu::Error);
 }
 
+TEST(Typhon, RankExceptionIsWrappedWithRankAndStep) {
+    // The rethrown error must identify *which* rank failed and at which
+    // driver step (as last reported through Comm::set_step) — a failed
+    // run used to surface only the raw error text, masking the origin.
+    try {
+        bt::run(3, [](bt::Comm& comm) {
+            comm.set_step(17);
+            if (comm.rank() == 1) throw bu::Error("boom");
+        });
+        FAIL() << "expected typhon::RankFailure";
+    } catch (const bt::RankFailure& f) {
+        EXPECT_EQ(f.rank, 1);
+        EXPECT_EQ(f.step, 17);
+        const std::string what = f.what();
+        EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("step 17"), std::string::npos) << what;
+        EXPECT_NE(what.find("boom"), std::string::npos) << what;
+    }
+}
+
+TEST(Typhon, RankFailureBeforeAnyStepOmitsStep) {
+    try {
+        bt::run(2, [](bt::Comm& comm) {
+            if (comm.rank() == 0) throw bu::Error("early");
+        });
+        FAIL() << "expected typhon::RankFailure";
+    } catch (const bt::RankFailure& f) {
+        EXPECT_EQ(f.rank, 0);
+        EXPECT_EQ(f.step, -1);
+        EXPECT_EQ(std::string(f.what()).find("at step"), std::string::npos)
+            << f.what();
+    }
+}
+
 TEST(Typhon, RankFailureUnblocksPeersWaitingOnCollective) {
     // A dead rank never arrives at the rendezvous. The failure must
     // abort the collective so the peers wake and the join completes —
