@@ -2,14 +2,23 @@
 /// Regenerates **Figure 2** of the paper: per-kernel execution times for
 /// the Noh problem on a single node — (a) the viscosity kernel, (b) the
 /// acceleration kernel.
+///
+///   ./bench_fig2_kernels [--json BENCH_fig2.json]
+///
+/// With --json, the model values and the measured acceleration-assembly
+/// times are also written as a "bookleaf.bench/1" document so CI can
+/// persist the perf trajectory (scripts/compare_bench.py diffs two such
+/// files and flags regressions on the *_s keys).
 
 #include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "core/driver.hpp"
+#include "obs/json.hpp"
 #include "perfmodel/paper_data.hpp"
 #include "setup/problems.hpp"
+#include "util/cli.hpp"
 
 using namespace bookleaf::perfmodel;
 using bookleaf::util::Kernel;
@@ -40,7 +49,8 @@ void figure(const char* title, Kernel kernel,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const bookleaf::util::Cli cli(argc, argv);
     figure("=== Figure 2a: viscosity calculation kernel (getq) ===",
            Kernel::getq, &PaperRow::viscosity);
     figure("=== Figure 2b: acceleration calculation kernel (getacc) ===",
@@ -79,5 +89,42 @@ int main() {
                 t_colored, t_serial / std::max(t_colored, 1e-12));
     std::printf("%-28s %10.4f s  (%.2fx vs serial)\n", "gather (default)",
                 t_gather, t_serial / std::max(t_gather, 1e-12));
+
+    if (cli.has("json")) {
+        namespace obs = bl::obs;
+        auto doc = obs::Json::object();
+        doc["schema"] = obs::Json("bookleaf.bench/1");
+        doc["bench"] = obs::Json("fig2_kernels");
+        auto& config = doc["config"];
+        config = obs::Json::object();
+        config["problem"] = obs::Json("noh");
+        config["mesh"] = obs::Json(64);
+        config["steps"] = obs::Json(30);
+        config["threads"] = obs::Json(2);
+        // Model values are deterministic — the comparator diffing them is
+        // a consistency check, not a perf signal.
+        auto& model = doc["model"];
+        model = obs::Json::object();
+        for (int c = 0; c < config_count; ++c) {
+            const auto cfg = static_cast<Config>(c);
+            const auto b = model_noh(cfg, reference_work());
+            auto& row = model[config_name(cfg)];
+            row = obs::Json::object();
+            row["viscosity_model_s"] = obs::Json(b.at(Kernel::getq));
+            row["acceleration_model_s"] = obs::Json(b.at(Kernel::getacc));
+        }
+        auto& measured = doc["measured"];
+        measured = obs::Json::object();
+        measured["getacc_serial_scatter_s"] = obs::Json(t_serial);
+        measured["getacc_colored_scatter_s"] = obs::Json(t_colored);
+        measured["getacc_gather_s"] = obs::Json(t_gather);
+        measured["speedup_colored"] =
+            obs::Json(t_serial / std::max(t_colored, 1e-12));
+        measured["speedup_gather"] =
+            obs::Json(t_serial / std::max(t_gather, 1e-12));
+        const auto path = cli.get("json", "BENCH_fig2.json");
+        obs::write_json_file(path, doc);
+        std::printf("wrote %s\n", path.c_str());
+    }
     return 0;
 }

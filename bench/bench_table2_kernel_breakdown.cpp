@@ -5,14 +5,17 @@
 /// come from the mechanism-based performance model (src/perfmodel); the
 /// published values are printed alongside for comparison.
 ///
-///   ./bench_table2_kernel_breakdown [--calibrated]
+///   ./bench_table2_kernel_breakdown [--calibrated] [--json out.json]
 ///
 /// With --calibrated, the kernel work table is rebuilt from instrumented
 /// runs of THIS repository's kernels (perfmodel::calibrate_noh), showing
 /// how the C++ port's kernel balance differs from the Fortran reference.
+/// With --json, the full model/paper table is written as a
+/// "bookleaf.bench/1" document for the persisted perf trajectory.
 
 #include <cstdio>
 
+#include "obs/json.hpp"
 #include "perfmodel/calibrate.hpp"
 #include "perfmodel/paper_data.hpp"
 #include "util/cli.hpp"
@@ -80,5 +83,34 @@ int main(int argc, char** argv) {
                 v100c.overall < p100c.overall ? "yes" : "NO");
     std::printf("  host getdt ~equal P100/V100:      %.2f ratio\n",
                 v100c.at(Kernel::getdt) / p100c.at(Kernel::getdt));
+
+    if (cli.has("json")) {
+        auto doc = obs::Json::object();
+        doc["schema"] = obs::Json("bookleaf.bench/1");
+        doc["bench"] = obs::Json("table2_kernel_breakdown");
+        auto& config = doc["config"];
+        config = obs::Json::object();
+        config["calibrated"] = obs::Json(cli.has("calibrated"));
+        auto& rows = doc["rows"];
+        rows = obs::Json::object();
+        for (int c = 0; c < config_count; ++c) {
+            const auto cfg = static_cast<Config>(c);
+            const auto b = model_noh(cfg, work);
+            const auto& paper = paper_table2().at(cfg);
+            auto& row = rows[config_name(cfg)];
+            row = obs::Json::object();
+            row["overall_model_s"] = obs::Json(b.overall);
+            row["overall_paper_s"] = obs::Json(paper.overall);
+            row["viscosity_model_s"] = obs::Json(b.at(Kernel::getq));
+            row["acceleration_model_s"] = obs::Json(b.at(Kernel::getacc));
+            row["getdt_model_s"] = obs::Json(b.at(Kernel::getdt));
+            row["getgeom_model_s"] = obs::Json(b.at(Kernel::getgeom));
+            row["getforce_model_s"] = obs::Json(b.at(Kernel::getforce));
+            row["getpc_model_s"] = obs::Json(b.at(Kernel::getpc));
+        }
+        const auto path = cli.get("json", "BENCH_table2.json");
+        obs::write_json_file(path, doc);
+        std::printf("wrote %s\n", path.c_str());
+    }
     return 0;
 }

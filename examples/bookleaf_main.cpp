@@ -7,6 +7,8 @@
 ///                   [--assembly gather|serial|colored]
 ///                   [--banner-every N] [--vtk out.vtk]
 ///                   [--restart snapshot.ckpt]
+///                   [--telemetry-report run.json] [--telemetry-trace t.json]
+///                   [--telemetry-summary]
 ///
 /// Without a deck argument, runs the default Sod problem. A deck with
 /// `[checkpoint] restart_from` (or the --restart flag, which overrides
@@ -30,6 +32,14 @@ int main(int argc, char** argv) {
                 ? setup::sod()
                 : setup::make_problem(setup::Deck::parse_file(cli.positional()[0]));
         const auto restart = cli.get("restart", problem.checkpoint.restart_from);
+        // CLI telemetry flags layer over the deck's `[telemetry]` section.
+        if (cli.has("telemetry-report"))
+            problem.telemetry.report = cli.get("telemetry-report", "");
+        if (cli.has("telemetry-trace"))
+            problem.telemetry.trace = cli.get("telemetry-trace", "");
+        if (cli.has("telemetry-summary")) problem.telemetry.summary = true;
+        if (problem.telemetry.label.empty())
+            problem.telemetry.label = problem.name;
 
         std::printf("BookLeaf-CPP: problem '%s', %d cells, %d nodes, t_end %.4g\n",
                     problem.name.c_str(), problem.mesh.n_cells(),
@@ -114,6 +124,11 @@ int main(int argc, char** argv) {
                         std::string(util::kernel_name(k)).c_str(), s.wall_s,
                         s.calls);
         }
+
+        // Step-loop runs may end between hydro.run() calls; rewrite the
+        // telemetry sinks with everything recorded so far (whole-file
+        // overwrite, so the last write wins and is complete).
+        hydro.write_telemetry();
 
         if (cli.has("vtk")) {
             const auto path = cli.get("vtk", "out.vtk");

@@ -16,6 +16,8 @@
 ///                     [--restart ck_<step>.ckpt]
 ///                     [--supervise [--ring-every 10]]
 ///                     [--kill-rank 2 --kill-step 25]
+///                     [--telemetry-report run.json] [--telemetry-trace t.json]
+///                     [--telemetry-summary]
 ///
 /// Exits nonzero if the distributed result drifts from the serial
 /// reference by more than --tol, or if the other schedule (overlap vs
@@ -106,6 +108,12 @@ int main(int argc, char** argv) {
         kill.at_step = cli.get_int("kill-step", 25);
         opts.faults.kills.push_back(kill);
     }
+    // Telemetry sinks apply to the main run only (the ablation
+    // cross-checks below clear them — they'd overwrite the files).
+    opts.telemetry.report = cli.get("telemetry-report", "");
+    opts.telemetry.trace = cli.get("telemetry-trace", "");
+    opts.telemetry.summary = cli.has("telemetry-summary");
+    opts.telemetry.label = "sod_" + mode_arg;
     // Restart source: every run below (the main run, the ablation
     // cross-checks and the serial references) starts from this snapshot.
     ckpt::Snapshot snapshot;
@@ -148,6 +156,7 @@ int main(int argc, char** argv) {
     // order / message shapes change).
     dist::Options other = opts;
     other.overlap = !opts.overlap;
+    other.telemetry = {};
     const auto cross = run_dist(other);
     const bool bitwise = dist::bitwise_equal(distributed, cross);
     std::printf("overlap vs blocking: %s\n",
@@ -157,6 +166,7 @@ int main(int argc, char** argv) {
     repacked.packing = opts.packing == typhon::Packing::coalesced
                            ? typhon::Packing::per_field
                            : typhon::Packing::coalesced;
+    repacked.telemetry = {};
     const auto cross_packing = run_dist(repacked);
     const bool bitwise_packing =
         dist::bitwise_equal(distributed, cross_packing);
@@ -169,6 +179,7 @@ int main(int argc, char** argv) {
     dist::Options serial = opts;
     serial.n_ranks = 1;
     serial.partitioner = nullptr;
+    serial.telemetry = {};
     const auto reference = run_dist(serial);
 
     Real max_err = 0;
@@ -189,6 +200,13 @@ int main(int argc, char** argv) {
                     prof[static_cast<std::size_t>(util::Kernel::halo)].calls,
                     prof[static_cast<std::size_t>(util::Kernel::reduce)].calls);
     }
+    if (opts.telemetry.active() && !distributed.telemetry.ranks.empty())
+        std::printf("imbalance max/mean = %.3f (slowest rank %d), wire %s\n",
+                    distributed.telemetry.imbalance.max_over_mean,
+                    distributed.telemetry.imbalance.slowest_rank,
+                    !distributed.telemetry.wire.checked ? "unchecked"
+                    : distributed.telemetry.wire.match  ? "ok"
+                                                        : "MISMATCH");
 
     // Remap decks: the gathered fields must be bitwise the serial
     // core::Hydro run (the distributed-remap contract).

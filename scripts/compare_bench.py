@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare two bookleaf.bench/1 JSON files and flag perf regressions.
+
+    compare_bench.py old.json new.json [--max-slowdown X] [--report-only]
+
+Walks both documents in parallel and compares every numeric leaf whose
+key ends in `_s` (seconds). A leaf is a regression when
+`new > old * max_slowdown` (default 1.5 — benches run on shared CI
+runners, so the gate is deliberately loose). Non-timing leaves are
+reported when they differ but never fail the run. Exit status: 0 when
+clean or --report-only, 1 on regression, 2 on usage/schema errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def walk(prefix, old, new, out):
+    """Collect (path, old, new) for every leaf present in both docs."""
+    if isinstance(old, dict) and isinstance(new, dict):
+        for key in old:
+            if key in new:
+                walk(f"{prefix}.{key}" if prefix else key, old[key], new[key], out)
+        return
+    if isinstance(old, list) and isinstance(new, list):
+        for i, (a, b) in enumerate(zip(old, new)):
+            walk(f"{prefix}[{i}]", a, b, out)
+        return
+    out.append((prefix, old, new))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--max-slowdown", type=float, default=1.5,
+                        help="fail when new > old * this (default 1.5)")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the comparison but always exit 0")
+    args = parser.parse_args()
+
+    try:
+        with open(args.old) as f:
+            old = json.load(f)
+        with open(args.new) as f:
+            new = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare_bench: {e}", file=sys.stderr)
+        return 2
+
+    for doc, name in ((old, args.old), (new, args.new)):
+        schema = doc.get("schema") if isinstance(doc, dict) else None
+        if schema != "bookleaf.bench/1":
+            print(f"compare_bench: {name}: unexpected schema {schema!r}",
+                  file=sys.stderr)
+            return 2
+
+    leaves = []
+    walk("", old, new, leaves)
+
+    regressions = []
+    compared = 0
+    for path, a, b in leaves:
+        is_number = (isinstance(a, (int, float)) and not isinstance(a, bool)
+                     and isinstance(b, (int, float)) and not isinstance(b, bool))
+        if path.split(".")[-1].split("[")[0].endswith("_s") and is_number:
+            compared += 1
+            ratio = b / a if a > 0 else float("inf") if b > 0 else 1.0
+            marker = ""
+            if b > a * args.max_slowdown and b - a > 1e-4:
+                marker = "  <-- REGRESSION"
+                regressions.append(path)
+            print(f"  {path}: {a:.6g} -> {b:.6g}  ({ratio:.2f}x){marker}")
+        elif a != b:
+            print(f"  {path}: {a!r} -> {b!r}  (not a timing, informational)")
+
+    print(f"compared {compared} timing leaves, "
+          f"{len(regressions)} regression(s) at >{args.max_slowdown:.2f}x")
+    if regressions and not args.report_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -138,6 +138,7 @@ inline void flux_face(const mesh::Mesh& mesh, const hydro::State& s,
 void aleadvect_centroids(const hydro::Context& ctx, const hydro::State& s,
                          Workspace& w) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients);
     const auto& mesh = *ctx.mesh;
     const Index n_cells = mesh.n_cells();
     w.cx.assign(static_cast<std::size_t>(n_cells), 0.0);
@@ -157,6 +158,7 @@ void aleadvect_centroids(const hydro::Context& ctx, const hydro::State& s,
 void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
                          const Options& opts, Workspace& w, Index n_cells) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients);
     const auto& mesh = *ctx.mesh;
     limited_gradients(mesh, s, w, s.rho, opts.limit, n_cells, w.grad_rho_x,
                       w.grad_rho_y);
@@ -167,6 +169,7 @@ void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
 void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
                       const Options& opts, Workspace& w) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_fluxes);
     const auto& mesh = *ctx.mesh;
     w.mflux.assign(mesh.faces.size(), 0.0);
     w.eflux.assign(mesh.faces.size(), 0.0);
@@ -178,6 +181,7 @@ void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
                       const Options& opts, Workspace& w,
                       std::span<const Index> faces) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_fluxes);
     const auto& mesh = *ctx.mesh;
     w.mflux.assign(mesh.faces.size(), 0.0);
     w.eflux.assign(mesh.faces.size(), 0.0);
@@ -188,6 +192,7 @@ void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
 void aleadvect_cells(const hydro::Context& ctx, hydro::State& s, Workspace& w,
                      Index n_cells) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_cells);
     const auto& mesh = *ctx.mesh;
     for (Index c = 0; c < n_cells; ++c) {
         const auto ci = static_cast<std::size_t>(c);
@@ -214,6 +219,7 @@ void aleadvect_cells(const hydro::Context& ctx, hydro::State& s, Workspace& w,
 void aleadvect_dual(const hydro::Context& ctx, hydro::State& s, Workspace& w,
                     Index n_cells) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_dual);
     const auto& mesh = *ctx.mesh;
     w.dflux.assign(static_cast<std::size_t>(mesh.n_cells()) * corners_per_cell,
                    0.0);
@@ -315,6 +321,7 @@ void nodes_resize(const mesh::Mesh& mesh, Workspace& w) {
 
 void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_nodes);
     const auto& mesh = *ctx.mesh;
     const auto& corners = ctx.corner_gather();
     nodes_resize(mesh, w);
@@ -327,6 +334,7 @@ void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w) {
 void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w,
                      std::span<const Index> nodes) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_nodes);
     const auto& mesh = *ctx.mesh;
     const auto& corners = ctx.corner_gather();
     nodes_resize(mesh, w);

@@ -1,6 +1,7 @@
 #include "core/driver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
 
@@ -57,6 +58,12 @@ void Hydro::init_context() {
     ctx_.materials = &problem_.materials;
     ctx_.opts = problem_.hydro;
     ctx_.profiler = &profiler_;
+    telemetry_ = problem_.telemetry;
+    if (telemetry_.active()) {
+        telemetry_epoch_ = std::chrono::steady_clock::now();
+        if (telemetry_.want_trace())
+            profiler_.set_trace(&trace_, telemetry_epoch_);
+    }
 }
 
 void Hydro::open_history_fresh() {
@@ -179,7 +186,11 @@ void Hydro::set_assembly(par::Assembly assembly) {
 StepInfo Hydro::step() { return step_clamped(std::nullopt); }
 
 StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
+    const bool telemetry = telemetry_.active();
+    const auto step_t0 = telemetry ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
     StepInfo info;
+    int retries = 0;
     const auto& guard = ctx_.opts.guard;
     // Algorithm 1: the very first step uses dt_initial.
     if (steps_ > 0) {
@@ -221,7 +232,6 @@ StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
         // non-physical fields is rolled back and retaken with a smaller
         // dt. The accepted dt becomes the growth reference and arms the
         // re-growth ceiling, so the controller climbs back gradually.
-        int retries = 0;
         while (!hydro::step_healthy(state_, state_.n_cells())) {
             util::require(retries < guard.max_retries,
                           "hydro: step " + std::to_string(steps_ + 1) +
@@ -261,9 +271,52 @@ StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
     info.step = steps_;
     info.t = t_;
     info.dt = dt;
+    if (telemetry) {
+        // Recorded after the step committed: telemetry reads state, never
+        // feeds back into it (the passive contract).
+        obs::StepRecord rec;
+        rec.step = steps_ - 1;
+        rec.t = t_;
+        rec.dt = dt;
+        rec.dt_local = dt;
+        rec.dt_reason = obs::dt_reason_code(info.dt_reason);
+        rec.start_us = std::chrono::duration<double, std::micro>(
+                           step_t0 - telemetry_epoch_)
+                           .count();
+        rec.wall_us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - step_t0)
+                          .count();
+        rec.retries = retries;
+        rec.remapped = info.remapped;
+        telemetry_steps_.push_back(rec);
+    }
     util::log_debug("step ", steps_, " t=", t_, " dt=", dt, " (",
                     info.dt_reason, ")");
     return info;
+}
+
+obs::RunReport Hydro::telemetry_report() const {
+    obs::RunReport report;
+    report.problem = problem_.name;
+    report.label = telemetry_.label.empty() ? problem_.name : telemetry_.label;
+    report.mode = "serial";
+    report.n_ranks = 1;
+    report.steps = steps_;
+    report.t_final = t_;
+    report.wall_s = run_wall_s_;
+    obs::RankRecord rank;
+    rank.rank = 0;
+    rank.steps = telemetry_steps_;
+    rank.kernels = profiler_.snapshot();
+    rank.trace = trace_;
+    report.ranks.push_back(std::move(rank));
+    report.imbalance = obs::imbalance_of(report.ranks);
+    return report;
+}
+
+void Hydro::write_telemetry() const {
+    if (!telemetry_.active()) return;
+    obs::write_outputs(telemetry_, telemetry_report());
 }
 
 RunSummary Hydro::run(std::optional<Real> t_end_opt, int max_steps) {
@@ -279,6 +332,10 @@ RunSummary Hydro::run(std::optional<Real> t_end_opt, int max_steps) {
     summary.t_final = t_;
     summary.wall_seconds = timer.elapsed();
     summary.final_ = totals();
+    if (telemetry_.active()) {
+        run_wall_s_ += summary.wall_seconds;
+        write_telemetry();
+    }
     return summary;
 }
 

@@ -14,6 +14,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "hydro/kernels.hpp"
 #include "io/csv.hpp"
+#include "obs/telemetry.hpp"
 #include "setup/problems.hpp"
 
 namespace bookleaf::core {
@@ -88,6 +89,15 @@ public:
     /// run() stops there, and step()-driven loops should too.
     [[nodiscard]] bool halted() const { return halt_requested_; }
 
+    /// Build the telemetry run report from everything recorded so far
+    /// (mode "serial", one rank record). Valid whenever telemetry is
+    /// active — run() need not have finished.
+    [[nodiscard]] obs::RunReport telemetry_report() const;
+    /// Apply the problem's `[telemetry]` sinks (report/trace/summary).
+    /// run() calls this at the end of every run; safe to call again after
+    /// further stepping (files are overwritten whole).
+    void write_telemetry() const;
+
     [[nodiscard]] const hydro::State& state() const { return state_; }
     [[nodiscard]] hydro::State& state() { return state_; }
     [[nodiscard]] const mesh::Mesh& mesh() const { return problem_.mesh; }
@@ -140,6 +150,15 @@ private:
     /// Set when a checkpoint was written and `halt_after` asks the run
     /// loop to stop there (the step itself still completed normally).
     bool halt_requested_ = false;
+    /// Telemetry (problem `[telemetry]`): per-step records + optional
+    /// trace spans, all collected AFTER a step's physics commits — the
+    /// passive contract. Empty/inactive by default, so telemetry-off
+    /// runs take none of these branches.
+    obs::Options telemetry_;
+    std::vector<obs::StepRecord> telemetry_steps_;
+    std::vector<util::TraceEvent> trace_;
+    std::chrono::steady_clock::time_point telemetry_epoch_{};
+    double run_wall_s_ = 0.0;
 };
 
 } // namespace bookleaf::core

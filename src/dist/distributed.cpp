@@ -41,6 +41,8 @@
 #include "typhon/fault.hpp"
 #include "typhon/typhon.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace bookleaf::dist {
 
@@ -107,8 +109,13 @@ void refresh_ghosts(const hydro::Context& ctx, hydro::State& s,
                     typhon::Packing packing) {
     {
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
-        auto halo = start_state_halo(s, comm, sub, packing);
-        halo.finish();
+        typhon::PendingExchange halo;
+        {
+            const util::ScopedTimer pack(*ctx.profiler,
+                                         util::Kernel::halo_pack);
+            halo = start_state_halo(s, comm, sub, packing);
+        }
+        halo.finish(ctx.profiler);
     }
     rebuild_ghost_state(ctx, s, sub);
 }
@@ -139,8 +146,14 @@ void dist_lagstep(const hydro::Context& ctx, hydro::State& s, Real dt,
         // the corner forces a serial run would.
         static_assert(part::Subdomain::corner_exchange_fields == 2);
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
-        typhon::exchange_all(comm, sub.corner_schedule, {s.fx, s.fy}, 200,
-                             packing);
+        typhon::PendingExchange corners;
+        {
+            const util::ScopedTimer pack(*ctx.profiler,
+                                         util::Kernel::halo_pack);
+            corners = typhon::exchange_start(comm, sub.corner_schedule,
+                                             {s.fx, s.fy}, 200, packing);
+        }
+        corners.finish(ctx.profiler);
     }
     hydro::getacc(ctx, s, dt);
     hydro::getgeom(ctx, s, s.ubar, s.vbar, dt);
@@ -190,13 +203,14 @@ hydro::ClampedDt overlap_step(const hydro::Context& ctx, hydro::State& s,
     typhon::PendingExchange state_halo;
     {
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
+        const util::ScopedTimer pack(*ctx.profiler, util::Kernel::halo_pack);
         state_halo = start_state_halo(s, comm, sub, packing);
     }
     hydro::getq(ctx, s, interior);
     hydro::getforce(ctx, s, interior);
     {
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
-        state_halo.finish();
+        state_halo.finish(ctx.profiler);
     }
     rebuild_ghost_state(ctx, s, sub);
     snapshot(ctx, s);
@@ -207,6 +221,7 @@ hydro::ClampedDt overlap_step(const hydro::Context& ctx, hydro::State& s,
     Real dt_global = dt_local;
     if (reduce) {
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::reduce);
+        const util::ScopedTimer wait(*ctx.profiler, util::Kernel::reduce_wait);
         dt_global = dt_reduce.wait();
     }
     // Health-guard re-growth ceiling, applied to the *reduced* controller
@@ -244,6 +259,7 @@ hydro::ClampedDt overlap_step(const hydro::Context& ctx, hydro::State& s,
     {
         static_assert(part::Subdomain::corner_exchange_fields == 2);
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
+        const util::ScopedTimer pack(*ctx.profiler, util::Kernel::halo_pack);
         corner_halo = typhon::exchange_start(comm, sub.corner_schedule,
                                              {s.fx, s.fy}, 200, packing);
     }
@@ -252,7 +268,7 @@ hydro::ClampedDt overlap_step(const hydro::Context& ctx, hydro::State& s,
     hydro::getacc_assemble(ctx, s, sub.interior_nodes);
     {
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
-        corner_halo.finish();
+        corner_halo.finish(ctx.profiler);
     }
     hydro::getacc_assemble(ctx, s, sub.boundary_nodes);
     hydro::getacc_advance(ctx, s, dt);
@@ -271,6 +287,10 @@ hydro::ClampedDt overlap_step(const hydro::Context& ctx, hydro::State& s,
 /// Tag of the checkpoint gather (the step halos use 100/200, the remap
 /// 300..340; repeated checkpoints reuse the channel FIFO in step order).
 constexpr int ckpt_tag = 500;
+
+/// Tag of the end-of-run telemetry gather (same every-rank-sends-to-0
+/// pattern as the checkpoint gather, once per run).
+constexpr int telemetry_tag = 501;
 
 /// Pack this rank's owned entities for the checkpoint gather: the
 /// snapshot's node fields (x, y, u, v, node_mass), cell fields (rho, ein,
@@ -436,8 +456,15 @@ void remap(const hydro::Context& ctx, hydro::State& s, const ale::Options& ale,
                         [&](std::vector<Real>& xt, std::vector<Real>& yt) {
                             const util::ScopedTimer timer(*ctx.profiler,
                                                           util::Kernel::halo);
-                            typhon::exchange_all(comm, sub.node_schedule,
-                                                 {xt, yt}, 300, packing);
+                            typhon::PendingExchange mesh_halo;
+                            {
+                                const util::ScopedTimer pack(
+                                    *ctx.profiler, util::Kernel::halo_pack);
+                                mesh_halo = typhon::exchange_start(
+                                    comm, sub.node_schedule, {xt, yt}, 300,
+                                    packing);
+                            }
+                            mesh_halo.finish(ctx.profiler);
                         });
     } else {
         ale::alegetmesh(ctx, s, ale, w);
@@ -454,10 +481,16 @@ void remap(const hydro::Context& ctx, hydro::State& s, const ale::Options& ale,
     {
         static_assert(part::Subdomain::remap_grad_fields == 4);
         const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
-        typhon::exchange_all(comm, sub.remap_cell_schedule,
-                             {w.grad_rho_x, w.grad_rho_y, w.grad_e_x,
-                              w.grad_e_y},
-                             320, packing);
+        typhon::PendingExchange grads;
+        {
+            const util::ScopedTimer pack(*ctx.profiler,
+                                         util::Kernel::halo_pack);
+            grads = typhon::exchange_start(comm, sub.remap_cell_schedule,
+                                           {w.grad_rho_x, w.grad_rho_y,
+                                            w.grad_e_x, w.grad_e_y},
+                                           320, packing);
+        }
+        grads.finish(ctx.profiler);
     }
 
     // 4. Fluxes on the remap faces; cell and dual sweeps over owned cells.
@@ -482,7 +515,13 @@ void remap(const hydro::Context& ctx, hydro::State& s, const ale::Options& ale,
             typhon::FieldGroup{&sub.remap_dual_schedule,
                                {std::span<Real>(s.cnmass),
                                 std::span<Real>(w.dflux)}}};
-        typhon::exchange_all(comm, groups, 340, packing);
+        typhon::PendingExchange results;
+        {
+            const util::ScopedTimer pack(*ctx.profiler,
+                                         util::Kernel::halo_pack);
+            results = typhon::exchange_start(comm, groups, 340, packing);
+        }
+        results.finish(ctx.profiler);
     }
 
     // 6. Nodal (dual-mesh) remap over the stencil-complete nodes, then
@@ -515,6 +554,11 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                 const std::vector<Real>* ein_ic, const std::vector<Real>* u_ic,
                 const std::vector<Real>* v_ic) {
     const bool supervised = opts.supervise.enabled;
+    const bool telemetry = opts.telemetry.active();
+    // One epoch for the whole run: recovery attempts land on the same
+    // trace timeline, and the run wall clock spans every attempt.
+    const auto telemetry_epoch = std::chrono::steady_clock::now();
+    const util::Timer run_timer;
 
     // The writer rank needs the global mesh identity; hash it once here
     // rather than per checkpoint/ring snapshot.
@@ -552,6 +596,20 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
         std::vector<int> steps_per_rank(static_cast<std::size_t>(ranks_now),
                                         0);
         std::vector<Real> t_per_rank(static_cast<std::size_t>(ranks_now), 0.0);
+
+        // Telemetry sinks of this attempt. Trace vectors are attached to
+        // the per-rank profilers before the threads start; rank_records
+        // and gather_events are written by the rank-0 thread only and
+        // read after the join (thread-join ordering, no lock).
+        std::vector<std::vector<util::TraceEvent>> traces;
+        if (telemetry && opts.telemetry.want_trace()) {
+            traces.resize(static_cast<std::size_t>(ranks_now));
+            for (int r = 0; r < ranks_now; ++r)
+                profilers[static_cast<std::size_t>(r)].set_trace(
+                    &traces[static_cast<std::size_t>(r)], telemetry_epoch);
+        }
+        std::vector<obs::RankRecord> rank_records;
+        long long gather_events = 0;
 
         // The fault plan is scripted per attempt: a kill recorded for
         // attempt 0 stays quiet during recovery re-runs. An empty plan
@@ -610,14 +668,23 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
         Real regrow_limit = start_snap != nullptr ? start_snap->regrow : 0.0;
         int steps = start_snap != nullptr ? static_cast<int>(start_snap->steps)
                                           : 0;
+        std::vector<obs::StepRecord> my_steps;
         while (t < opts.t_end * (Real(1.0) - eps) && steps < opts.max_steps) {
             // Record the step for failure reports and tick the fault
             // plan's kill-at-step trigger.
             comm.set_step(steps);
+            const auto step_t0 = telemetry
+                                     ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{};
             const Real t_before = t;
-            const Real dt_local =
-                steps > 0 ? hydro::getdt(ctx, s, dt_prev).dt
-                          : opts.hydro.dt_initial;
+            std::string_view dt_reason = "initial";
+            Real dt_local = opts.hydro.dt_initial;
+            if (steps > 0) {
+                const auto dtr = hydro::getdt(ctx, s, dt_prev);
+                dt_local = dtr.dt;
+                dt_reason = dtr.reason;
+            }
+            const Real regrow_before = regrow_limit;
 
             // Loop-top capture for the health-guard rollback — before the
             // ghost refresh, so a retry replays the refresh from restored
@@ -625,6 +692,8 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
             if (guard.enabled) hydro::capture_step(s, backup);
 
             Real dt_used;
+            bool t_end_clamped = false;
+            int retries = 0;
             if (opts.overlap) {
                 // The reduce is posted inside the step, concurrent with
                 // the pre-step state halo.
@@ -633,11 +702,14 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                                  comm, sub, opts.packing, regrow_limit);
                 dt_prev = step_dt.unclamped;
                 dt_used = step_dt.used;
+                t_end_clamped = step_dt.used != step_dt.unclamped;
             } else {
                 Real dt_global = dt_local;
                 if (steps > 0) {
                     const util::ScopedTimer timer(profiler,
                                                   util::Kernel::reduce);
+                    const util::ScopedTimer wait(profiler,
+                                                 util::Kernel::reduce_wait);
                     dt_global = comm.allreduce_min(dt_local);
                 }
                 // Re-growth ceiling on the reduced controller value — the
@@ -657,6 +729,7 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                 refresh_ghosts(ctx, s, comm, sub, opts.packing);
                 dist_lagstep(ctx, s, step_dt.used, comm, sub, opts.packing);
                 dt_used = step_dt.used;
+                t_end_clamped = step_dt.used != step_dt.unclamped;
             }
 
             if (guard.enabled) {
@@ -670,7 +743,6 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                 // the reduce is a collective, so the per-step
                 // point-to-point message count of a healthy run is
                 // untouched.
-                int retries = 0;
                 bool healthy = hydro::step_healthy(s, sub.n_owned_cells,
                                                    sub.node_owned);
                 for (;;) {
@@ -678,6 +750,8 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                     {
                         const util::ScopedTimer timer(profiler,
                                                       util::Kernel::reduce);
+                        const util::ScopedTimer wait(
+                            profiler, util::Kernel::reduce_wait);
                         all_ok = comm.allreduce_min(healthy ? Real(1.0)
                                                             : Real(0.0));
                     }
@@ -712,10 +786,43 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
 
             // Remap cadence as in core::Hydro::step_clamped: Eulerian
             // every step, ALE every `frequency` steps (1-based).
+            bool remapped = false;
             if (remap_enabled &&
                 (opts.ale.mode == ale::Mode::eulerian ||
-                 (steps + 1) % opts.ale.frequency == 0))
+                 (steps + 1) % opts.ale.frequency == 0)) {
                 remap(ctx, s, opts.ale, ale_work, comm, sub, opts.packing);
+                remapped = true;
+            }
+            if (telemetry) {
+                // Recorded after the step's physics committed (passive —
+                // telemetry reads state, never feeds back into it). The
+                // constraint resolution mirrors the serial driver's
+                // precedence: retry > t_end clamp > regrow ceiling >
+                // getdt's own reason.
+                if (retries > 0)
+                    dt_reason = "health-retry";
+                else if (t_end_clamped)
+                    dt_reason = "t_end";
+                else if (steps > 0 && regrow_before > 0.0 &&
+                         regrow_limit > 0.0)
+                    dt_reason = "regrow";
+                obs::StepRecord rec;
+                rec.step = steps;
+                rec.t = t;
+                rec.dt = dt_used;
+                rec.dt_local = dt_local;
+                rec.dt_reason = obs::dt_reason_code(dt_reason);
+                rec.start_us = std::chrono::duration<double, std::micro>(
+                                   step_t0 - telemetry_epoch)
+                                   .count();
+                rec.wall_us =
+                    std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - step_t0)
+                        .count();
+                rec.retries = retries;
+                rec.remapped = remapped;
+                my_steps.push_back(rec);
+            }
             ++steps;
             // Snapshot cadences: every rank evaluates the same triggers
             // (t and steps are globally identical), so the gather below
@@ -730,6 +837,7 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                                   opts.supervise.snapshot_every > 0 &&
                                   steps % opts.supervise.snapshot_every == 0;
             if (disk_due || ring_due) {
+                if (comm.rank() == 0) ++gather_events;
                 auto gathered = gather_snapshot(comm, subs, global,
                                                 global_hash, s, sub, t,
                                                 dt_prev, regrow_limit, steps,
@@ -778,6 +886,24 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
         }
         steps_per_rank[static_cast<std::size_t>(comm.rank())] = steps;
         t_per_rank[static_cast<std::size_t>(comm.rank())] = t;
+
+        // Telemetry gather (tag 501): every rank ships its step records
+        // and kernel breakdown to rank 0 — the same every-rank-sends
+        // pattern as the checkpoint gather, once, after the field gather,
+        // so it cannot perturb the run it measures.
+        if (telemetry) {
+            obs::RankRecord rec;
+            rec.rank = comm.rank();
+            rec.steps = std::move(my_steps);
+            rec.kernels = profiler.snapshot();
+            comm.send(0, telemetry_tag, obs::pack_rank(rec));
+            if (comm.rank() == 0) {
+                rank_records.resize(static_cast<std::size_t>(comm.size()));
+                for (int r = 0; r < comm.size(); ++r)
+                    rank_records[static_cast<std::size_t>(r)] =
+                        obs::unpack_rank(comm.recv(r, telemetry_tag));
+            }
+        }
                 }, fault);
         } catch (const typhon::RankFailure& failure) {
             if (!supervised ||
@@ -813,6 +939,89 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
         for (int r = 0; r < ranks_now; ++r)
             result.profiles[static_cast<std::size_t>(r)] =
                 profilers[static_cast<std::size_t>(r)].snapshot();
+
+        if (telemetry) {
+            obs::RunReport report;
+            report.problem = opts.telemetry.label;
+            report.label = opts.telemetry.label;
+            report.mode = "distributed";
+            report.n_ranks = ranks_now;
+            report.overlap = opts.overlap;
+            report.packing = opts.packing == typhon::Packing::coalesced
+                                 ? "coalesced"
+                                 : "per_field";
+            report.steps = result.steps;
+            report.t_final = result.t_final;
+            report.wall_s = run_timer.elapsed();
+            for (const auto& rec : result.recoveries) {
+                obs::RecoveryEvent e;
+                e.failed_rank = rec.failed_rank;
+                e.failed_step = rec.failed_step;
+                e.resumed_step = static_cast<long>(rec.resumed_step);
+                e.survivors = rec.survivors;
+                report.recoveries.push_back(e);
+            }
+            // Attach what only the host side holds: the Hub's per-peer
+            // send tallies and the trace spans (after a recovery the
+            // records cover the successful attempt only — its traffic,
+            // its traces, its steps from the rollback point).
+            for (auto& rank : rank_records) {
+                for (const auto& p : result.traffic.peers)
+                    if (p.src == rank.rank)
+                        rank.sent.push_back({p.dst, p.messages, p.reals});
+                if (!traces.empty())
+                    rank.trace = std::move(
+                        traces[static_cast<std::size_t>(rank.rank)]);
+            }
+            report.ranks = std::move(rank_records);
+            report.imbalance = obs::imbalance_of(report.ranks);
+
+            // Wire-format self-check: predict the run's point-to-point
+            // message count from the Subdomain metadata. Only meaningful
+            // on an undisturbed schedule — faults, recoveries and
+            // health-guard retries all legitimately change the count.
+            long long total_retries = 0;
+            for (const auto& r : report.ranks)
+                for (const auto& s : r.steps) total_retries += s.retries;
+            if (result.recoveries.empty() && opts.faults.empty() &&
+                total_retries == 0) {
+                const int n_mesh = opts.ale.mode == ale::Mode::ale
+                                       ? opts.ale.smoothing_passes + 1
+                                       : 0;
+                long long expected = 0;
+                for (int r = 0; r < ranks_now; ++r) {
+                    const auto& rr =
+                        report.ranks[static_cast<std::size_t>(r)];
+                    const auto& sub_r = subs[static_cast<std::size_t>(r)];
+                    long long remaps = 0;
+                    for (const auto& s : rr.steps)
+                        if (s.remapped) ++remaps;
+                    expected += static_cast<long long>(
+                                    sub_r.messages_per_step(opts.packing)) *
+                                static_cast<long long>(rr.steps.size());
+                    expected +=
+                        static_cast<long long>(
+                            sub_r.messages_per_remap(opts.packing, n_mesh)) *
+                        remaps;
+                }
+                // Plus one send per rank per checkpoint/ring gather, and
+                // one per rank for the telemetry gather itself.
+                expected += gather_events * ranks_now;
+                expected += ranks_now;
+                report.wire.checked = true;
+                report.wire.expected = expected;
+                report.wire.measured = result.traffic.messages;
+                report.wire.match = expected == result.traffic.messages;
+                if (!report.wire.match)
+                    util::log_warn(
+                        "telemetry: wire-format drift — measured ",
+                        result.traffic.messages,
+                        " point-to-point messages, metadata predicts ",
+                        expected);
+            }
+            result.telemetry = std::move(report);
+            obs::write_outputs(opts.telemetry, result.telemetry);
+        }
         return result;
     }
 }

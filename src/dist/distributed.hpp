@@ -23,6 +23,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "hydro/kernels.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/telemetry.hpp"
 #include "part/partition.hpp"
 #include "part/subdomain.hpp"
 #include "resil/resilience.hpp"
@@ -87,6 +88,15 @@ struct Options {
     /// zero-cost). Kills, delays and slow-downs are scripted per rank by
     /// step/message ordinal and seeded, so a failure reproduces exactly.
     typhon::FaultPlan faults;
+    /// Run telemetry (deck `[telemetry]`). When active, every rank
+    /// records per-step wall time / dt controller state / retries and the
+    /// comm-split kernel breakdown; rank 0 gathers the records over the
+    /// in-process wire (tag 501), computes the max/mean step-time
+    /// imbalance, cross-checks measured Hub traffic against the
+    /// Subdomain wire metadata, and applies the requested sinks.
+    /// Passive: the gathered physics fields are bitwise identical with
+    /// telemetry on or off. Inactive (the default) costs nothing.
+    obs::Options telemetry;
 };
 
 /// Gathered (global-numbering) result of a distributed run.
@@ -116,6 +126,10 @@ struct Result {
         std::string error;           ///< the failure's error message
     };
     std::vector<Recovery> recoveries;
+    /// The gathered telemetry run report (empty/default unless
+    /// Options::telemetry is active). Deliberately *not* part of
+    /// bitwise_equal — wall times differ between identical runs.
+    obs::RunReport telemetry;
 };
 
 /// Partition, run Algorithm 1 to t_end on every rank (including the

@@ -28,7 +28,10 @@ struct Context {
     const eos::MaterialTable* materials = nullptr;
     Options opts;
     par::Exec exec;
-    util::Profiler* profiler = nullptr;
+    /// Kernels charge this unconditionally; the default keeps bare
+    /// (hand-built) contexts safe. Drivers overwrite it with their own
+    /// per-run instance so concurrent runs never share stats.
+    util::Profiler* profiler = &util::default_profiler();
     const par::Coloring* scatter_coloring = nullptr;
     /// Distributed runs: number of *owned* cells (owned-first ordering).
     /// getdt reduces over these only, so the post-reduction global dt is

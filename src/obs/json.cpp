@@ -1,0 +1,389 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bookleaf::obs {
+
+bool Json::as_bool() const {
+    util::require(type_ == Type::boolean, "json: not a boolean");
+    return bool_;
+}
+
+long long Json::as_int() const {
+    if (type_ == Type::integer) return int_;
+    util::require(type_ == Type::real && real_ == std::floor(real_),
+                  "json: not an integer");
+    return static_cast<long long>(real_);
+}
+
+double Json::as_real() const {
+    if (type_ == Type::integer) return static_cast<double>(int_);
+    util::require(type_ == Type::real, "json: not a number");
+    return real_;
+}
+
+const std::string& Json::as_string() const {
+    util::require(type_ == Type::string, "json: not a string");
+    return string_;
+}
+
+std::size_t Json::size() const {
+    if (type_ == Type::array) return array_.size();
+    if (type_ == Type::object) return object_.size();
+    return 0;
+}
+
+void Json::push_back(Json v) {
+    if (type_ == Type::null) type_ = Type::array;
+    util::require(type_ == Type::array, "json: push_back on non-array");
+    array_.push_back(std::move(v));
+}
+
+Json& Json::operator[](std::string_view key) {
+    if (type_ == Type::null) type_ = Type::object;
+    util::require(type_ == Type::object, "json: operator[] on non-object");
+    for (auto& [k, v] : object_)
+        if (k == key) return v;
+    object_.emplace_back(std::string(key), Json{});
+    return object_.back().second;
+}
+
+const Json* Json::find(std::string_view key) const {
+    if (type_ != Type::object) return nullptr;
+    for (const auto& [k, v] : object_)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+const std::vector<Json>& Json::elements() const {
+    util::require(type_ == Type::array, "json: elements() on non-array");
+    return array_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+    util::require(type_ == Type::object, "json: members() on non-object");
+    return object_;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void append_real(std::string& out, double d) {
+    // %.17g round-trips any finite double; non-finite values have no JSON
+    // spelling, so clamp them to null (telemetry never produces them).
+    if (!std::isfinite(d)) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+    // Keep reals visually distinct from integers ("1" -> "1.0") so a
+    // parse() round-trip preserves the kind.
+    if (out.find_first_of(".eEn", out.size() - std::strlen(buf)) ==
+        std::string::npos)
+        out += ".0";
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) *
+                   static_cast<std::size_t>(depth),
+               ' ');
+}
+
+} // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+    switch (type_) {
+    case Type::null: out += "null"; break;
+    case Type::boolean: out += bool_ ? "true" : "false"; break;
+    case Type::integer: out += std::to_string(int_); break;
+    case Type::real: append_real(out, real_); break;
+    case Type::string: append_escaped(out, string_); break;
+    case Type::array: {
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i > 0) out += indent > 0 ? "," : ",";
+            append_newline_indent(out, indent, depth + 1);
+            array_[i].dump_to(out, indent, depth + 1);
+        }
+        append_newline_indent(out, indent, depth);
+        out += ']';
+        break;
+    }
+    case Type::object: {
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i > 0) out += ',';
+            append_newline_indent(out, indent, depth + 1);
+            append_escaped(out, object_[i].first);
+            out += indent > 0 ? ": " : ":";
+            object_[i].second.dump_to(out, indent, depth + 1);
+        }
+        append_newline_indent(out, indent, depth);
+        out += '}';
+        break;
+    }
+    }
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the input span.
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json document() {
+        Json v = value();
+        skip_ws();
+        util::require(pos_ == text_.size(),
+                      "json: trailing characters after document");
+        return v;
+    }
+
+private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw util::Error("json: " + what + " at offset " +
+                          std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_word(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    Json value() {
+        skip_ws();
+        const char c = peek();
+        if (c == '{') return object();
+        if (c == '[') return array();
+        if (c == '"') return Json(string());
+        if (consume_word("true")) return Json(true);
+        if (consume_word("false")) return Json(false);
+        if (consume_word("null")) return Json{};
+        if (c == '-' || (c >= '0' && c <= '9')) return number();
+        fail("unexpected character");
+    }
+
+    Json object() {
+        expect('{');
+        Json v = Json::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            v[key] = value();
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Json array() {
+        expect('[');
+        Json v = Json::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.push_back(value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // The writer only emits \u00xx control codes; decode the
+                // BMP subset as UTF-8 for general inputs.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json number() {
+        const std::size_t start = pos_;
+        bool is_real = false;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                is_real = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        util::require(token.size() > (token[0] == '-' ? 1U : 0U),
+                      "json: bad number");
+        if (!is_real) {
+            errno = 0;
+            char* end = nullptr;
+            const long long v = std::strtoll(token.c_str(), &end, 10);
+            if (errno == 0 && end == token.c_str() + token.size())
+                return Json(v);
+        }
+        char* end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) fail("bad number");
+        return Json(d);
+    }
+};
+
+} // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).document(); }
+
+void write_json_file(const std::string& path, const Json& value) {
+    std::ofstream out(path);
+    util::require(out.good(), "json: cannot open for writing: " + path);
+    out << value.dump(2) << '\n';
+    out.close();
+    util::require(out.good(), "json: write failed: " + path);
+}
+
+Json read_json_file(const std::string& path) {
+    std::ifstream in(path);
+    util::require(in.good(), "json: cannot open: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return Json::parse(buf.str());
+}
+
+} // namespace bookleaf::obs

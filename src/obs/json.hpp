@@ -1,0 +1,109 @@
+#pragma once
+/// \file json.hpp
+/// Minimal ordered JSON value for the telemetry sinks.
+///
+/// The run report and trace files must be (a) dependency-free — the
+/// container bakes no JSON library — and (b) deterministic: two identical
+/// runs must serialize byte-identically so the report-determinism test can
+/// diff them. Hence this tiny value type: objects keep *insertion* order
+/// (a vector of pairs, not a map), integers and reals are distinct kinds
+/// (steps/counts print as integers, never "3.0"), and doubles print with
+/// %.17g so every value round-trips bit-exactly through parse().
+///
+/// The parser exists for the tests (schema round-trip) and the bench
+/// comparator path; it is a straightforward recursive-descent reader and
+/// accepts exactly the JSON this writer emits plus ordinary whitespace.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bookleaf::obs {
+
+/// An ordered JSON value (null / bool / integer / real / string / array /
+/// object). Copyable; object keys keep insertion order.
+class Json {
+public:
+    enum class Type { null, boolean, integer, real, string, array, object };
+
+    Json() = default;
+    Json(bool b) : type_(Type::boolean), bool_(b) {}
+    Json(int i) : type_(Type::integer), int_(i) {}
+    Json(long i) : type_(Type::integer), int_(i) {}
+    Json(long long i) : type_(Type::integer), int_(i) {}
+    Json(double d) : type_(Type::real), real_(d) {}
+    Json(const char* s) : type_(Type::string), string_(s) {}
+    Json(std::string s) : type_(Type::string), string_(std::move(s)) {}
+
+    [[nodiscard]] static Json array() {
+        Json v;
+        v.type_ = Type::array;
+        return v;
+    }
+    [[nodiscard]] static Json object() {
+        Json v;
+        v.type_ = Type::object;
+        return v;
+    }
+
+    [[nodiscard]] Type type() const { return type_; }
+    [[nodiscard]] bool is_null() const { return type_ == Type::null; }
+    [[nodiscard]] bool is_object() const { return type_ == Type::object; }
+    [[nodiscard]] bool is_array() const { return type_ == Type::array; }
+    [[nodiscard]] bool is_number() const {
+        return type_ == Type::integer || type_ == Type::real;
+    }
+    [[nodiscard]] bool is_string() const { return type_ == Type::string; }
+
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] long long as_int() const;   ///< integer (or integral real)
+    [[nodiscard]] double as_real() const;     ///< any number, as double
+    [[nodiscard]] const std::string& as_string() const;
+
+    /// Array element count or object member count (0 for scalars).
+    [[nodiscard]] std::size_t size() const;
+
+    /// Array append. Requires an array (or null, which becomes one).
+    void push_back(Json v);
+
+    /// Object find-or-append by key. Requires an object (or null, which
+    /// becomes one). Appended members keep insertion order.
+    Json& operator[](std::string_view key);
+
+    /// Object member lookup; nullptr when absent or not an object.
+    [[nodiscard]] const Json* find(std::string_view key) const;
+
+    [[nodiscard]] const std::vector<Json>& elements() const;
+    [[nodiscard]] const std::vector<std::pair<std::string, Json>>&
+    members() const;
+
+    /// Serialize. indent > 0 pretty-prints with that many spaces per
+    /// level; indent == 0 emits the compact single-line form. Output is
+    /// deterministic: member order is insertion order, doubles use %.17g.
+    [[nodiscard]] std::string dump(int indent = 0) const;
+
+    /// Parse a JSON document (throws util::Error on malformed input).
+    [[nodiscard]] static Json parse(std::string_view text);
+
+private:
+    Type type_ = Type::null;
+    bool bool_ = false;
+    long long int_ = 0;
+    double real_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::vector<std::pair<std::string, Json>> object_;
+
+    void dump_to(std::string& out, int indent, int depth) const;
+};
+
+/// Write `value.dump(2)` plus a trailing newline to `path`; throws
+/// util::Error when the file cannot be written.
+void write_json_file(const std::string& path, const Json& value);
+
+/// Read and parse a JSON file; throws util::Error on I/O or parse errors.
+[[nodiscard]] Json read_json_file(const std::string& path);
+
+} // namespace bookleaf::obs

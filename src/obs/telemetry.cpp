@@ -1,0 +1,329 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace bookleaf::obs {
+
+namespace {
+
+/// Registry of dt controller constraint names. Order defines the stable
+/// codes used over the telemetry gather wire; new reasons append.
+constexpr std::string_view dt_reasons[] = {
+    "?",         // 0: unknown / unrecorded
+    "initial",   // 1: first step, no history
+    "CFL",       // 2: sound-speed CFL bound (getdt)
+    "divergence",// 3: compression-rate bound (getdt)
+    "growth",    // 4: growth-factor clamp vs previous dt (getdt)
+    "maximum",   // 5: dt_max ceiling (getdt)
+    "t_end",     // 6: clamped to land exactly on t_end (driver)
+    "regrow",    // 7: post-retry growth cap (driver)
+    "health-retry", // 8: dt backoff after a failed health guard (driver)
+};
+
+} // namespace
+
+int dt_reason_code(std::string_view reason) {
+    for (std::size_t i = 0; i < std::size(dt_reasons); ++i)
+        if (dt_reasons[i] == reason) return static_cast<int>(i);
+    return 0;
+}
+
+std::string_view dt_reason_name(int code) {
+    if (code < 0 || static_cast<std::size_t>(code) >= std::size(dt_reasons))
+        return dt_reasons[0];
+    return dt_reasons[static_cast<std::size_t>(code)];
+}
+
+double RankRecord::step_wall_s() const {
+    double sum = 0.0;
+    for (const auto& s : steps) sum += s.wall_us;
+    return sum * 1e-6;
+}
+
+Imbalance imbalance_of(const std::vector<RankRecord>& ranks) {
+    Imbalance out;
+    if (ranks.empty()) return out;
+    double sum = 0.0;
+    for (const auto& r : ranks) {
+        const double s = r.step_wall_s();
+        sum += s;
+        if (s > out.max_rank_s) {
+            out.max_rank_s = s;
+            out.slowest_rank = r.rank;
+        }
+    }
+    out.mean_rank_s = sum / static_cast<double>(ranks.size());
+    out.max_over_mean =
+        out.mean_rank_s > 0.0 ? out.max_rank_s / out.mean_rank_s : 1.0;
+    return out;
+}
+
+Json to_json(const RunReport& report) {
+    Json root = Json::object();
+    root["schema"] = Json(report.schema);
+    root["problem"] = Json(report.problem);
+    root["label"] = Json(report.label);
+    root["mode"] = Json(report.mode);
+    root["n_ranks"] = Json(report.n_ranks);
+    if (report.mode == "distributed") {
+        root["overlap"] = Json(report.overlap);
+        root["packing"] = Json(report.packing);
+    }
+    root["steps"] = Json(report.steps);
+    root["t_final"] = Json(report.t_final);
+    root["wall_s"] = Json(report.wall_s);
+
+    Json& imb = root["imbalance"];
+    imb["max_over_mean"] = Json(report.imbalance.max_over_mean);
+    imb["mean_rank_s"] = Json(report.imbalance.mean_rank_s);
+    imb["max_rank_s"] = Json(report.imbalance.max_rank_s);
+    imb["slowest_rank"] = Json(report.imbalance.slowest_rank);
+
+    Json& wire = root["wire"];
+    wire["checked"] = Json(report.wire.checked);
+    wire["expected_messages"] = Json(report.wire.expected);
+    wire["measured_messages"] = Json(report.wire.measured);
+    wire["match"] = Json(report.wire.match);
+
+    Json recoveries = Json::array();
+    for (const auto& r : report.recoveries) {
+        Json e = Json::object();
+        e["failed_rank"] = Json(r.failed_rank);
+        e["failed_step"] = Json(r.failed_step);
+        e["resumed_step"] = Json(r.resumed_step);
+        e["survivors"] = Json(r.survivors);
+        recoveries.push_back(std::move(e));
+    }
+    root["recoveries"] = std::move(recoveries);
+
+    Json ranks = Json::array();
+    for (const auto& r : report.ranks) {
+        Json jr = Json::object();
+        jr["rank"] = Json(r.rank);
+        jr["step_wall_s"] = Json(r.step_wall_s());
+
+        Json steps = Json::array();
+        for (const auto& s : r.steps) {
+            Json js = Json::object();
+            js["step"] = Json(s.step);
+            js["t"] = Json(s.t);
+            js["dt"] = Json(s.dt);
+            js["dt_local"] = Json(s.dt_local);
+            js["dt_reason"] = Json(std::string(dt_reason_name(s.dt_reason)));
+            js["start_us"] = Json(s.start_us);
+            js["wall_us"] = Json(s.wall_us);
+            js["retries"] = Json(s.retries);
+            js["remapped"] = Json(s.remapped);
+            steps.push_back(std::move(js));
+        }
+        jr["steps"] = std::move(steps);
+
+        Json kernels = Json::object();
+        for (std::size_t k = 0; k < util::kernel_count; ++k) {
+            const auto& ks = r.kernels[k];
+            if (ks.calls == 0) continue;
+            Json jk = Json::object();
+            jk["wall_s"] = Json(ks.wall_s);
+            jk["virtual_s"] = Json(ks.virtual_s);
+            jk["calls"] = Json(ks.calls);
+            kernels[util::kernel_name(static_cast<util::Kernel>(k))] =
+                std::move(jk);
+        }
+        jr["kernels"] = std::move(kernels);
+
+        Json sent = Json::array();
+        for (const auto& p : r.sent) {
+            Json jp = Json::object();
+            jp["peer"] = Json(p.peer);
+            jp["messages"] = Json(p.messages);
+            jp["reals"] = Json(p.reals);
+            sent.push_back(std::move(jp));
+        }
+        jr["sent"] = std::move(sent);
+        ranks.push_back(std::move(jr));
+    }
+    root["ranks"] = std::move(ranks);
+    return root;
+}
+
+Json trace_json(const RunReport& report) {
+    Json events = Json::array();
+    for (const auto& r : report.ranks) {
+        // Name the track so chrome://tracing shows "rank N", not "tid N".
+        Json meta = Json::object();
+        meta["name"] = Json("thread_name");
+        meta["ph"] = Json("M");
+        meta["pid"] = Json(0);
+        meta["tid"] = Json(r.rank);
+        meta["args"]["name"] =
+            Json("rank " + std::to_string(r.rank));
+        events.push_back(std::move(meta));
+        for (const auto& e : r.trace) {
+            Json je = Json::object();
+            je["name"] = Json(std::string(util::kernel_name(e.kernel)));
+            je["cat"] = Json(util::kernel_is_detail(e.kernel) ? "detail"
+                                                              : "kernel");
+            je["ph"] = Json("X");
+            je["ts"] = Json(e.t0_us);
+            je["dur"] = Json(e.dur_us);
+            je["pid"] = Json(0);
+            je["tid"] = Json(r.rank);
+            events.push_back(std::move(je));
+        }
+    }
+    Json root = Json::object();
+    root["traceEvents"] = std::move(events);
+    root["displayTimeUnit"] = Json("ms");
+    return root;
+}
+
+namespace {
+
+void append_line(std::string& out, const char* fmt, ...) {
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    out += buf;
+    out += '\n';
+}
+
+} // namespace
+
+std::string summary_table(const RunReport& report) {
+    // Aggregate the per-kernel breakdown over ranks.
+    std::array<util::KernelStats, util::kernel_count> total{};
+    for (const auto& r : report.ranks)
+        for (std::size_t k = 0; k < util::kernel_count; ++k) {
+            total[k].wall_s += r.kernels[k].wall_s;
+            total[k].virtual_s += r.kernels[k].virtual_s;
+            total[k].calls += r.kernels[k].calls;
+        }
+    double overall = 0.0;
+    for (std::size_t k = 0; k < util::kernel_count; ++k)
+        if (!util::kernel_is_detail(static_cast<util::Kernel>(k)))
+            overall += total[k].total_s();
+
+    std::string out;
+    append_line(out, "telemetry: %s [%s, %d rank%s] steps=%ld t=%.6g wall=%.3fs",
+                report.label.c_str(), report.mode.c_str(), report.n_ranks,
+                report.n_ranks == 1 ? "" : "s", report.steps, report.t_final,
+                report.wall_s);
+    // The paper's Table II rows, in its order, over the aggregate slots.
+    const util::Kernel table2[] = {
+        util::Kernel::getq,    util::Kernel::getacc, util::Kernel::getdt,
+        util::Kernel::getgeom, util::Kernel::getforce, util::Kernel::getpc,
+    };
+    append_line(out, "  %-14s %10.4fs %7s", "Overall", overall, "100.0%");
+    for (const auto k : table2) {
+        const double s = total[static_cast<std::size_t>(k)].total_s();
+        append_line(out, "  %-14s %10.4fs %6.1f%%",
+                    std::string(util::kernel_table2_label(k)).c_str(), s,
+                    overall > 0.0 ? 100.0 * s / overall : 0.0);
+    }
+    if (report.mode == "distributed") {
+        const auto at = [&](util::Kernel k) {
+            return total[static_cast<std::size_t>(k)].total_s();
+        };
+        append_line(out,
+                    "  halo %.4fs (pack %.4fs wait %.4fs unpack %.4fs)  "
+                    "reduce %.4fs (wait %.4fs)",
+                    at(util::Kernel::halo), at(util::Kernel::halo_pack),
+                    at(util::Kernel::halo_wait),
+                    at(util::Kernel::halo_unpack), at(util::Kernel::reduce),
+                    at(util::Kernel::reduce_wait));
+        append_line(out,
+                    "  imbalance max/mean = %.3f (slowest rank %d, "
+                    "max %.4fs, mean %.4fs)",
+                    report.imbalance.max_over_mean,
+                    report.imbalance.slowest_rank, report.imbalance.max_rank_s,
+                    report.imbalance.mean_rank_s);
+        if (report.wire.checked)
+            append_line(out, "  wire: %lld messages measured, %lld expected%s",
+                        report.wire.measured, report.wire.expected,
+                        report.wire.match ? "" : "  ** MISMATCH **");
+    }
+    for (const auto& r : report.recoveries)
+        append_line(out,
+                    "  recovery: rank %d failed at step %ld, resumed at "
+                    "step %ld with %d survivors",
+                    r.failed_rank, r.failed_step, r.resumed_step, r.survivors);
+    return out;
+}
+
+void write_outputs(const Options& opts, const RunReport& report) {
+    if (!opts.report.empty()) write_json_file(opts.report, to_json(report));
+    if (!opts.trace.empty()) write_json_file(opts.trace, trace_json(report));
+    if (opts.summary) {
+        const std::string table = summary_table(report);
+        std::fputs(table.c_str(), stdout);
+        std::fflush(stdout);
+    }
+}
+
+std::vector<Real> pack_rank(const RankRecord& rank) {
+    std::vector<Real> buf;
+    buf.reserve(2 + rank.steps.size() * 9 + 1 + util::kernel_count * 3);
+    buf.push_back(static_cast<Real>(rank.rank));
+    buf.push_back(static_cast<Real>(rank.steps.size()));
+    for (const auto& s : rank.steps) {
+        buf.push_back(static_cast<Real>(s.step));
+        buf.push_back(s.t);
+        buf.push_back(s.dt);
+        buf.push_back(s.dt_local);
+        buf.push_back(static_cast<Real>(s.dt_reason));
+        buf.push_back(s.start_us);
+        buf.push_back(s.wall_us);
+        buf.push_back(static_cast<Real>(s.retries));
+        buf.push_back(s.remapped ? 1.0 : 0.0);
+    }
+    buf.push_back(static_cast<Real>(util::kernel_count));
+    for (const auto& ks : rank.kernels) {
+        buf.push_back(ks.wall_s);
+        buf.push_back(ks.virtual_s);
+        buf.push_back(static_cast<Real>(ks.calls));
+    }
+    return buf;
+}
+
+RankRecord unpack_rank(const std::vector<Real>& buf) {
+    RankRecord out;
+    std::size_t i = 0;
+    const auto next = [&]() -> Real {
+        util::require(i < buf.size(), "telemetry: truncated rank record");
+        return buf[i++];
+    };
+    out.rank = static_cast<int>(next());
+    const auto n_steps = static_cast<std::size_t>(next());
+    out.steps.reserve(n_steps);
+    for (std::size_t s = 0; s < n_steps; ++s) {
+        StepRecord rec;
+        rec.step = static_cast<long>(next());
+        rec.t = next();
+        rec.dt = next();
+        rec.dt_local = next();
+        rec.dt_reason = static_cast<int>(next());
+        rec.start_us = next();
+        rec.wall_us = next();
+        rec.retries = static_cast<int>(next());
+        rec.remapped = next() != 0.0;
+        out.steps.push_back(rec);
+    }
+    const auto n_kernels = static_cast<std::size_t>(next());
+    util::require(n_kernels == util::kernel_count,
+                  "telemetry: kernel-count mismatch in rank record");
+    for (auto& ks : out.kernels) {
+        ks.wall_s = next();
+        ks.virtual_s = next();
+        ks.calls = static_cast<long>(next());
+    }
+    util::require(i == buf.size(), "telemetry: oversized rank record");
+    return out;
+}
+
+} // namespace bookleaf::obs

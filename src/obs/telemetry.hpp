@@ -1,0 +1,164 @@
+#pragma once
+/// \file telemetry.hpp
+/// Run-scoped telemetry: per-rank/per-step metrics, trace timelines, and
+/// the JSON run report.
+///
+/// Both drivers (core::Hydro and dist::run) collect the same record
+/// shapes: one StepRecord per completed step (wall time, dt and the
+/// controller constraint that chose it, guard retries, remap flag) and
+/// one RankRecord per rank (step records + the rank's per-kernel
+/// Profiler breakdown + Hub per-peer send counters + optional trace
+/// spans). The dist driver gathers rank records to rank 0 over the
+/// in-process wire (tag 501, the same pack/gather pattern as the
+/// checkpoint path) and computes the max/mean step-time imbalance — the
+/// signal the ROADMAP load-balancing item needs.
+///
+/// Contract: telemetry is PASSIVE. Collecting it never changes the
+/// trajectory (records are written after the physics of a step commits),
+/// and with Options inactive the drivers skip collection entirely, so a
+/// telemetry-off run is bitwise identical to one built before this layer
+/// existed.
+///
+/// Sinks (write_outputs): a schema-versioned JSON report
+/// ("bookleaf.telemetry/1"), a Chrome trace-event timeline (load in
+/// chrome://tracing or https://ui.perfetto.dev; one track per rank), and
+/// a human summary in the paper's Table II layout.
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/profiler.hpp"
+#include "util/types.hpp"
+
+namespace bookleaf::obs {
+
+/// Telemetry configuration (deck `[telemetry]` section and/or CLI flags).
+/// Any requested output activates collection; `enabled` forces it on even
+/// with no sinks (records are then only available programmatically).
+struct Options {
+    bool enabled = false;
+    std::string report; ///< JSON run-report path ("" = don't write)
+    std::string trace;  ///< Chrome trace-event path ("" = don't write)
+    bool summary = false; ///< print the Table II style summary to stdout
+    std::string label;    ///< run label in the report (default: problem)
+
+    [[nodiscard]] bool active() const {
+        return enabled || summary || !report.empty() || !trace.empty();
+    }
+    /// Trace spans are only recorded when somewhere to put them exists.
+    [[nodiscard]] bool want_trace() const { return !trace.empty(); }
+};
+
+/// Stable codes for the dt controller's constraint names, so step records
+/// survive the flat-Real telemetry gather. code 0 is "unknown".
+[[nodiscard]] int dt_reason_code(std::string_view reason);
+[[nodiscard]] std::string_view dt_reason_name(int code);
+
+/// One completed step, as seen by one rank.
+struct StepRecord {
+    long step = 0;        ///< step index (0-based)
+    double t = 0.0;       ///< time at the END of the step
+    double dt = 0.0;      ///< global (post-reduce) dt taken
+    double dt_local = 0.0; ///< this rank's pre-reduce candidate dt
+    int dt_reason = 0;     ///< dt_reason_code of the local constraint
+    double start_us = 0.0; ///< step start, microseconds since run epoch
+    double wall_us = 0.0;  ///< step wall time in microseconds
+    int retries = 0;       ///< health-guard dt-backoff retries this step
+    bool remapped = false; ///< an ALE/Eulerian remap ran this step
+};
+
+/// Messages/reals this rank sent to one peer over the whole run.
+struct PeerCount {
+    int peer = -1;
+    long messages = 0;
+    long long reals = 0;
+};
+
+/// Everything one rank recorded. In dist runs, gathered to rank 0.
+struct RankRecord {
+    int rank = 0;
+    std::vector<StepRecord> steps;
+    std::array<util::KernelStats, util::kernel_count> kernels{};
+    std::vector<PeerCount> sent;
+    std::vector<util::TraceEvent> trace;
+
+    /// Sum of step wall times, in seconds.
+    [[nodiscard]] double step_wall_s() const;
+};
+
+/// The load-balance signal: max over ranks of total step time, divided by
+/// the mean. 1.0 = perfectly balanced; the FaultPlan slow_rank test
+/// drives it well above 1.
+struct Imbalance {
+    double max_over_mean = 1.0;
+    double mean_rank_s = 0.0;
+    double max_rank_s = 0.0;
+    int slowest_rank = -1;
+};
+
+/// Wire-format self-check: measured Hub messages vs the count predicted
+/// by the Subdomain messages_per_step/messages_per_remap metadata (plus
+/// the driver's own gathers). Only `checked` when no faults, recoveries,
+/// or retries perturbed the schedule; a mismatch is reported (and
+/// log_warn'ed), never thrown — observability catches drift, tests fail it.
+struct WireCheck {
+    bool checked = false;
+    long long expected = 0;
+    long long measured = 0;
+    bool match = false;
+};
+
+/// A supervised-run recovery, mirrored from dist::Recovery.
+struct RecoveryEvent {
+    int failed_rank = -1;
+    long failed_step = -1;
+    long resumed_step = -1;
+    int survivors = 0;
+};
+
+/// The full run report (JSON schema "bookleaf.telemetry/1").
+struct RunReport {
+    std::string schema = "bookleaf.telemetry/1";
+    std::string problem;
+    std::string label;
+    std::string mode;     ///< "serial" or "distributed"
+    int n_ranks = 1;
+    bool overlap = false;
+    std::string packing;  ///< "coalesced" / "per_field" ("" when serial)
+    long steps = 0;
+    double t_final = 0.0;
+    double wall_s = 0.0;  ///< whole-run wall time on rank 0 / the driver
+    Imbalance imbalance;
+    WireCheck wire;
+    std::vector<RecoveryEvent> recoveries;
+    std::vector<RankRecord> ranks;
+};
+
+/// Compute the max/mean step-time imbalance over gathered rank records.
+[[nodiscard]] Imbalance imbalance_of(const std::vector<RankRecord>& ranks);
+
+/// Serialize the report (deterministic member order; see json.hpp).
+[[nodiscard]] Json to_json(const RunReport& report);
+
+/// Chrome trace-event document: one "X" (complete) event per recorded
+/// scope, pid = run, tid = rank, plus thread_name metadata per rank.
+[[nodiscard]] Json trace_json(const RunReport& report);
+
+/// Human summary reproducing the paper's Table II layout (per-kernel
+/// seconds and share of overall), followed by per-rank step time and the
+/// imbalance line for distributed runs.
+[[nodiscard]] std::string summary_table(const RunReport& report);
+
+/// Apply the sinks requested in `opts`: write the JSON report and/or the
+/// trace file, print the summary. No-op fields are skipped.
+void write_outputs(const Options& opts, const RunReport& report);
+
+/// Flat-Real codec for the tag-501 telemetry gather (steps + kernel
+/// breakdown; peer counters and traces are attached host-side by rank 0).
+[[nodiscard]] std::vector<Real> pack_rank(const RankRecord& rank);
+[[nodiscard]] RankRecord unpack_rank(const std::vector<Real>& buf);
+
+} // namespace bookleaf::obs

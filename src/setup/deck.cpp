@@ -268,6 +268,16 @@ Problem make_problem(const Deck& deck) {
         deck.get_int("faults", "fault_seed",
                      static_cast<int>(p.faults.seed)));
 
+    // [telemetry] — run-scoped observability (obs/). Any sink key
+    // activates collection; `enabled` alone collects without writing.
+    p.telemetry.enabled = deck.get_bool("telemetry", "enabled",
+                                        p.telemetry.enabled);
+    p.telemetry.report = deck.get("telemetry", "report", p.telemetry.report);
+    p.telemetry.trace = deck.get("telemetry", "trace", p.telemetry.trace);
+    p.telemetry.summary = deck.get_bool("telemetry", "summary",
+                                        p.telemetry.summary);
+    p.telemetry.label = deck.get("telemetry", "label", p.name);
+
     return p;
 }
 

@@ -12,6 +12,7 @@
 #include "eos/eos.hpp"
 #include "hydro/options.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/telemetry.hpp"
 #include "resil/resilience.hpp"
 #include "typhon/fault.hpp"
 
@@ -45,6 +46,10 @@ struct Problem {
     /// kill_attempt, delay_rank/delay_every, slow_rank/slow_us,
     /// fault_seed). Empty = no faults.
     typhon::FaultPlan faults;
+    /// Run telemetry (deck `[telemetry]`: enabled / report / trace /
+    /// summary / label). Inactive by default — telemetry-off runs are
+    /// bitwise identical to builds without the obs layer.
+    obs::Options telemetry;
 };
 
 /// Sod's shock tube [32] on a strip: (rho, P) = (1, 1) | (0.125, 0.1),

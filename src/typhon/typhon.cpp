@@ -7,6 +7,7 @@
 
 #include "typhon/fault.hpp"
 #include "util/error.hpp"
+#include "util/profiler.hpp"
 
 namespace bookleaf::typhon {
 
@@ -22,6 +23,9 @@ void Hub::send(int src, int dst, int tag, std::vector<Real> payload) {
         const std::lock_guard lock(mutex_);
         traffic_.messages += 1;
         traffic_.reals += static_cast<long long>(payload.size());
+        auto& pair = peer_tally_[{src, dst}];
+        pair.messages += 1;
+        pair.reals += static_cast<long long>(payload.size());
         const Channel k{src, dst, tag};
         // A held message — or any message behind one — goes to the shadow
         // queue, keeping per-channel FIFO order intact. Blocking recv
@@ -89,7 +93,12 @@ bool Hub::drained() {
 
 Traffic Hub::traffic() {
     const std::lock_guard lock(mutex_);
-    return traffic_;
+    Traffic out = traffic_;
+    out.peers.clear();
+    for (const auto& [key, pair] : peer_tally_)
+        out.peers.push_back({key.first, key.second, pair.messages,
+                             pair.reals});
+    return out;
 }
 
 void Hub::abort() {
@@ -526,9 +535,20 @@ PendingExchange& PendingExchange::operator=(PendingExchange&& other) noexcept {
     return *this;
 }
 
-void PendingExchange::finish() {
+void PendingExchange::finish(util::Profiler* profiler) {
     std::size_t remaining = slots_.size();
     std::vector<std::uint8_t> unpacked(slots_.size(), 0);
+    // Optional comm-split accounting: dispatching payloads into ghost
+    // items is "unpack" time, blocking on a message that has not arrived
+    // is "wait" time. The nullptr path (the default) adds nothing.
+    const auto charge = [&](util::Kernel k, const auto& fn) {
+        if (profiler == nullptr) {
+            fn();
+            return;
+        }
+        const util::ScopedTimer timer(*profiler, k);
+        fn();
+    };
     try {
         while (remaining > 0) {
             bool progressed = false;
@@ -545,16 +565,19 @@ void PendingExchange::finish() {
                 // Dispatch the payload's slices back to the bound fields:
                 // sections in group order, field-major within each (one
                 // section of one field in per-field packing).
-                std::size_t offset = 0;
-                for (const auto& section : slot.sections) {
-                    const std::size_t n = section.recv_items->size();
-                    for (const auto field : section.fields) {
-                        for (std::size_t j = 0; j < n; ++j)
-                            field[static_cast<std::size_t>(
-                                (*section.recv_items)[j])] = data[offset + j];
-                        offset += n;
+                charge(util::Kernel::halo_unpack, [&] {
+                    std::size_t offset = 0;
+                    for (const auto& section : slot.sections) {
+                        const std::size_t n = section.recv_items->size();
+                        for (const auto field : section.fields) {
+                            for (std::size_t j = 0; j < n; ++j)
+                                field[static_cast<std::size_t>(
+                                    (*section.recv_items)[j])] =
+                                    data[offset + j];
+                            offset += n;
+                        }
                     }
-                }
+                });
                 unpacked[i] = 1;
                 --remaining;
                 progressed = true;
@@ -563,7 +586,8 @@ void PendingExchange::finish() {
                 // No message ready: block on the first incomplete receive.
                 for (std::size_t i = 0; i < slots_.size(); ++i)
                     if (!unpacked[i]) {
-                        slots_[i].request.wait();
+                        charge(util::Kernel::halo_wait,
+                               [&] { slots_[i].request.wait(); });
                         break;
                     }
             }

@@ -40,22 +40,39 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
 #include "util/error.hpp"
 #include "util/types.hpp"
 
+namespace bookleaf::util {
+class Profiler; // util/profiler.hpp — per-kernel timing registry
+}
+
 namespace bookleaf::typhon {
 
 class FaultInjector; // fault.hpp — deterministic fault injection
 
+/// Traffic of one directed (src -> dst) peer pair: posted messages and
+/// summed payload length.
+struct PeerTraffic {
+    int src = -1;
+    int dst = -1;
+    long messages = 0;
+    long long reals = 0;
+};
+
 /// Aggregate point-to-point traffic moved through a transport over one
 /// `typhon::run` (every posted send counts once; `reals` is the summed
-/// payload length). What the message-coalescing ablation measures.
+/// payload length). What the message-coalescing ablation measures. The
+/// per-peer breakdown (ascending (src, dst), zero pairs omitted) sums to
+/// the totals — the obs/ telemetry report slices it per rank.
 struct Traffic {
     long messages = 0;
     long long reals = 0;
+    std::vector<PeerTraffic> peers;
 };
 
 // ---------------------------------------------------------------------------
@@ -160,6 +177,15 @@ private:
     std::unordered_map<Channel, std::deque<std::vector<Real>>, ChannelHash>
         held_;
     Traffic traffic_;
+    /// Per-(src, dst) send tally under the existing lock; an ordered map
+    /// (not a flat n_ranks^2 vector — Hub accepts arbitrarily large rank
+    /// ids) whose iteration order gives traffic() its ascending (src,
+    /// dst) emit for free. Only pairs that actually sent have entries.
+    struct PairTally {
+        long messages = 0;
+        long long reals = 0;
+    };
+    std::map<std::pair<int, int>, PairTally> peer_tally_;
     bool aborted_ = false;
 };
 
@@ -477,7 +503,11 @@ public:
     /// Wait for every pending receive and unpack. Out-of-order friendly:
     /// messages are harvested as they arrive, blocking only when none is
     /// ready. Throws util::Error on a schedule mismatch between peers.
-    void finish();
+    /// With a profiler, the completion is split between the comm detail
+    /// slots: blocked waits charge Kernel::halo_wait and the payload
+    /// dispatch into ghost items charges Kernel::halo_unpack (callers
+    /// charge the aggregate Kernel::halo around the whole exchange).
+    void finish(util::Profiler* profiler = nullptr);
     [[nodiscard]] bool finished() const { return slots_.empty(); }
 
 private:

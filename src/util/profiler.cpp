@@ -22,9 +22,26 @@ std::string_view kernel_name(Kernel k) {
     case Kernel::reduce: return "reduce";
     case Kernel::transfer: return "transfer";
     case Kernel::other: return "other";
+    case Kernel::halo_pack: return "halo_pack";
+    case Kernel::halo_wait: return "halo_wait";
+    case Kernel::halo_unpack: return "halo_unpack";
+    case Kernel::reduce_wait: return "reduce_wait";
+    case Kernel::ale_gradients: return "ale_gradients";
+    case Kernel::ale_fluxes: return "ale_fluxes";
+    case Kernel::ale_cells: return "ale_cells";
+    case Kernel::ale_dual: return "ale_dual";
+    case Kernel::ale_nodes: return "ale_nodes";
     case Kernel::count_: break;
     }
     return "invalid";
+}
+
+std::string_view kernel_table2_label(Kernel k) {
+    switch (k) {
+    case Kernel::getq: return "Viscosity";
+    case Kernel::getacc: return "Acceleration";
+    default: return kernel_name(k);
+    }
 }
 
 void Profiler::add_wall(Kernel k, double seconds) {
@@ -39,6 +56,28 @@ void Profiler::add_virtual(Kernel k, double seconds) {
     auto& s = stats_[static_cast<std::size_t>(k)];
     s.virtual_s += seconds;
     s.calls += 1;
+}
+
+void Profiler::add_scope(Kernel k, std::chrono::steady_clock::time_point t0,
+                         std::chrono::steady_clock::time_point t1) {
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    const std::lock_guard lock(mutex_);
+    auto& s = stats_[static_cast<std::size_t>(k)];
+    s.wall_s += seconds;
+    s.calls += 1;
+    if (trace_ != nullptr)
+        trace_->push_back(
+            {k,
+             std::chrono::duration<double, std::micro>(t0 - trace_epoch_)
+                 .count(),
+             seconds * 1e6});
+}
+
+void Profiler::set_trace(std::vector<TraceEvent>* sink,
+                         std::chrono::steady_clock::time_point epoch) {
+    const std::lock_guard lock(mutex_);
+    trace_ = sink;
+    trace_epoch_ = epoch;
 }
 
 void Profiler::reset() {
@@ -59,7 +98,9 @@ std::array<KernelStats, kernel_count> Profiler::snapshot() const {
 double Profiler::overall_s() const {
     const std::lock_guard lock(mutex_);
     double sum = 0.0;
-    for (const auto& s : stats_) sum += s.total_s();
+    for (std::size_t i = 0; i < kernel_count; ++i)
+        if (!kernel_is_detail(static_cast<Kernel>(i)))
+            sum += stats_[i].total_s();
     return sum;
 }
 

@@ -7,11 +7,26 @@
 /// accumulates both *wall* seconds (measured on the host) and *virtual*
 /// seconds (charged by the device / cluster simulators), so the same
 /// reporting code serves real runs and modelled runs.
+///
+/// Two kinds of slots exist. *Aggregate* slots (getdt .. other) partition
+/// a run's time: overall_s() sums them. *Detail* slots (halo_pack ..
+/// ale_nodes) refine an aggregate — the comm split of `halo`/`reduce` and
+/// the phase split of `aleadvect` — and are charged in ADDITION to their
+/// aggregate at the same scopes, so they are excluded from overall_s()
+/// (counting them would double-book the refined time).
+///
+/// A Profiler can optionally carry a trace sink (set_trace): every
+/// ScopedTimer scope then also appends a (kernel, start, duration) span,
+/// timestamped against a caller-supplied epoch — the raw material of the
+/// obs/ Chrome trace-event timeline. Without a sink the only extra cost
+/// per scope is one null-pointer check.
 
 #include <array>
+#include <chrono>
 #include <cstddef>
 #include <mutex>
 #include <string_view>
+#include <vector>
 
 #include "util/timer.hpp"
 
@@ -32,16 +47,36 @@ enum class Kernel : int {
     aleadvect,
     aleupdate,
     halo,       ///< Typhon ghost exchanges
-    reduce,     ///< global reductions (dt min-reduce)
+    reduce,     ///< global reductions (dt min-reduce, guard votes)
     transfer,   ///< host<->device traffic (simulated offload builds)
     other,
+    // --- detail slots (refinements; excluded from overall_s) -------------
+    halo_pack,   ///< halo: pack owned slices + post sends/receives
+    halo_wait,   ///< halo: blocked waiting for a message to arrive
+    halo_unpack, ///< halo: dispatch received payloads into ghost items
+    reduce_wait, ///< reduce: blocked at the rendezvous for the last rank
+    ale_gradients, ///< aleadvect: centroids + limited gradients
+    ale_fluxes,    ///< aleadvect: face mass/energy fluxes
+    ale_cells,     ///< aleadvect: cell-mesh advection sweep
+    ale_dual,      ///< aleadvect: dual-(corner-)mesh advection sweep
+    ale_nodes,     ///< aleadvect: nodal momentum remap
     count_
 };
 
 inline constexpr std::size_t kernel_count = static_cast<std::size_t>(Kernel::count_);
 
-/// Human-readable kernel name (matches the paper's nomenclature).
+/// Detail slots refine an aggregate slot charged over the same scopes;
+/// overall_s() skips them to avoid double counting.
+[[nodiscard]] constexpr bool kernel_is_detail(Kernel k) {
+    return static_cast<int>(k) >= static_cast<int>(Kernel::halo_pack);
+}
+
+/// Human-readable kernel name (matches the reference routine names).
 [[nodiscard]] std::string_view kernel_name(Kernel k);
+
+/// The paper's Table II column label for a kernel: "Viscosity" for getq,
+/// "Acceleration" for getacc, the routine name otherwise.
+[[nodiscard]] std::string_view kernel_table2_label(Kernel k);
 
 /// Accumulated timings for one kernel.
 struct KernelStats {
@@ -54,31 +89,58 @@ struct KernelStats {
     [[nodiscard]] double total_s() const { return wall_s + virtual_s; }
 };
 
-/// Thread-safe per-kernel accumulator. One instance per driver/run; a
-/// process-wide default instance exists for convenience in examples.
+/// One timed scope, timestamped against the trace epoch (microseconds).
+/// What the obs/ Chrome trace-event timeline is built from.
+struct TraceEvent {
+    Kernel kernel = Kernel::other;
+    double t0_us = 0.0;  ///< scope start, microseconds since the epoch
+    double dur_us = 0.0; ///< scope duration in microseconds
+};
+
+/// Thread-safe per-kernel accumulator. One instance per driver/run
+/// (core::Hydro and each dist rank own theirs); the process-wide
+/// default_profiler() exists only as a convenience alias for examples
+/// and bare hydro::Context uses.
 class Profiler {
 public:
     void add_wall(Kernel k, double seconds);
     void add_virtual(Kernel k, double seconds);
+    /// ScopedTimer's charge: accumulates wall time and, when a trace sink
+    /// is attached, appends the scope as a TraceEvent.
+    void add_scope(Kernel k, std::chrono::steady_clock::time_point t0,
+                   std::chrono::steady_clock::time_point t1);
     void reset();
+
+    /// Attach (or detach, with nullptr) a trace sink: subsequent scopes
+    /// append spans timestamped relative to `epoch`. The sink must
+    /// outlive the attachment; appends happen under the profiler mutex.
+    void set_trace(std::vector<TraceEvent>* sink,
+                   std::chrono::steady_clock::time_point epoch = {});
 
     [[nodiscard]] KernelStats stats(Kernel k) const;
     [[nodiscard]] std::array<KernelStats, kernel_count> snapshot() const;
 
-    /// Sum of total_s over all kernels.
+    /// Sum of total_s over all aggregate kernels (detail slots refine an
+    /// aggregate charged over the same scopes and are skipped).
     [[nodiscard]] double overall_s() const;
 
 private:
     mutable std::mutex mutex_;
     std::array<KernelStats, kernel_count> stats_{};
+    std::vector<TraceEvent>* trace_ = nullptr;
+    std::chrono::steady_clock::time_point trace_epoch_{};
 };
 
-/// RAII scope that charges elapsed wall time to `kernel` on destruction.
+/// RAII scope that charges elapsed wall time (and a trace span, when the
+/// profiler has a sink attached) to `kernel` on destruction.
 class ScopedTimer {
 public:
     ScopedTimer(Profiler& profiler, Kernel kernel)
-        : profiler_(profiler), kernel_(kernel) {}
-    ~ScopedTimer() { profiler_.add_wall(kernel_, timer_.elapsed()); }
+        : profiler_(profiler), kernel_(kernel),
+          start_(std::chrono::steady_clock::now()) {}
+    ~ScopedTimer() {
+        profiler_.add_scope(kernel_, start_, std::chrono::steady_clock::now());
+    }
 
     ScopedTimer(const ScopedTimer&) = delete;
     ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -86,10 +148,13 @@ public:
 private:
     Profiler& profiler_;
     Kernel kernel_;
-    Timer timer_;
+    std::chrono::steady_clock::time_point start_;
 };
 
-/// Process-wide default profiler (examples / quick use).
+/// Process-wide default profiler — a thin convenience alias for examples
+/// and hand-built hydro::Context instances. Drivers own per-run instances
+/// (core::Hydro::profiler_, one per rank in dist::run), so concurrent
+/// runs never share stats through this.
 Profiler& default_profiler();
 
 } // namespace bookleaf::util
