@@ -68,8 +68,8 @@ int main() {
             }
             // Mesh quality at the final (deformed) positions.
             mesh::Mesh deformed = h.mesh();
-            deformed.x = h.state().x;
-            deformed.y = h.state().y;
+            deformed.x.assign(h.state().x.begin(), h.state().x.end());
+            deformed.y.assign(h.state().y.begin(), h.state().y.end());
             const auto q = geom::mesh_quality(deformed);
             std::printf("%-12s %10d %12.3f %12.2e %12.2e %10.2f\n", control,
                         summary.steps,

@@ -25,10 +25,10 @@ struct Rig {
 
     explicit Rig(Index n) : problem(setup::noh(n)) {
         state = hydro::allocate(problem.mesh);
-        state.rho = problem.rho;
-        state.ein = problem.ein;
-        state.u = problem.u;
-        state.v = problem.v;
+        state.rho.assign(problem.rho.begin(), problem.rho.end());
+        state.ein.assign(problem.ein.begin(), problem.ein.end());
+        state.u.assign(problem.u.begin(), problem.u.end());
+        state.v.assign(problem.v.begin(), problem.v.end());
         hydro::initialise(problem.mesh, problem.materials, state);
         ctx.mesh = &problem.mesh;
         ctx.materials = &problem.materials;

@@ -10,6 +10,7 @@
 ///
 ///   ./distributed_sod [--ranks 4] [--nx 100] [--partitioner rcb|multilevel]
 ///                     [--overlap on|off] [--packing coalesced|perfield]
+///                     [--threads 1] [--schedule taskgraph|forkjoin]
 ///                     [--mode lagrange|eulerian|ale] [--dump fields.csv]
 ///                     [--tol 1e-8]
 ///                     [--save-prefix ck --save-at 0.1 [--halt-after-save]]
@@ -65,7 +66,16 @@ int main(int argc, char** argv) {
     const auto overlap_arg = cli.get("overlap", "on");
     const auto packing_arg = cli.get("packing", "coalesced");
     const auto mode_arg = cli.get("mode", "lagrange");
+    const int threads = cli.get_int("threads", 1);
+    const auto schedule_arg = cli.get("schedule", "taskgraph");
     const Real tol = cli.get_real("tol", 1e-8);
+    if (schedule_arg != "taskgraph" && schedule_arg != "forkjoin") {
+        std::fprintf(stderr,
+                     "distributed_sod: unknown --schedule '%s' (expected "
+                     "taskgraph or forkjoin)\n",
+                     schedule_arg.c_str());
+        return 2;
+    }
 
     auto problem = setup::sod(nx, 4);
     if (mode_arg == "eulerian") {
@@ -89,6 +99,9 @@ int main(int argc, char** argv) {
     opts.overlap = overlap_arg != "off";
     opts.packing = packing_arg == "perfield" ? typhon::Packing::per_field
                                              : typhon::Packing::coalesced;
+    opts.n_threads = threads;
+    opts.schedule = schedule_arg == "forkjoin" ? par::Schedule::forkjoin
+                                               : par::Schedule::taskgraph;
     if (partitioner == "multilevel")
         opts.partitioner = [](const mesh::Mesh& m, int n) {
             return part::multilevel(m, n);
@@ -134,11 +147,11 @@ int main(int argc, char** argv) {
     const auto part = opts.partitioner ? opts.partitioner(problem.mesh, ranks)
                                        : part::rcb(problem.mesh, ranks);
     const auto quality = part::quality(problem.mesh, part, ranks);
-    std::printf("Sod %dx4 (%s) on %d ranks (%s, overlap %s, packing %s): "
-                "edge cut %d, imbalance %.3f\n",
-                nx, mode_arg.c_str(), ranks, partitioner.c_str(),
+    std::printf("Sod %dx4 (%s) on %d ranks x %d threads (%s, overlap %s, "
+                "packing %s, schedule %s): edge cut %d, imbalance %.3f\n",
+                nx, mode_arg.c_str(), ranks, threads, partitioner.c_str(),
                 opts.overlap ? "on" : "off", packing_arg.c_str(),
-                quality.edge_cut, quality.imbalance);
+                schedule_arg.c_str(), quality.edge_cut, quality.imbalance);
 
     const auto distributed = run_dist(opts);
     for (const auto& rec : distributed.recoveries)
@@ -174,6 +187,20 @@ int main(int argc, char** argv) {
                 bitwise_packing ? "bitwise identical" : "MISMATCH",
                 distributed.traffic.messages,
                 cross_packing.traffic.messages);
+
+    // Hybrid runs: the other intra-rank schedule must agree bitwise too
+    // (task-graph vs fork-join only reorders per-item-independent work).
+    bool bitwise_schedule = true;
+    if (threads > 1) {
+        dist::Options resched = opts;
+        resched.schedule = opts.schedule == par::Schedule::taskgraph
+                               ? par::Schedule::forkjoin
+                               : par::Schedule::taskgraph;
+        resched.telemetry = {};
+        bitwise_schedule = dist::bitwise_equal(distributed, run_dist(resched));
+        std::printf("taskgraph vs forkjoin: %s\n",
+                    bitwise_schedule ? "bitwise identical" : "MISMATCH");
+    }
 
     // Serial reference (restarts restore the same snapshot at 1 rank).
     dist::Options serial = opts;
@@ -227,13 +254,16 @@ int main(int argc, char** argv) {
                              std::move(serial_problem));
         core::Hydro& h = *h_ptr;
         h.run(opts.t_end);
+        const auto eq = [](const auto& a, const auto& b) {
+            return std::equal(a.begin(), a.end(), b.begin(), b.end());
+        };
         bitwise_serial = h.steps() == distributed.steps &&
-                         h.state().rho == distributed.rho &&
-                         h.state().ein == distributed.ein &&
-                         h.state().u == distributed.u &&
-                         h.state().v == distributed.v &&
-                         h.state().x == distributed.x &&
-                         h.state().y == distributed.y;
+                         eq(h.state().rho, distributed.rho) &&
+                         eq(h.state().ein, distributed.ein) &&
+                         eq(h.state().u, distributed.u) &&
+                         eq(h.state().v, distributed.v) &&
+                         eq(h.state().x, distributed.x) &&
+                         eq(h.state().y, distributed.y);
         std::printf("distributed remap vs serial core::Hydro: %s\n",
                     bitwise_serial ? "bitwise identical" : "MISMATCH");
     }
@@ -264,6 +294,11 @@ int main(int argc, char** argv) {
     if (!bitwise_packing) {
         std::fprintf(stderr,
                      "FAIL: coalesced and per-field packings disagree\n");
+        return 1;
+    }
+    if (!bitwise_schedule) {
+        std::fprintf(stderr,
+                     "FAIL: taskgraph and forkjoin schedules disagree\n");
         return 1;
     }
     if (!bitwise_serial) {

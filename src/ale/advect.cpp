@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
 
 #include "ale/remap.hpp"
@@ -35,18 +36,34 @@ namespace bookleaf::ale {
 
 namespace {
 
+/// Cell centroids (old geometry) for cells [begin, end) — writes every
+/// listed slot of w.cx/w.cy unconditionally.
+void centroids_core(const mesh::Mesh& mesh, const hydro::State& s,
+                    Workspace& w, Index begin, Index end) {
+    for (Index c = begin; c < end; ++c) {
+        Real sx = 0, sy = 0;
+        for (int k = 0; k < corners_per_cell; ++k) {
+            const auto n = static_cast<std::size_t>(mesh.cn(c, k));
+            sx += s.x[n];
+            sy += s.y[n];
+        }
+        w.cx[static_cast<std::size_t>(c)] = Real(0.25) * sx;
+        w.cy[static_cast<std::size_t>(c)] = Real(0.25) * sy;
+    }
+}
+
 /// Least-squares gradient of the cell field `q` over face neighbours with
 /// optional Barth-Jespersen limiting at the (old-geometry) face midpoints,
-/// for cells [0, n_cells). Output arrays are sized for the whole mesh.
-void limited_gradients(const mesh::Mesh& mesh, const hydro::State& s,
-                       const Workspace& w, const std::vector<Real>& q,
-                       bool limit, Index n_cells, std::vector<Real>& gx,
-                       std::vector<Real>& gy) {
-    gx.assign(static_cast<std::size_t>(mesh.n_cells()), 0.0);
-    gy.assign(static_cast<std::size_t>(mesh.n_cells()), 0.0);
-
-    for (Index c = 0; c < n_cells; ++c) {
+/// for cells [begin, end). Every listed slot of gx/gy is written (zero for
+/// degenerate stencils), so callers need only size the arrays.
+void gradients_core(const mesh::Mesh& mesh, const hydro::State& s,
+                    const Workspace& w, std::span<const Real> q, bool limit,
+                    Index begin, Index end, std::vector<Real>& gx,
+                    std::vector<Real>& gy) {
+    for (Index c = begin; c < end; ++c) {
         const auto ci = static_cast<std::size_t>(c);
+        gx[ci] = 0.0;
+        gy[ci] = 0.0;
         Real axx = 0, axy = 0, ayy = 0, bx = 0, by = 0;
         Real qmin = q[ci], qmax = q[ci];
         int n_nb = 0;
@@ -143,16 +160,14 @@ void aleadvect_centroids(const hydro::Context& ctx, const hydro::State& s,
     const Index n_cells = mesh.n_cells();
     w.cx.assign(static_cast<std::size_t>(n_cells), 0.0);
     w.cy.assign(static_cast<std::size_t>(n_cells), 0.0);
-    for (Index c = 0; c < n_cells; ++c) {
-        Real sx = 0, sy = 0;
-        for (int k = 0; k < corners_per_cell; ++k) {
-            const auto n = static_cast<std::size_t>(mesh.cn(c, k));
-            sx += s.x[n];
-            sy += s.y[n];
-        }
-        w.cx[static_cast<std::size_t>(c)] = Real(0.25) * sx;
-        w.cy[static_cast<std::size_t>(c)] = Real(0.25) * sy;
-    }
+    centroids_core(mesh, s, w, 0, n_cells);
+}
+
+void aleadvect_centroids(const hydro::Context& ctx, const hydro::State& s,
+                         Workspace& w, Index begin, Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients);
+    centroids_core(*ctx.mesh, s, w, begin, end);
 }
 
 void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
@@ -160,10 +175,27 @@ void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
     const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients);
     const auto& mesh = *ctx.mesh;
-    limited_gradients(mesh, s, w, s.rho, opts.limit, n_cells, w.grad_rho_x,
-                      w.grad_rho_y);
-    limited_gradients(mesh, s, w, s.ein, opts.limit, n_cells, w.grad_e_x,
-                      w.grad_e_y);
+    const auto nc = static_cast<std::size_t>(mesh.n_cells());
+    w.grad_rho_x.assign(nc, 0.0);
+    w.grad_rho_y.assign(nc, 0.0);
+    w.grad_e_x.assign(nc, 0.0);
+    w.grad_e_y.assign(nc, 0.0);
+    gradients_core(mesh, s, w, s.rho, opts.limit, 0, n_cells, w.grad_rho_x,
+                   w.grad_rho_y);
+    gradients_core(mesh, s, w, s.ein, opts.limit, 0, n_cells, w.grad_e_x,
+                   w.grad_e_y);
+}
+
+void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
+                         const Options& opts, Workspace& w, Index begin,
+                         Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients);
+    const auto& mesh = *ctx.mesh;
+    gradients_core(mesh, s, w, s.rho, opts.limit, begin, end, w.grad_rho_x,
+                   w.grad_rho_y);
+    gradients_core(mesh, s, w, s.ein, opts.limit, begin, end, w.grad_e_x,
+                   w.grad_e_y);
 }
 
 void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
@@ -189,12 +221,39 @@ void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
         flux_face(mesh, s, opts, w, static_cast<std::size_t>(fi));
 }
 
-void aleadvect_cells(const hydro::Context& ctx, hydro::State& s, Workspace& w,
-                     Index n_cells) {
+void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
+                      const Options& opts, Workspace& w, Index begin,
+                      Index end) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_cells);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_fluxes);
     const auto& mesh = *ctx.mesh;
-    for (Index c = 0; c < n_cells; ++c) {
+    // Own-slot zeroing replaces the full-array assign of the whole-mesh
+    // overload (flux_face leaves quiescent faces untouched).
+    for (Index f = begin; f < end; ++f) {
+        const auto fi = static_cast<std::size_t>(f);
+        w.mflux[fi] = 0.0;
+        w.eflux[fi] = 0.0;
+        flux_face(mesh, s, opts, w, fi);
+    }
+}
+
+void aleadvect_fluxes_chunk(const hydro::Context& ctx, const hydro::State& s,
+                            const Options& opts, Workspace& w,
+                            std::span<const Index> faces) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_fluxes);
+    const auto& mesh = *ctx.mesh;
+    for (const Index fi : faces)
+        flux_face(mesh, s, opts, w, static_cast<std::size_t>(fi));
+}
+
+namespace {
+
+/// Cell-mesh advection sweep for cells [begin, end): apply the four face
+/// fluxes to this cell's mass and energy (gather in local face order).
+void cells_core(const mesh::Mesh& mesh, hydro::State& s, const Workspace& w,
+                Index begin, Index end) {
+    for (Index c = begin; c < end; ++c) {
         const auto ci = static_cast<std::size_t>(c);
         Real dm = 0.0, de = 0.0;
         for (int k = 0; k < corners_per_cell; ++k) {
@@ -216,15 +275,12 @@ void aleadvect_cells(const hydro::Context& ctx, hydro::State& s, Workspace& w,
     }
 }
 
-void aleadvect_dual(const hydro::Context& ctx, hydro::State& s, Workspace& w,
-                    Index n_cells) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_dual);
-    const auto& mesh = *ctx.mesh;
-    w.dflux.assign(static_cast<std::size_t>(mesh.n_cells()) * corners_per_cell,
-                   0.0);
-    long floored = 0;
-    for (Index c = 0; c < n_cells; ++c) {
+/// Dual-mesh advection sweep for cells [begin, end). Writes only this
+/// range's dflux/cnmass corner slots; the floor count is a commutative
+/// integer sum, so the atomic total equals the serial one at any schedule.
+void dual_core(const mesh::Mesh& mesh, hydro::State& s, Workspace& w,
+               Index begin, Index end, std::atomic<long>& floored) {
+    for (Index c = begin; c < end; ++c) {
         // Signed outflow through each local face.
         std::array<Real, 4> out{};
         for (int k = 0; k < corners_per_cell; ++k) {
@@ -247,12 +303,47 @@ void aleadvect_dual(const hydro::Context& ctx, hydro::State& s, Workspace& w,
                             w.dflux[hydro::State::cidx(c, (k + 3) % 4)];
             if (s.cnmass[ki] < 0.0) {
                 s.cnmass[ki] = 0.0;
-                ++floored;
+                floored.fetch_add(1, std::memory_order_relaxed);
             }
         }
     }
-    if (floored > 0)
-        util::log_warn("aleadvect: floored ", floored, " negative corner masses");
+}
+
+} // namespace
+
+void aleadvect_cells(const hydro::Context& ctx, hydro::State& s, Workspace& w,
+                     Index n_cells) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_cells);
+    cells_core(*ctx.mesh, s, w, 0, n_cells);
+}
+
+void aleadvect_cells(const hydro::Context& ctx, hydro::State& s, Workspace& w,
+                     Index begin, Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_cells);
+    cells_core(*ctx.mesh, s, w, begin, end);
+}
+
+void aleadvect_dual(const hydro::Context& ctx, hydro::State& s, Workspace& w,
+                    Index n_cells) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_dual);
+    const auto& mesh = *ctx.mesh;
+    w.dflux.assign(static_cast<std::size_t>(mesh.n_cells()) * corners_per_cell,
+                   0.0);
+    std::atomic<long> floored{0};
+    dual_core(mesh, s, w, 0, n_cells, floored);
+    if (floored.load() > 0)
+        util::log_warn("aleadvect: floored ", floored.load(),
+                       " negative corner masses");
+}
+
+void aleadvect_dual(const hydro::Context& ctx, hydro::State& s, Workspace& w,
+                    Index begin, Index end, std::atomic<long>& floored) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_dual);
+    dual_core(*ctx.mesh, s, w, begin, end, floored);
 }
 
 namespace {
@@ -343,8 +434,37 @@ void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w,
     hydro::apply_velocity_bc(mesh, ctx.opts, s.u, s.v);
 }
 
+void aleadvect_node_gather(const hydro::Context& ctx, const hydro::State& s,
+                           Workspace& w, Index begin, Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_nodes);
+    const auto& corners = ctx.corner_gather();
+    for (Index n = begin; n < end; ++n)
+        node_gather(*ctx.mesh, s, corners, w, n);
+}
+
+void aleadvect_node_write(const hydro::Context& ctx, hydro::State& s,
+                          Workspace& w, Index begin, Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_nodes);
+    for (Index n = begin; n < end; ++n) node_write(s, w, n);
+}
+
+void aleadvect_nodes_resize(const mesh::Mesh& mesh, Workspace& w) {
+    nodes_resize(mesh, w);
+}
+
 void aleadvect(const hydro::Context& ctx, hydro::State& s, const Options& opts,
                Workspace& w) {
+    // Task-graph schedule: the same phases as (kernel, block) tasks with
+    // footprint-derived dependencies — a cell block's fluxes start as soon
+    // as the gradients they read are ready. Bitwise identical to the
+    // fork-join sequence below (see advect_graph.cpp).
+    if (ctx.exec.threaded() && ctx.exec.pool != nullptr &&
+        ctx.exec.schedule == par::Schedule::taskgraph) {
+        aleadvect_graph(ctx, s, opts, w);
+        return;
+    }
     aleadvect_centroids(ctx, s, w);
     aleadvect_gradients(ctx, s, opts, w, ctx.mesh->n_cells());
     aleadvect_fluxes(ctx, s, opts, w);

@@ -21,6 +21,7 @@
 /// positions per smoothing pass, ghost-cell gradients before the face
 /// fluxes, ghost cell/corner results after the sweeps).
 
+#include <atomic>
 #include <functional>
 #include <span>
 #include <vector>
@@ -118,6 +119,10 @@ void alegetfvol(const hydro::Context& ctx, const hydro::State& s, Workspace& w,
 /// donor candidates for owned faces).
 void aleadvect_centroids(const hydro::Context& ctx, const hydro::State& s,
                          Workspace& w);
+/// Block overload for the task-graph schedule: cells [begin, end) only,
+/// caller sizes w.cx/w.cy.
+void aleadvect_centroids(const hydro::Context& ctx, const hydro::State& s,
+                         Workspace& w, Index begin, Index end);
 
 /// Limited least-squares gradients of rho and ein for cells [0, n_cells).
 /// Needs complete face-neighbour data: in distributed runs only owned
@@ -125,6 +130,11 @@ void aleadvect_centroids(const hydro::Context& ctx, const hydro::State& s,
 /// fluxes read them.
 void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
                          const Options& opts, Workspace& w, Index n_cells);
+/// Block overload: cells [begin, end), caller sizes the gradient arrays
+/// (every listed slot is written, zero for degenerate stencils).
+void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
+                         const Options& opts, Workspace& w, Index begin,
+                         Index end);
 
 /// Donor-cell mass/energy fluxes with limited reconstruction, all faces.
 void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
@@ -133,17 +143,36 @@ void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
 void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
                       const Options& opts, Workspace& w,
                       std::span<const Index> faces);
+/// Block overload: faces [begin, end), caller sizes w.mflux/w.eflux (own
+/// slots are zeroed before fluxing, so no full-array assign is needed).
+void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
+                      const Options& opts, Workspace& w, Index begin,
+                      Index end);
+/// Face-list chunk for the distributed remap graph: no zero prologue —
+/// the caller zero-fills w.mflux/w.eflux once and partitions the remap
+/// faces across tasks, so each listed slot is written by exactly one task.
+void aleadvect_fluxes_chunk(const hydro::Context& ctx, const hydro::State& s,
+                            const Options& opts, Workspace& w,
+                            std::span<const Index> faces);
 
 /// Cell mass / internal-energy update for cells [0, n_cells): each cell
 /// gathers the signed fluxes of its own four faces (ascending local face
 /// index — identical order on every rank).
 void aleadvect_cells(const hydro::Context& ctx, hydro::State& s, Workspace& w,
                      Index n_cells);
+/// Block overload: cells [begin, end).
+void aleadvect_cells(const hydro::Context& ctx, hydro::State& s, Workspace& w,
+                     Index begin, Index end);
 
 /// Corner-mass update and median-dual fluxes for cells [0, n_cells):
 /// writes w.dflux and the remapped cnmass.
 void aleadvect_dual(const hydro::Context& ctx, hydro::State& s, Workspace& w,
                     Index n_cells);
+/// Block overload: cells [begin, end), caller sizes w.dflux and owns the
+/// shared floor counter (atomic — the count is a commutative integer sum,
+/// equal to the serial total at any schedule).
+void aleadvect_dual(const hydro::Context& ctx, hydro::State& s, Workspace& w,
+                    Index begin, Index end, std::atomic<long>& floored);
 
 /// Dual-mesh nodal remap: gather the remapped corner masses and the
 /// upwind dual-flux momentum transfers at each node (rows from
@@ -155,11 +184,30 @@ void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w);
 /// computed elsewhere, and refreshed by the next pre-step halo).
 void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w,
                      std::span<const Index> nodes);
+/// Block overloads of the nodal remap's two halves, for the task-graph
+/// schedule: the gather accumulates into the workspace only (upwind
+/// velocities stay clean), the write forms the new nodal state. Caller
+/// sizes w.pmx/w.pmy/w.nmass (aleadvect_nodes_resize) and re-applies the
+/// kinematic BCs after every write block has finished.
+void aleadvect_node_gather(const hydro::Context& ctx, const hydro::State& s,
+                           Workspace& w, Index begin, Index end);
+void aleadvect_node_write(const hydro::Context& ctx, hydro::State& s,
+                          Workspace& w, Index begin, Index end);
+/// Size the nodal-remap accumulators (the serial phases do this inline).
+void aleadvect_nodes_resize(const mesh::Mesh& mesh, Workspace& w);
 
 /// Advect independent variables: the full composition of the phases above
-/// over every cell, face and node.
+/// over every cell, face and node. Under par::Schedule::taskgraph with a
+/// pool attached this dispatches to aleadvect_graph.
 void aleadvect(const hydro::Context& ctx, hydro::State& s, const Options& opts,
                Workspace& w);
+
+/// The advection phases as a dependency graph over cell/face/node blocks,
+/// scheduled on ctx.exec.pool — bitwise identical to the fork-join
+/// composition at any thread count and block size (per-entity writes are
+/// disjoint, cross-entity accumulations replay the serial gather order).
+void aleadvect_graph(const hydro::Context& ctx, hydro::State& s,
+                     const Options& opts, Workspace& w);
 
 /// Rebuild dependent variables on the target mesh: positions, geometry,
 /// density, velocity from momentum, EoS. Ghost-aware as-is: every input

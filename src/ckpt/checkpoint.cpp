@@ -254,16 +254,16 @@ Snapshot capture(const mesh::Mesh& mesh, const hydro::State& s, Real t,
     snap.t = t;
     snap.dt = dt;
     snap.regrow = regrow;
-    snap.x = s.x;
-    snap.y = s.y;
-    snap.u = s.u;
-    snap.v = s.v;
-    snap.node_mass = s.node_mass;
-    snap.rho = s.rho;
-    snap.ein = s.ein;
-    snap.q = s.q;
-    snap.cell_mass = s.cell_mass;
-    snap.cnmass = s.cnmass;
+    snap.x.assign(s.x.begin(), s.x.end());
+    snap.y.assign(s.y.begin(), s.y.end());
+    snap.u.assign(s.u.begin(), s.u.end());
+    snap.v.assign(s.v.begin(), s.v.end());
+    snap.node_mass.assign(s.node_mass.begin(), s.node_mass.end());
+    snap.rho.assign(s.rho.begin(), s.rho.end());
+    snap.ein.assign(s.ein.begin(), s.ein.end());
+    snap.q.assign(s.q.begin(), s.q.end());
+    snap.cell_mass.assign(s.cell_mass.begin(), s.cell_mass.end());
+    snap.cnmass.assign(s.cnmass.begin(), s.cnmass.end());
     return snap;
 }
 
@@ -284,16 +284,16 @@ void restore(const mesh::Mesh& mesh, const eos::MaterialTable& materials,
     util::require(snapshot.n_nodes() == mesh.n_nodes() &&
                       snapshot.n_cells() == mesh.n_cells(),
                   "ckpt: snapshot entity counts disagree with the mesh");
-    s.x = snapshot.x;
-    s.y = snapshot.y;
-    s.u = snapshot.u;
-    s.v = snapshot.v;
-    s.node_mass = snapshot.node_mass;
-    s.rho = snapshot.rho;
-    s.ein = snapshot.ein;
-    s.q = snapshot.q;
-    s.cell_mass = snapshot.cell_mass;
-    s.cnmass = snapshot.cnmass;
+    s.x.assign(snapshot.x.begin(), snapshot.x.end());
+    s.y.assign(snapshot.y.begin(), snapshot.y.end());
+    s.u.assign(snapshot.u.begin(), snapshot.u.end());
+    s.v.assign(snapshot.v.begin(), snapshot.v.end());
+    s.node_mass.assign(snapshot.node_mass.begin(), snapshot.node_mass.end());
+    s.rho.assign(snapshot.rho.begin(), snapshot.rho.end());
+    s.ein.assign(snapshot.ein.begin(), snapshot.ein.end());
+    s.q.assign(snapshot.q.begin(), snapshot.q.end());
+    s.cell_mass.assign(snapshot.cell_mass.begin(), snapshot.cell_mass.end());
+    s.cnmass.assign(snapshot.cnmass.begin(), snapshot.cnmass.end());
     rebuild_derived(mesh, materials, s);
     // Seed the step-start scratch as initialise does; every step rewrites
     // these before reading them.

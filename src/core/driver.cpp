@@ -27,10 +27,10 @@ std::string history_header_line() {
 
 Hydro::Hydro(setup::Problem problem) : problem_(std::move(problem)) {
     state_ = hydro::allocate(problem_.mesh);
-    state_.rho = problem_.rho;
-    state_.ein = problem_.ein;
-    state_.u = problem_.u;
-    state_.v = problem_.v;
+    state_.rho.assign(problem_.rho.begin(), problem_.rho.end());
+    state_.ein.assign(problem_.ein.begin(), problem_.ein.end());
+    state_.u.assign(problem_.u.begin(), problem_.u.end());
+    state_.v.assign(problem_.v.begin(), problem_.v.end());
     hydro::initialise(problem_.mesh, problem_.materials, state_);
 
     init_context();
@@ -181,6 +181,28 @@ void Hydro::set_assembly(par::Assembly assembly) {
     ctx_.exec.assembly = assembly;
     chosen_assembly_ = assembly;
     assembly_chosen_ = true;
+    // The step graph's acceleration tasks encode the gather assembly;
+    // rebuild (or drop) the graph under the new strategy.
+    stepgraph_.reset();
+    ctx_.stepgraph = nullptr;
+}
+
+/// Build (or tear down) the Lagrangian-step task graph to match the
+/// current execution policy. The graph applies when a pool is attached,
+/// the schedule is taskgraph and the assembly is the default gather (the
+/// scatter ablations deliberately keep the reference fork-join shape).
+void Hydro::ensure_stepgraph() {
+    const bool want = ctx_.exec.threaded() &&
+                      ctx_.exec.schedule == par::Schedule::taskgraph &&
+                      ctx_.exec.assembly == par::Assembly::gather;
+    if (!want) {
+        stepgraph_.reset();
+        ctx_.stepgraph = nullptr;
+        return;
+    }
+    if (!stepgraph_)
+        stepgraph_ = std::make_unique<hydro::StepGraph>(ctx_, state_);
+    ctx_.stepgraph = stepgraph_.get();
 }
 
 StepInfo Hydro::step() { return step_clamped(std::nullopt); }
@@ -225,6 +247,7 @@ StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
     Real dt = clamped.used;
     if (dt != clamped.unclamped) info.dt_reason = "t_end";
 
+    ensure_stepgraph();
     if (guard.enabled) hydro::capture_step(state_, step_backup_);
     hydro::lagstep(ctx_, state_, dt);
     if (guard.enabled) {

@@ -13,6 +13,7 @@
 #include "ale/remap.hpp"
 #include "ckpt/checkpoint.hpp"
 #include "hydro/kernels.hpp"
+#include "hydro/stepgraph.hpp"
 #include "io/csv.hpp"
 #include "obs/telemetry.hpp"
 #include "setup/problems.hpp"
@@ -55,10 +56,14 @@ public:
 
     /// Optional execution policy (threading) — set before stepping. An
     /// assembly strategy chosen via set_assembly() survives this call
-    /// (set_exec configures the pool, not the assembly ablation).
+    /// (set_exec configures the pool, not the assembly ablation). Any
+    /// previously built step graph is invalidated; the next step rebuilds
+    /// it if the new policy wants one.
     void set_exec(par::Exec exec) {
         ctx_.exec = exec;
         if (assembly_chosen_) ctx_.exec.assembly = chosen_assembly_;
+        stepgraph_.reset();
+        ctx_.stepgraph = nullptr;
     }
     /// Select the acceleration nodal-assembly strategy (default: gather).
     /// `colored_scatter` builds the conflict colouring on first use.
@@ -114,6 +119,7 @@ private:
     StepInfo step_clamped(std::optional<Real> t_end);
     void write_history_row(Real dt);
     void init_context();
+    void ensure_stepgraph();
     void open_history_fresh();
     void continue_history();
     void maybe_checkpoint(Real t_before);
@@ -121,6 +127,9 @@ private:
     setup::Problem problem_;
     hydro::State state_;
     hydro::Context ctx_;
+    /// Lagrangian-step task graph (Schedule::taskgraph with a pool and
+    /// gather assembly); built lazily on the first step after set_exec.
+    std::unique_ptr<hydro::StepGraph> stepgraph_;
     ale::Workspace ale_work_;
     util::Profiler profiler_;
     /// Time-history CSV (deck `[io] history = <path>`): one row per step

@@ -29,14 +29,17 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <thread>
 
 #include "geom/geometry.hpp"
+#include "par/task_graph.hpp"
 #include "part/subdomain.hpp"
 #include "typhon/fault.hpp"
 #include "typhon/typhon.hpp"
@@ -302,7 +305,7 @@ std::vector<Real> pack_owned(const part::Subdomain& sub,
     const auto owned_nodes = static_cast<std::size_t>(sub.n_owned_nodes());
     const auto owned_cells = static_cast<std::size_t>(sub.n_owned_cells);
     out.reserve(5 * owned_nodes + (4 + corners_per_cell) * owned_cells);
-    const auto nodes = [&](const std::vector<Real>& f) {
+    const auto nodes = [&](std::span<const Real> f) {
         for (std::size_t ln = 0; ln < sub.local_nodes.size(); ++ln)
             if (sub.node_owned[ln]) out.push_back(f[ln]);
     };
@@ -311,7 +314,7 @@ std::vector<Real> pack_owned(const part::Subdomain& sub,
     nodes(s.u);
     nodes(s.v);
     nodes(s.node_mass);
-    const auto cells = [&](const std::vector<Real>& f) {
+    const auto cells = [&](std::span<const Real> f) {
         for (std::size_t lc = 0; lc < owned_cells; ++lc) out.push_back(f[lc]);
     };
     cells(s.rho);
@@ -435,6 +438,129 @@ void restore_rank_state(const part::Subdomain& sub,
     s.ein0 = s.ein;
 }
 
+/// Remap phases 3b-4 as a task graph (per-rank pool + taskgraph schedule):
+/// the ghost-gradient exchange finish becomes a main-thread graph node, so
+/// *interior* face fluxes — both sides owned, gradients locally exact —
+/// compute while the exchange is in flight, and only the *frontier* face
+/// blocks (those reading a ghost gradient) are released by the finish.
+/// Cell and dual sweeps join per-block as soon as their own four faces'
+/// flux blocks are done. Bitwise identical to the blocking sequence: the
+/// interior/frontier split only reorders per-face-independent work, the
+/// prelude zero-fill is the same bytes the blocking overloads assign, and
+/// every task writes disjoint slots.
+void remap_flux_graph(const hydro::Context& ctx, hydro::State& s,
+                      const ale::Options& ale, ale::Workspace& w,
+                      typhon::Comm& comm, const part::Subdomain& sub,
+                      typhon::Packing packing) {
+    const auto& mesh = *ctx.mesh;
+    const Index n_owned = sub.n_owned_cells;
+
+    // Task bodies run the serial kernel paths (no nested pool dispatch).
+    hydro::Context body = ctx;
+    body.exec.pool = nullptr;
+
+    // Split the remap faces: a frontier face touches a ghost cell, so its
+    // donor reconstruction may read an exchanged gradient; interior faces
+    // read locally-computed gradients only. Boundary faces have no right
+    // cell and classify by their left cell alone.
+    std::vector<Index> interior, frontier;
+    interior.reserve(sub.remap_faces.size());
+    for (const Index f : sub.remap_faces) {
+        const auto& face = mesh.faces[static_cast<std::size_t>(f)];
+        const bool ghost = face.left >= n_owned ||
+                           (face.right != no_index && face.right >= n_owned);
+        (ghost ? frontier : interior).push_back(f);
+    }
+
+    // Prelude: the exact zero state the blocking overloads assign (ghost
+    // dflux slots the result exchange does not cover must read zero, as
+    // they do on the blocking schedule).
+    {
+        const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
+        w.mflux.assign(mesh.faces.size(), 0.0);
+        w.eflux.assign(mesh.faces.size(), 0.0);
+        w.dflux.assign(
+            static_cast<std::size_t>(mesh.n_cells()) * corners_per_cell, 0.0);
+    }
+
+    // Post the ghost-gradient exchange; its finish is a graph node below.
+    static_assert(part::Subdomain::remap_grad_fields == 4);
+    typhon::PendingExchange grads;
+    {
+        const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
+        const util::ScopedTimer pack(*ctx.profiler, util::Kernel::halo_pack);
+        grads = typhon::exchange_start(comm, sub.remap_cell_schedule,
+                                       {w.grad_rho_x, w.grad_rho_y,
+                                        w.grad_e_x, w.grad_e_y},
+                                       320, packing);
+    }
+
+    par::TaskGraph graph;
+    const par::TaskId t_finish = graph.add(
+        [&] {
+            const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
+            grads.finish(ctx.profiler);
+        },
+        /*main_thread=*/true); // comm endpoints are per-rank-thread
+
+    // Flux tasks over chunks of the face lists; face -> task for the
+    // cell/dual dependencies.
+    std::vector<par::TaskId> task_of_face(mesh.faces.size(), par::TaskId{-1});
+    const Index n_faces = static_cast<Index>(sub.remap_faces.size());
+    const Index fchunk = par::detail::resolve_task_block(ctx.exec, n_faces);
+    auto add_flux_chunks = [&](const std::vector<Index>& faces,
+                               bool needs_ghosts) {
+        for (std::size_t at = 0; at < faces.size();
+             at += static_cast<std::size_t>(fchunk)) {
+            const auto len = std::min(static_cast<std::size_t>(fchunk),
+                                      faces.size() - at);
+            const std::span<const Index> chunk(faces.data() + at, len);
+            const par::TaskId t = graph.add([&, chunk] {
+                ale::aleadvect_fluxes_chunk(body, s, ale, w, chunk);
+            });
+            if (needs_ghosts) graph.depend(t, t_finish);
+            for (const Index f : chunk)
+                task_of_face[static_cast<std::size_t>(f)] = t;
+        }
+    };
+    add_flux_chunks(interior, /*needs_ghosts=*/false);
+    add_flux_chunks(frontier, /*needs_ghosts=*/true);
+
+    // Cell and dual sweeps over owned-cell blocks, each gated only on the
+    // flux tasks of its cells' own faces (unlisted faces keep the prelude
+    // zero and gate nothing).
+    std::atomic<long> floored{0};
+    const Index cblock = par::detail::resolve_task_block(ctx.exec, n_owned);
+    std::vector<par::TaskId> deps;
+    for (Index begin = 0; begin < n_owned; begin += cblock) {
+        const Index end = std::min(n_owned, begin + cblock);
+        deps.clear();
+        for (Index c = begin; c < end; ++c)
+            for (int k = 0; k < corners_per_cell; ++k) {
+                const par::TaskId t =
+                    task_of_face[static_cast<std::size_t>(mesh.face_of(c, k))];
+                if (t >= 0) deps.push_back(t);
+            }
+        std::sort(deps.begin(), deps.end());
+        deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+        const par::TaskId t_cells = graph.add([&, begin, end] {
+            ale::aleadvect_cells(body, s, w, begin, end);
+        });
+        const par::TaskId t_dual = graph.add([&, begin, end] {
+            ale::aleadvect_dual(body, s, w, begin, end, floored);
+        });
+        for (const par::TaskId d : deps) {
+            graph.depend(t_cells, d);
+            graph.depend(t_dual, d);
+        }
+    }
+
+    graph.run(ctx.exec, ctx.profiler);
+    if (floored.load() > 0)
+        util::log_warn("aleadvect: floored ", floored.load(),
+                       " negative corner masses");
+}
+
 } // namespace
 
 void remap(const hydro::Context& ctx, hydro::State& s, const ale::Options& ale,
@@ -478,25 +604,35 @@ void remap(const hydro::Context& ctx, hydro::State& s, const ale::Options& ale,
     ale::alegetfvol(ctx, s, w, sub.remap_faces);
     ale::aleadvect_centroids(ctx, s, w);
     ale::aleadvect_gradients(ctx, s, ale, w, sub.n_owned_cells);
-    {
-        static_assert(part::Subdomain::remap_grad_fields == 4);
-        const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
-        typhon::PendingExchange grads;
-        {
-            const util::ScopedTimer pack(*ctx.profiler,
-                                         util::Kernel::halo_pack);
-            grads = typhon::exchange_start(comm, sub.remap_cell_schedule,
-                                           {w.grad_rho_x, w.grad_rho_y,
-                                            w.grad_e_x, w.grad_e_y},
-                                           320, packing);
-        }
-        grads.finish(ctx.profiler);
-    }
 
-    // 4. Fluxes on the remap faces; cell and dual sweeps over owned cells.
-    ale::aleadvect_fluxes(ctx, s, ale, w, sub.remap_faces);
-    ale::aleadvect_cells(ctx, s, w, sub.n_owned_cells);
-    ale::aleadvect_dual(ctx, s, w, sub.n_owned_cells);
+    if (ctx.exec.threaded() &&
+        ctx.exec.schedule == par::Schedule::taskgraph) {
+        // 4. (graph) The exchange finish releases only the ghost-touching
+        // face blocks; interior fluxes and per-block cell/dual sweeps
+        // overlap the in-flight messages. Bitwise == the blocking branch.
+        remap_flux_graph(ctx, s, ale, w, comm, sub, packing);
+    } else {
+        {
+            static_assert(part::Subdomain::remap_grad_fields == 4);
+            const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
+            typhon::PendingExchange grads;
+            {
+                const util::ScopedTimer pack(*ctx.profiler,
+                                             util::Kernel::halo_pack);
+                grads = typhon::exchange_start(comm, sub.remap_cell_schedule,
+                                               {w.grad_rho_x, w.grad_rho_y,
+                                                w.grad_e_x, w.grad_e_y},
+                                               320, packing);
+            }
+            grads.finish(ctx.profiler);
+        }
+
+        // 4. Fluxes on the remap faces; cell and dual sweeps over owned
+        // cells.
+        ale::aleadvect_fluxes(ctx, s, ale, w, sub.remap_faces);
+        ale::aleadvect_cells(ctx, s, w, sub.n_owned_cells);
+        ale::aleadvect_dual(ctx, s, w, sub.n_owned_cells);
+    }
 
     // 5. Fused result exchange: ghost cell results {cell_mass, ein} (the
     // next steps' ghost rebuild divides cell_mass by volume) and ghost
@@ -624,7 +760,18 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
         const auto& sub = subs[static_cast<std::size_t>(comm.rank())];
         auto& profiler = profilers[static_cast<std::size_t>(comm.rank())];
 
-        hydro::State s = hydro::allocate(sub.local);
+        // Per-rank worker pool (the hybrid MPI+OpenMP analogue). Built
+        // before the state so the first-touch allocation places pages in
+        // the same blocks the threaded kernels sweep.
+        std::unique_ptr<par::ThreadPool> pool;
+        par::Exec exec;
+        exec.schedule = opts.schedule;
+        if (opts.n_threads > 1) {
+            pool = std::make_unique<par::ThreadPool>(opts.n_threads);
+            exec.pool = pool.get();
+        }
+
+        hydro::State s = hydro::allocate(sub.local, exec);
         if (start_snap != nullptr) {
             restore_rank_state(sub, materials, *start_snap, s);
         } else {
@@ -645,6 +792,7 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
         ctx.mesh = &sub.local;
         ctx.materials = &materials;
         ctx.opts = opts.hydro;
+        ctx.exec = exec;
         ctx.profiler = &profiler;
         ctx.dt_cells = sub.n_owned_cells; // dt over owned cells only
         // Corner gathers in serial deposition order (bitwise == serial).
@@ -1029,6 +1177,7 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
 /// Shared argument checks of both run() entry points.
 void check_options(const Options& opts) {
     util::require(opts.n_ranks >= 1, "dist::run: n_ranks must be >= 1");
+    util::require(opts.n_threads >= 1, "dist::run: n_threads must be >= 1");
     util::require(opts.ale.mode == ale::Mode::lagrange ||
                       opts.ale.frequency >= 1,
                   "dist::run: ale frequency must be >= 1");

@@ -61,6 +61,20 @@ struct Options {
     /// baseline. The two land bitwise-identical ghost bytes, so every
     /// (overlap, packing) combination produces bitwise-identical fields.
     typhon::Packing packing = typhon::Packing::coalesced;
+    /// Worker threads per rank (the hybrid MPI+OpenMP analogue). 1 keeps
+    /// the flat-MPI model: each rank runs its subdomain serially. > 1
+    /// attaches a per-rank par::ThreadPool, so every hydro/ALE kernel runs
+    /// its existing threaded path over the subdomain and state allocation
+    /// first-touches pages in the same blocks the kernels sweep. Bitwise
+    /// invariant at any (n_ranks x n_threads): the threaded kernels are
+    /// schedule-independent by construction.
+    int n_threads = 1;
+    /// Intra-rank scheduling strategy (only meaningful with n_threads > 1):
+    /// taskgraph runs the ALE advection phases as a dependency graph over
+    /// entity blocks — and lets remap() release ghost-touching face blocks
+    /// from the gradient-exchange finish instead of a full barrier —
+    /// forkjoin is the barrier-per-kernel ablation. Bitwise identical.
+    par::Schedule schedule = par::Schedule::taskgraph;
     /// ALE/remap configuration carried over from the source deck. All
     /// three modes run distributed: after the Lagrangian corrector of a
     /// remap-due step, each rank executes the ghost-aware ALE step (see

@@ -30,7 +30,7 @@ namespace {
 
 /// Scatter one cell's corner masses and forces into the nodal arrays.
 inline void scatter_cell(const mesh::Mesh& mesh, State& s, Index c,
-                         std::vector<Real>& nm) {
+                         std::span<Real> nm) {
     for (int k = 0; k < corners_per_cell; ++k) {
         const auto n = static_cast<std::size_t>(mesh.cn(c, k));
         const auto ki = State::cidx(c, k);
@@ -105,6 +105,40 @@ void getacc_assemble(const Context& ctx, State& s,
     par::for_each(ctx.exec, static_cast<Index>(nodes.size()), [&](Index i) {
         gather_node(nc, s, nodes[static_cast<std::size_t>(i)]);
     });
+}
+
+void getacc_assemble(const Context& ctx, State& s, Index begin, Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    const auto& nc = ctx.corner_gather();
+    for (Index n = begin; n < end; ++n) gather_node(nc, s, n);
+}
+
+void getacc_advance_velocity(const Context& ctx, State& s, Real dt,
+                             Index begin, Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    for (Index n = begin; n < end; ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        const Real m = s.node_mass[ni];
+        Real un, vn;
+        if (m > tiny) {
+            un = s.u0[ni] + dt * s.nfx[ni] / m;
+            vn = s.v0[ni] + dt * s.nfy[ni] / m;
+        } else {
+            un = s.u0[ni];
+            vn = s.v0[ni];
+        }
+        s.u[ni] = un;
+        s.v[ni] = vn;
+    }
+}
+
+void getacc_centered(const Context& ctx, State& s, Index begin, Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    for (Index n = begin; n < end; ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        s.ubar[ni] = Real(0.5) * (s.u0[ni] + s.u[ni]);
+        s.vbar[ni] = Real(0.5) * (s.v0[ni] + s.v[ni]);
+    }
 }
 
 namespace {

@@ -107,4 +107,12 @@ void getforce(const Context& ctx, State& s, std::span<const Index> cells) {
     });
 }
 
+void getforce(const Context& ctx, State& s, Index begin, Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getforce);
+    const auto& mesh = *ctx.mesh;
+    const auto& materials = *ctx.materials;
+    for (Index c = begin; c < end; ++c)
+        force_cell(mesh, materials, ctx.opts, s, c);
+}
+
 } // namespace bookleaf::hydro

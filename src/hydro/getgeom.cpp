@@ -6,6 +6,32 @@
 
 namespace bookleaf::hydro {
 
+namespace {
+
+/// Rebuild one cell's geometry (cache, volume, characteristic length,
+/// corner volumes); records a non-positive volume in `bad_cell` (lowest
+/// cell index wins, so the diagnostic is schedule-independent).
+inline void geom_cell(const mesh::Mesh& mesh, State& s, Index c,
+                      std::atomic<Index>& bad_cell) {
+    const auto quad = geom::gather(mesh, s.x, s.y, c);
+    s.cache_geometry(c, quad);
+    const Real vol = geom::quad_area(quad);
+    const auto ci = static_cast<std::size_t>(c);
+    s.volume[ci] = vol;
+    s.char_len[ci] = geom::char_length(quad);
+    const auto cv = geom::corner_volumes(quad);
+    for (int k = 0; k < corners_per_cell; ++k)
+        s.cnvol[State::cidx(c, k)] = cv[static_cast<std::size_t>(k)];
+    if (vol <= 0.0) {
+        Index seen = bad_cell.load(std::memory_order_relaxed);
+        while ((seen == no_index || c < seen) &&
+               !bad_cell.compare_exchange_weak(seen, c)) {
+        }
+    }
+}
+
+} // namespace
+
 void getgeom(const Context& ctx, State& s, std::span<const Real> wu,
              std::span<const Real> wv, Real dt_move) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getgeom);
@@ -24,21 +50,8 @@ void getgeom(const Context& ctx, State& s, std::span<const Real> wu,
     // gathered-geometry cache, which getforce/getq/getdt then read
     // contiguously instead of re-gathering through cell_nodes.
     std::atomic<Index> bad_cell{no_index};
-    par::for_each(ctx.exec, mesh.n_cells(), [&](Index c) {
-        const auto quad = geom::gather(mesh, s.x, s.y, c);
-        s.cache_geometry(c, quad);
-        const Real vol = geom::quad_area(quad);
-        const auto ci = static_cast<std::size_t>(c);
-        s.volume[ci] = vol;
-        s.char_len[ci] = geom::char_length(quad);
-        const auto cv = geom::corner_volumes(quad);
-        for (int k = 0; k < corners_per_cell; ++k)
-            s.cnvol[State::cidx(c, k)] = cv[static_cast<std::size_t>(k)];
-        if (vol <= 0.0) {
-            Index expected = no_index;
-            bad_cell.compare_exchange_strong(expected, c);
-        }
-    });
+    par::for_each(ctx.exec, mesh.n_cells(),
+                  [&](Index c) { geom_cell(mesh, s, c, bad_cell); });
 
     // With health guards enabled a tangled mesh is not fatal here: the
     // bad volumes (and everything derived from them) flow deterministically
@@ -52,12 +65,38 @@ void getgeom(const Context& ctx, State& s, std::span<const Real> wu,
                           " (mesh tangled; consider enabling ALE)");
 }
 
+void getgeom_move(const Context& ctx, State& s, std::span<const Real> wu,
+                  std::span<const Real> wv, Real dt_move, Index begin,
+                  Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getgeom);
+    for (Index n = begin; n < end; ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        s.x[ni] = s.x0[ni] + wu[ni] * dt_move;
+        s.y[ni] = s.y0[ni] + wv[ni] * dt_move;
+    }
+}
+
+void getgeom_cells(const Context& ctx, State& s, Index begin, Index end,
+                   std::atomic<Index>& bad_cell) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getgeom);
+    const auto& mesh = *ctx.mesh;
+    for (Index c = begin; c < end; ++c) geom_cell(mesh, s, c, bad_cell);
+}
+
 void getrho(const Context& ctx, State& s) {
     const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getrho);
     par::for_each(ctx.exec, s.n_cells(), [&](Index c) {
         const auto ci = static_cast<std::size_t>(c);
         s.rho[ci] = s.cell_mass[ci] / std::max(s.volume[ci], tiny);
     });
+}
+
+void getrho(const Context& ctx, State& s, Index begin, Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getrho);
+    for (Index c = begin; c < end; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        s.rho[ci] = s.cell_mass[ci] / std::max(s.volume[ci], tiny);
+    }
 }
 
 void getpc(const Context& ctx, State& s) {
@@ -70,6 +109,18 @@ void getpc(const Context& ctx, State& s) {
         s.pre[ci] = materials.pressure(r, s.rho[ci], s.ein[ci]);
         s.csqrd[ci] = materials.sound_speed2(r, s.rho[ci], s.ein[ci]);
     });
+}
+
+void getpc(const Context& ctx, State& s, Index begin, Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getpc);
+    const auto& mesh = *ctx.mesh;
+    const auto& materials = *ctx.materials;
+    for (Index c = begin; c < end; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        const Index r = mesh.cell_region[ci];
+        s.pre[ci] = materials.pressure(r, s.rho[ci], s.ein[ci]);
+        s.csqrd[ci] = materials.sound_speed2(r, s.rho[ci], s.ein[ci]);
+    }
 }
 
 void getein(const Context& ctx, State& s, std::span<const Real> wu,
@@ -86,6 +137,23 @@ void getein(const Context& ctx, State& s, std::span<const Real> wu,
         const auto ci = static_cast<std::size_t>(c);
         s.ein[ci] = s.ein0[ci] - dt_eff * work / std::max(s.cell_mass[ci], tiny);
     });
+}
+
+void getein(const Context& ctx, State& s, std::span<const Real> wu,
+            std::span<const Real> wv, Real dt_eff, Index begin, Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getein);
+    const auto& mesh = *ctx.mesh;
+    for (Index c = begin; c < end; ++c) {
+        Real work = 0.0;
+        for (int k = 0; k < corners_per_cell; ++k) {
+            const auto n = static_cast<std::size_t>(mesh.cn(c, k));
+            const auto ki = State::cidx(c, k);
+            work += s.fx[ki] * wu[n] + s.fy[ki] * wv[n];
+        }
+        const auto ci = static_cast<std::size_t>(c);
+        s.ein[ci] =
+            s.ein0[ci] - dt_eff * work / std::max(s.cell_mass[ci], tiny);
+    }
 }
 
 void apply_velocity_bc(const mesh::Mesh& mesh, const Options& opts,

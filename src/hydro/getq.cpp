@@ -151,4 +151,10 @@ void getq(const Context& ctx, State& s, std::span<const Index> cells) {
     });
 }
 
+void getq(const Context& ctx, State& s, Index begin, Index end) {
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getq);
+    const auto& mesh = *ctx.mesh;
+    for (Index c = begin; c < end; ++c) q_cell(mesh, ctx.opts, s, c);
+}
+
 } // namespace bookleaf::hydro

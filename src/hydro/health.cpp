@@ -36,23 +36,23 @@ void rebuild_cells(const mesh::Mesh& mesh, const eos::MaterialTable& materials,
 }
 
 void capture_step(const State& s, StepBackup& b) {
-    b.x = s.x;
-    b.y = s.y;
-    b.u = s.u;
-    b.v = s.v;
-    b.rho = s.rho;
-    b.ein = s.ein;
-    b.q = s.q;
+    b.x.assign(s.x.begin(), s.x.end());
+    b.y.assign(s.y.begin(), s.y.end());
+    b.u.assign(s.u.begin(), s.u.end());
+    b.v.assign(s.v.begin(), s.v.end());
+    b.rho.assign(s.rho.begin(), s.rho.end());
+    b.ein.assign(s.ein.begin(), s.ein.end());
+    b.q.assign(s.q.begin(), s.q.end());
 }
 
 void restore_step(const Context& ctx, State& s, const StepBackup& b) {
-    s.x = b.x;
-    s.y = b.y;
-    s.u = b.u;
-    s.v = b.v;
-    s.rho = b.rho;
-    s.ein = b.ein;
-    s.q = b.q;
+    s.x.assign(b.x.begin(), b.x.end());
+    s.y.assign(b.y.begin(), b.y.end());
+    s.u.assign(b.u.begin(), b.u.end());
+    s.v.assign(b.v.begin(), b.v.end());
+    s.rho.assign(b.rho.begin(), b.rho.end());
+    s.ein.assign(b.ein.begin(), b.ein.end());
+    s.q.assign(b.q.begin(), b.q.end());
     // Tolerant rebuild: in the distributed driver a loop-top ghost cell
     // may hold a tangled transient (its corners evolve with incomplete
     // assemblies and are refreshed by the next halo before any kernel

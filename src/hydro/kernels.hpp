@@ -5,6 +5,7 @@
 /// profiler under the matching Kernel id, which is what the Table II
 /// bench aggregates.
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -18,6 +19,8 @@
 #include "util/profiler.hpp"
 
 namespace bookleaf::hydro {
+
+class StepGraph;
 
 /// Everything a kernel needs besides the state: mesh topology, materials,
 /// options, execution policy, profiler, and (optionally) the scatter
@@ -45,6 +48,13 @@ struct Context {
     /// dist == serial contract. nullptr (the serial driver) means
     /// mesh->node_corners, whose rows are already in global order.
     const util::Csr* assembly_corners = nullptr;
+    /// Task-graph executor for the Lagrangian step, built by the owning
+    /// driver when `exec.schedule == Schedule::taskgraph` applies (pool
+    /// present, gather assembly). lagstep dispatches to it; nullptr (bare
+    /// contexts, the fork-join ablation, the scatter ablations) runs the
+    /// barrier-per-kernel sequence. Results are bitwise identical either
+    /// way.
+    StepGraph* stepgraph = nullptr;
 
     /// The corner gather CSR in effect (see assembly_corners).
     [[nodiscard]] const util::Csr& corner_gather() const {
@@ -110,6 +120,44 @@ void getacc(const Context& ctx, State& s, Real dt);
 /// to one full getacc with gather assembly.
 void getacc_assemble(const Context& ctx, State& s, std::span<const Index> nodes);
 void getacc_advance(const Context& ctx, State& s, Real dt);
+
+// ---------------------------------------------------------------------------
+// Contiguous-block kernel pieces for the task-graph executor. Each runs a
+// *serial* loop over entities [begin, end) — parallelism comes from running
+// many blocks as graph tasks — and writes only its own block's slots, so
+// any disjoint cover executed in any order is bitwise identical to the
+// full fork-join kernel. Every piece charges its kernel's profiler slot
+// (in graph mode concurrent block scopes sum to CPU seconds, not wall).
+// ---------------------------------------------------------------------------
+
+/// getq over cells [begin, end).
+void getq(const Context& ctx, State& s, Index begin, Index end);
+/// getforce over cells [begin, end).
+void getforce(const Context& ctx, State& s, Index begin, Index end);
+/// The node-move half of getgeom over nodes [begin, end).
+void getgeom_move(const Context& ctx, State& s, std::span<const Real> wu,
+                  std::span<const Real> wv, Real dt_move, Index begin,
+                  Index end);
+/// The cell-geometry half of getgeom over cells [begin, end). A tangled
+/// cell is recorded in `bad_cell` (lowest index wins) instead of throwing;
+/// the graph's check task (or the caller) owns the throw decision.
+void getgeom_cells(const Context& ctx, State& s, Index begin, Index end,
+                   std::atomic<Index>& bad_cell);
+/// getrho over cells [begin, end).
+void getrho(const Context& ctx, State& s, Index begin, Index end);
+/// getein over cells [begin, end).
+void getein(const Context& ctx, State& s, std::span<const Real> wu,
+            std::span<const Real> wv, Real dt_eff, Index begin, Index end);
+/// getpc over cells [begin, end).
+void getpc(const Context& ctx, State& s, Index begin, Index end);
+/// The gather assembly of getacc over nodes [begin, end).
+void getacc_assemble(const Context& ctx, State& s, Index begin, Index end);
+/// The velocity advance of getacc over nodes [begin, end) (no BCs — the
+/// graph applies them as a serial task after all blocks).
+void getacc_advance_velocity(const Context& ctx, State& s, Real dt,
+                             Index begin, Index end);
+/// The time-centred (ubar, vbar) formation over nodes [begin, end).
+void getacc_centered(const Context& ctx, State& s, Index begin, Index end);
 
 /// Timestep-controller result. `reason` names the active constraint and
 /// `cell` the controlling cell (BookLeaf's MINLOC diagnostic).

@@ -1,52 +1,52 @@
 #include "hydro/state.hpp"
 
+#include <algorithm>
+#include <array>
+
 #include "geom/geometry.hpp"
 #include "util/error.hpp"
 
 namespace bookleaf::hydro {
 
-State allocate(const mesh::Mesh& mesh) {
+State allocate(const mesh::Mesh& mesh) { return allocate(mesh, par::Exec{}); }
+
+State allocate(const mesh::Mesh& mesh, const par::Exec& exec) {
     State s;
     const auto nn = static_cast<std::size_t>(mesh.n_nodes());
     const auto nc = static_cast<std::size_t>(mesh.n_cells());
     const auto nk = nc * corners_per_cell;
 
-    s.x = mesh.x;
-    s.y = mesh.y;
-    s.u.assign(nn, 0.0);
-    s.v.assign(nn, 0.0);
-    s.node_mass.assign(nn, 0.0);
-    s.nfx.assign(nn, 0.0);
-    s.nfy.assign(nn, 0.0);
+    // Size every field without touching its pages (Field default-inits),
+    // then zero-fill in static per-worker blocks: with a pool, the first
+    // write to each page happens on the worker whose block it belongs to,
+    // so the OS places it on that worker's NUMA node (first-touch). The
+    // bytes are identical to a serial zero-fill.
+    const std::array<Field*, 28> zeroed = {
+        &s.u,     &s.v,     &s.node_mass, &s.nfx,   &s.nfy,
+        &s.u0,    &s.v0,    &s.ubar,      &s.vbar,  // nodes
+        &s.rho,   &s.ein,   &s.pre,       &s.csqrd, &s.q,
+        &s.volume, &s.cell_mass, &s.char_len, &s.ein0, // cells
+        &s.fx,    &s.fy,    &s.qfx,       &s.qfy,   &s.cnmass,
+        &s.cnvol, &s.cnx,   &s.cny,       &s.cngx,  &s.cngy}; // corners
+    for (std::size_t i = 0; i < zeroed.size(); ++i)
+        zeroed[i]->resize(i < 9 ? nn : (i < 18 ? nc : nk));
 
-    s.rho.assign(nc, 0.0);
-    s.ein.assign(nc, 0.0);
-    s.pre.assign(nc, 0.0);
-    s.csqrd.assign(nc, 0.0);
-    s.q.assign(nc, 0.0);
-    s.volume.assign(nc, 0.0);
-    s.cell_mass.assign(nc, 0.0);
-    s.char_len.assign(nc, 0.0);
+    auto fill_block = [&](int tid, int parts) {
+        for (Field* f : zeroed) {
+            const auto [begin, end] =
+                par::detail::block(static_cast<Index>(f->size()), parts, tid);
+            std::fill(f->begin() + begin, f->begin() + end, Real(0.0));
+        }
+    };
+    if (exec.threaded())
+        exec.pool->run([&](int tid) { fill_block(tid, exec.width()); });
+    else
+        fill_block(0, 1);
 
-    s.fx.assign(nk, 0.0);
-    s.fy.assign(nk, 0.0);
-    s.qfx.assign(nk, 0.0);
-    s.qfy.assign(nk, 0.0);
-    s.cnmass.assign(nk, 0.0);
-    s.cnvol.assign(nk, 0.0);
-
-    s.cnx.assign(nk, 0.0);
-    s.cny.assign(nk, 0.0);
-    s.cngx.assign(nk, 0.0);
-    s.cngy.assign(nk, 0.0);
-
+    s.x.assign(mesh.x.begin(), mesh.x.end());
+    s.y.assign(mesh.y.begin(), mesh.y.end());
     s.x0 = s.x;
     s.y0 = s.y;
-    s.u0.assign(nn, 0.0);
-    s.v0.assign(nn, 0.0);
-    s.ein0.assign(nc, 0.0);
-    s.ubar.assign(nn, 0.0);
-    s.vbar.assign(nn, 0.0);
     return s;
 }
 

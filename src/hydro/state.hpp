@@ -10,29 +10,39 @@
 #include "geom/geometry.hpp"
 #include "hydro/options.hpp"
 #include "mesh/mesh.hpp"
+#include "par/exec.hpp"
+#include "util/alloc.hpp"
 #include "util/types.hpp"
 
 namespace bookleaf::hydro {
 
+/// State field storage. The default-init allocator keeps freshly
+/// allocated pages untouched until `allocate`'s explicit fill, so with a
+/// pool the zero-fill's static per-worker blocks perform NUMA first-touch:
+/// each page lands on the socket of the worker that will process that
+/// block. Converts to std::span<(const) Real> everywhere a kernel takes
+/// one; element access and iteration are identical to std::vector<Real>.
+using Field = std::vector<Real, util::DefaultInitAllocator<Real>>;
+
 struct State {
     // --- node-centred (kinematic) ----------------------------------------
-    std::vector<Real> x, y;   ///< positions (evolve; mesh keeps originals)
-    std::vector<Real> u, v;   ///< velocity
-    std::vector<Real> node_mass;
-    std::vector<Real> nfx, nfy; ///< assembled nodal forces (getacc scratch)
+    Field x, y;   ///< positions (evolve; mesh keeps originals)
+    Field u, v;   ///< velocity
+    Field node_mass;
+    Field nfx, nfy; ///< assembled nodal forces (getacc scratch)
 
     // --- cell-centred (thermodynamic) -------------------------------------
-    std::vector<Real> rho, ein, pre, csqrd;
-    std::vector<Real> q;          ///< cell viscosity scalar (for dt + diagnostics)
-    std::vector<Real> volume;
-    std::vector<Real> cell_mass;  ///< constant during Lagrangian motion
-    std::vector<Real> char_len;   ///< CFL characteristic length
+    Field rho, ein, pre, csqrd;
+    Field q;          ///< cell viscosity scalar (for dt + diagnostics)
+    Field volume;
+    Field cell_mass;  ///< constant during Lagrangian motion
+    Field char_len;   ///< CFL characteristic length
 
     // --- corner data [cell*4 + k] ------------------------------------------
-    std::vector<Real> fx, fy;       ///< total corner forces
-    std::vector<Real> qfx, qfy;     ///< viscous corner forces (from getq)
-    std::vector<Real> cnmass;       ///< corner masses (sub-zonal)
-    std::vector<Real> cnvol;        ///< corner volumes
+    Field fx, fy;       ///< total corner forces
+    Field qfx, qfy;     ///< viscous corner forces (from getq)
+    Field cnmass;       ///< corner masses (sub-zonal)
+    Field cnvol;        ///< corner volumes
 
     // --- gathered-geometry cache [cell*4 + k] --------------------------------
     // Corner coordinates and exact area gradients, written by getgeom (and
@@ -42,14 +52,14 @@ struct State {
     // invocation — the corrector hot path does no indirect coordinate
     // loads at all. Always consistent with the state's x/y: every code
     // path that moves nodes refreshes the cache before a kernel reads it.
-    std::vector<Real> cnx, cny;     ///< corner positions (gathered)
-    std::vector<Real> cngx, cngy;   ///< d(cell area)/d(corner position)
+    Field cnx, cny;     ///< corner positions (gathered)
+    Field cngx, cngy;   ///< d(cell area)/d(corner position)
 
     // --- step scratch --------------------------------------------------------
-    std::vector<Real> x0, y0;       ///< positions at step start
-    std::vector<Real> u0, v0;       ///< velocities at step start
-    std::vector<Real> ein0;         ///< energy at step start
-    std::vector<Real> ubar, vbar;   ///< time-centred velocities (corrector)
+    Field x0, y0;       ///< positions at step start
+    Field u0, v0;       ///< velocities at step start
+    Field ein0;         ///< energy at step start
+    Field ubar, vbar;   ///< time-centred velocities (corrector)
 
     [[nodiscard]] Index n_nodes() const { return static_cast<Index>(x.size()); }
     [[nodiscard]] Index n_cells() const { return static_cast<Index>(rho.size()); }
@@ -87,6 +97,12 @@ struct State {
 
 /// Allocate every field for the mesh and zero-initialise.
 State allocate(const mesh::Mesh& mesh);
+
+/// As above, but the zero-fill runs as static per-worker blocks on the
+/// pool (when `exec` is threaded): NUMA first-touch places each block's
+/// pages on the socket of the worker that will process it. The resulting
+/// bytes are identical to the serial overload.
+State allocate(const mesh::Mesh& mesh, const par::Exec& exec);
 
 /// Finish initialisation after the caller has filled rho, ein, u, v:
 /// computes volumes, corner volumes, cell/corner/node masses, pressure and

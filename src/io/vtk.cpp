@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <limits>
+#include <span>
 
 #include "util/error.hpp"
 
@@ -45,7 +46,7 @@ void write_vtk(const std::string& path, const mesh::Mesh& mesh,
         << step << '\n'
         << "TIME 1 1 double\n"
         << t << '\n';
-    const auto cell_field = [&](const char* name, const std::vector<Real>& f) {
+    const auto cell_field = [&](const char* name, std::span<const Real> f) {
         out << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
         for (Index c = 0; c < n_cells; ++c)
             out << f[static_cast<std::size_t>(c)] << '\n';

@@ -37,14 +37,31 @@ enum class Assembly {
     colored_scatter, ///< conflict-coloured parallel scatter (ablation)
 };
 
+/// Step-level scheduling strategy. `taskgraph` expresses the Lagrangian
+/// step and the ALE advection phases as dependency graphs over cell/node
+/// blocks so independent subranges from adjacent kernels overlap;
+/// `forkjoin` is the pre-graph behaviour (a full pool barrier between
+/// kernels), kept as an ablation mode. Both produce bitwise-identical
+/// results: every cross-entity reduction replays the serial deposition
+/// order regardless of task completion order.
+enum class Schedule {
+    taskgraph, ///< dependency-graph executor over entity blocks (default)
+    forkjoin,  ///< barrier-per-kernel ablation baseline
+};
+
 struct Exec {
     ThreadPool* pool = nullptr;
     Assembly assembly = Assembly::gather;
+    Schedule schedule = Schedule::taskgraph;
     bool serial_reductions = false;
     /// Minimum iterations handed to a worker per chunk in for_each; 0
     /// selects an automatic grain (~4 chunks per worker for dynamic load
     /// balance on irregular meshes without starving the fast threads).
     Index grain = 0;
+    /// Entities per task-graph block; 0 selects an automatic size
+    /// (~4 blocks per worker, floor 64) so the graph has enough slack to
+    /// overlap adjacent kernels without drowning in scheduling overhead.
+    Index task_block = 0;
 
     [[nodiscard]] bool threaded() const { return pool != nullptr && pool->size() > 1; }
     [[nodiscard]] int width() const { return pool ? pool->size() : 1; }
@@ -67,6 +84,27 @@ inline Index auto_grain(Index n, int parts) {
     const Index target = n / (static_cast<Index>(parts) * 4);
     return std::max<Index>(Index{64}, target);
 }
+
+/// The chunk size for_each actually uses: the explicit knob when set,
+/// auto_grain otherwise, clamped to [1, n] so an oversized knob on a small
+/// loop degrades to one chunk instead of being silently ignored (the old
+/// code compared the raw knob against n and dropped it on the serial
+/// path). Callers can assert against this to know the decomposition.
+inline Index resolve_grain(const Exec& ex, Index n) {
+    const Index g = ex.grain > 0 ? ex.grain : auto_grain(n, ex.width());
+    return std::clamp<Index>(g, Index{1}, std::max<Index>(n, Index{1}));
+}
+
+/// Entities per task-graph block: the explicit knob when set, otherwise
+/// ~4 blocks per worker with a floor of 64 entities so per-task overhead
+/// stays negligible. Always in [1, n] for n > 0.
+inline Index resolve_task_block(const Exec& ex, Index n) {
+    const Index b = ex.task_block > 0
+                        ? ex.task_block
+                        : std::max<Index>(Index{64},
+                                          n / (static_cast<Index>(ex.width()) * 4));
+    return std::clamp<Index>(b, Index{1}, std::max<Index>(n, Index{1}));
+}
 } // namespace detail
 
 /// Parallel (or serial) loop over [0, n): body(i). Threaded execution uses
@@ -77,8 +115,7 @@ inline Index auto_grain(Index n, int parts) {
 template <typename Body>
 void for_each(const Exec& ex, Index n, Body&& body) {
     if (n <= 0) return;
-    const Index grain =
-        ex.grain > 0 ? ex.grain : detail::auto_grain(n, ex.width());
+    const Index grain = detail::resolve_grain(ex, n);
     if (!ex.threaded() || n <= grain) {
         for (Index i = 0; i < n; ++i) body(i);
         return;

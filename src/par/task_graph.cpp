@@ -1,0 +1,173 @@
+#include "par/task_graph.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/profiler.hpp"
+
+namespace bookleaf::par {
+
+namespace {
+
+/// Min-heap of task ids: ready tasks are always claimed lowest-id-first,
+/// which makes the serial path's execution order deterministic and keeps
+/// the threaded path biased toward the block order the graph was built in
+/// (cache-friendly ascending subranges, no work stealing).
+using ReadyQueue =
+    std::priority_queue<TaskId, std::vector<TaskId>, std::greater<TaskId>>;
+
+} // namespace
+
+TaskId TaskGraph::add(std::function<void()> fn, bool main_thread) {
+    const TaskId id = static_cast<TaskId>(nodes_.size());
+    nodes_.push_back(Node{std::move(fn), {}, 0, main_thread});
+    validated_ = false;
+    return id;
+}
+
+void TaskGraph::depend(TaskId after, TaskId before) {
+    util::require(after >= 0 && static_cast<std::size_t>(after) < nodes_.size() &&
+                      before >= 0 &&
+                      static_cast<std::size_t>(before) < nodes_.size(),
+                  "par::TaskGraph::depend: task id out of range");
+    util::require(after != before,
+                  "par::TaskGraph::depend: task cannot depend on itself");
+    nodes_[static_cast<std::size_t>(before)].successors.push_back(after);
+    nodes_[static_cast<std::size_t>(after)].n_deps += 1;
+    validated_ = false;
+}
+
+void TaskGraph::validate() {
+    std::vector<int> deps(nodes_.size());
+    ReadyQueue ready;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        deps[i] = nodes_[i].n_deps;
+        if (deps[i] == 0) ready.push(static_cast<TaskId>(i));
+    }
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+        const TaskId id = ready.top();
+        ready.pop();
+        ++processed;
+        for (const TaskId s : nodes_[static_cast<std::size_t>(id)].successors)
+            if (--deps[static_cast<std::size_t>(s)] == 0) ready.push(s);
+    }
+    util::require(processed == nodes_.size(),
+                  "par::TaskGraph: dependency cycle detected");
+    validated_ = true;
+}
+
+void TaskGraph::run(const Exec& ex, util::Profiler* profiler) {
+    if (nodes_.empty()) return;
+    if (!validated_) validate();
+
+    std::vector<int> deps(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) deps[i] = nodes_[i].n_deps;
+
+    auto execute = [&](TaskId id) {
+        const auto& fn = nodes_[static_cast<std::size_t>(id)].fn;
+        if (!fn) return;
+        if (profiler != nullptr) {
+            const util::ScopedTimer t(*profiler, util::Kernel::tasks);
+            fn();
+        } else {
+            fn();
+        }
+    };
+
+    if (!ex.threaded()) {
+        // Deterministic serial order: always the lowest-id ready task.
+        ReadyQueue ready;
+        for (std::size_t i = 0; i < nodes_.size(); ++i)
+            if (deps[i] == 0) ready.push(static_cast<TaskId>(i));
+        std::size_t done = 0;
+        while (!ready.empty()) {
+            const TaskId id = ready.top();
+            ready.pop();
+            execute(id);
+            ++done;
+            for (const TaskId s :
+                 nodes_[static_cast<std::size_t>(id)].successors)
+                if (--deps[static_cast<std::size_t>(s)] == 0) ready.push(s);
+        }
+        BL_ASSERT(done == nodes_.size());
+        return;
+    }
+
+    // Threaded: one mutex guards the two ready heaps (tasks pinned to the
+    // calling thread go on `ready_main`, claimed only by tid 0) and the
+    // completion count. Workers sleep on the condition variable when
+    // nothing is ready; each completion releases successors and wakes
+    // everyone. The first exception cancels the remaining tasks — running
+    // ones drain, nothing new starts — and rethrows after the join.
+    std::mutex mutex;
+    std::condition_variable cv;
+    ReadyQueue ready;
+    ReadyQueue ready_main;
+    std::size_t n_done = 0;
+    bool cancelled = false;
+    std::exception_ptr error;
+
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (deps[i] != 0) continue;
+        auto& q = nodes_[i].main_thread ? ready_main : ready;
+        q.push(static_cast<TaskId>(i));
+    }
+
+    const std::size_t n_total = nodes_.size();
+    ex.pool->run([&](int tid) {
+        std::unique_lock lock(mutex);
+        for (;;) {
+            cv.wait(lock, [&] {
+                return cancelled || n_done == n_total || !ready.empty() ||
+                       (tid == 0 && !ready_main.empty());
+            });
+            if (cancelled || n_done == n_total) return;
+            TaskId id;
+            if (tid == 0 && !ready_main.empty()) {
+                id = ready_main.top();
+                ready_main.pop();
+            } else {
+                id = ready.top();
+                ready.pop();
+            }
+            lock.unlock();
+            std::exception_ptr caught;
+            try {
+                execute(id);
+            } catch (...) {
+                caught = std::current_exception();
+            }
+            lock.lock();
+            if (caught != nullptr) {
+                if (error == nullptr) error = caught;
+                cancelled = true;
+            } else {
+                for (const TaskId s :
+                     nodes_[static_cast<std::size_t>(id)].successors) {
+                    if (--deps[static_cast<std::size_t>(s)] != 0) continue;
+                    auto& q = nodes_[static_cast<std::size_t>(s)].main_thread
+                                  ? ready_main
+                                  : ready;
+                    q.push(s);
+                }
+            }
+            ++n_done;
+            if (cancelled || n_done == n_total || !ready.empty() ||
+                !ready_main.empty())
+                cv.notify_all();
+        }
+    });
+
+    if (error != nullptr) std::rethrow_exception(error);
+}
+
+void TaskGraph::clear() {
+    nodes_.clear();
+    validated_ = false;
+}
+
+} // namespace bookleaf::par

@@ -1,0 +1,84 @@
+#pragma once
+/// \file task_graph.hpp
+/// Dependency-graph executor over the fork-join thread pool.
+///
+/// A TaskGraph holds tasks (typically one (kernel, subrange) pair per
+/// cell/node block) and happens-before edges derived from the kernels'
+/// read/write footprints. `run` schedules ready tasks onto the existing
+/// no-allocation ThreadPool with no work stealing and a deterministic
+/// ready order (lowest task id first), so independent subranges from
+/// adjacent kernels overlap instead of meeting at a full-join barrier
+/// between every kernel — the bulk-synchronous structure the paper's §V
+/// identifies as the scaling limiter.
+///
+/// Correctness contract: the graph does NOT make results depend on the
+/// schedule. Edges must cover every read-after-write, write-after-read,
+/// and write-after-write pair between tasks; under that contract any
+/// execution order the scheduler picks is bitwise identical to the serial
+/// kernel sequence (tasks write disjoint slots and every cross-entity
+/// reduction is a gather replaying the serial deposition order).
+///
+/// Tasks flagged `main_thread` only ever run on the calling thread
+/// (tid 0) — the hook the distributed driver uses to finish halo
+/// exchanges (comm endpoints are per-rank, not thread-safe) as a graph
+/// dependency that releases ghost-touching blocks.
+///
+/// The graph is re-runnable: dependency counts reset on every run. A
+/// cycle is diagnosed on the first run after a structural change and
+/// throws util::Error. A task that throws cancels the remaining tasks
+/// (running ones drain) and the first exception is rethrown from run().
+
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "par/exec.hpp"
+#include "util/types.hpp"
+
+namespace bookleaf::util {
+class Profiler;
+}
+
+namespace bookleaf::par {
+
+using TaskId = int;
+
+class TaskGraph {
+public:
+    /// Register a task; returns its id (dense, in insertion order — the
+    /// deterministic scheduling priority). `main_thread` pins the task to
+    /// the calling thread.
+    TaskId add(std::function<void()> fn, bool main_thread = false);
+
+    /// Declare that `after` must not start until `before` has finished.
+    void depend(TaskId after, TaskId before);
+
+    /// Execute the graph. Serial (`!ex.threaded()`): tasks run on the
+    /// caller in deterministic lowest-id-ready order. Threaded: ready
+    /// tasks are claimed lowest-id-first under one mutex; workers sleep
+    /// when no task is ready. When `profiler` is given every task charges
+    /// a util::Kernel::tasks scope (and a TraceEvent when a trace sink is
+    /// attached) so Chrome traces show per-block task timelines.
+    void run(const Exec& ex, util::Profiler* profiler = nullptr);
+
+    [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+    [[nodiscard]] bool empty() const { return nodes_.empty(); }
+    void clear();
+
+private:
+    struct Node {
+        std::function<void()> fn;
+        std::vector<TaskId> successors;
+        int n_deps = 0; ///< static in-degree (reset template for each run)
+        bool main_thread = false;
+    };
+
+    /// Kahn's algorithm over the static structure; throws util::Error if
+    /// some task is unreachable from the in-degree-zero frontier (cycle).
+    void validate();
+
+    std::vector<Node> nodes_;
+    bool validated_ = false;
+};
+
+} // namespace bookleaf::par

@@ -1,0 +1,53 @@
+#pragma once
+/// \file alloc.hpp
+/// Default-initializing allocator: `resize` on a vector using it leaves
+/// trivially-constructible elements uninitialized instead of
+/// value-initializing them. That keeps freshly grown pages untouched, so
+/// the *first write* decides their NUMA placement — the hook the
+/// block-partitioned state arrays use for first-touch initialization
+/// (each pool worker zero-fills its own static block, pulling the pages
+/// onto the socket that will process that block).
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace bookleaf::util {
+
+template <typename T, typename Base = std::allocator<T>>
+class DefaultInitAllocator : public Base {
+    using base_traits = std::allocator_traits<Base>;
+
+public:
+    template <typename U>
+    struct rebind {
+        using other =
+            DefaultInitAllocator<U,
+                                 typename base_traits::template rebind_alloc<U>>;
+    };
+
+    using Base::Base;
+
+    /// Default-initialize (a no-op for trivial T) instead of
+    /// value-initializing — the whole point of the allocator.
+    template <typename U>
+    void construct(U* ptr) noexcept(
+        std::is_nothrow_default_constructible_v<U>) {
+        ::new (static_cast<void*>(ptr)) U;
+    }
+
+    /// Every other construction forwards to the base allocator.
+    template <typename U, typename... Args>
+    void construct(U* ptr, Args&&... args) {
+        base_traits::construct(static_cast<Base&>(*this), ptr,
+                               std::forward<Args>(args)...);
+    }
+
+    template <typename U, typename UBase>
+    [[nodiscard]] bool
+    operator==(const DefaultInitAllocator<U, UBase>&) const noexcept {
+        return true;
+    }
+};
+
+} // namespace bookleaf::util

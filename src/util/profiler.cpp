@@ -31,6 +31,7 @@ std::string_view kernel_name(Kernel k) {
     case Kernel::ale_cells: return "ale_cells";
     case Kernel::ale_dual: return "ale_dual";
     case Kernel::ale_nodes: return "ale_nodes";
+    case Kernel::tasks: return "tasks";
     case Kernel::count_: break;
     }
     return "invalid";

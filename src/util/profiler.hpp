@@ -60,6 +60,7 @@ enum class Kernel : int {
     ale_cells,     ///< aleadvect: cell-mesh advection sweep
     ale_dual,      ///< aleadvect: dual-(corner-)mesh advection sweep
     ale_nodes,     ///< aleadvect: nodal momentum remap
+    tasks,         ///< task-graph node spans (per-block kernel pieces)
     count_
 };
 

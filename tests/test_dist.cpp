@@ -123,8 +123,8 @@ TEST(Distributed, ConservationAcrossRanks) {
     const auto p = sod_like(32, 4);
     // Initial totals on the global mesh:
     bh::State s0 = bh::allocate(p.mesh);
-    s0.rho = p.rho;
-    s0.ein = p.ein;
+    s0.rho.assign(p.rho.begin(), p.rho.end());
+    s0.ein.assign(p.ein.begin(), p.ein.end());
     bh::initialise(p.mesh, p.materials, s0);
     const auto before = bh::totals(p.mesh, s0);
 
@@ -363,12 +363,12 @@ SerialFields serial_reference(bookleaf::setup::Problem problem, Real t_end) {
     const auto summary = h.run(t_end);
     SerialFields f;
     f.steps = summary.steps;
-    f.rho = h.state().rho;
-    f.ein = h.state().ein;
-    f.u = h.state().u;
-    f.v = h.state().v;
-    f.x = h.state().x;
-    f.y = h.state().y;
+    f.rho.assign(h.state().rho.begin(), h.state().rho.end());
+    f.ein.assign(h.state().ein.begin(), h.state().ein.end());
+    f.u.assign(h.state().u.begin(), h.state().u.end());
+    f.v.assign(h.state().v.begin(), h.state().v.end());
+    f.x.assign(h.state().x.begin(), h.state().x.end());
+    f.y.assign(h.state().y.begin(), h.state().y.end());
     return f;
 }
 
@@ -540,11 +540,11 @@ struct RemapTotals {
     Real mass = 0, internal = 0, px = 0, py = 0;
 };
 
-RemapTotals remap_totals(const std::vector<Real>& cell_mass,
-                         const std::vector<Real>& ein,
-                         const std::vector<Real>& node_mass,
-                         const std::vector<Real>& u,
-                         const std::vector<Real>& v) {
+RemapTotals remap_totals(std::span<const Real> cell_mass,
+                         std::span<const Real> ein,
+                         std::span<const Real> node_mass,
+                         std::span<const Real> u,
+                         std::span<const Real> v) {
     RemapTotals t;
     for (std::size_t c = 0; c < cell_mass.size(); ++c) {
         t.mass += cell_mass[c];
@@ -575,10 +575,10 @@ TEST(DistRemap, ConservationPerRemapExactAtEveryRankCount) {
 
         // --- serial reference remap ----------------------------------------
         bh::State serial = bh::allocate(rig.mesh);
-        serial.rho = rig.rho;
-        serial.ein = rig.ein;
-        serial.u = rig.u;
-        serial.v = rig.v;
+        serial.rho.assign(rig.rho.begin(), rig.rho.end());
+        serial.ein.assign(rig.ein.begin(), rig.ein.end());
+        serial.u.assign(rig.u.begin(), rig.u.end());
+        serial.v.assign(rig.v.begin(), rig.v.end());
         bh::initialise(rig.mesh, rig.materials, serial);
         bh::Context ctx;
         ctx.mesh = &rig.mesh;
@@ -727,8 +727,8 @@ TEST(DistRemap, GhostGradientExchangeMatchesSerial) {
     // Serial gradients.
     bookleaf::util::Profiler prof;
     bh::State serial = bh::allocate(m);
-    serial.rho = rho;
-    serial.ein = ein;
+    serial.rho.assign(rho.begin(), rho.end());
+    serial.ein.assign(ein.begin(), ein.end());
     bh::initialise(m, mats, serial);
     bh::Context ctx;
     ctx.mesh = &m;

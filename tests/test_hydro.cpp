@@ -295,10 +295,10 @@ TEST(GetAcc, GatherMatchesSerialScatterBitwiseAcrossThreadCounts) {
     // term by term, independent of scheduling.
     auto problem = bookleaf::setup::noh(16);
     bh::State s = bh::allocate(problem.mesh);
-    s.rho = problem.rho;
-    s.ein = problem.ein;
-    s.u = problem.u;
-    s.v = problem.v;
+    s.rho.assign(problem.rho.begin(), problem.rho.end());
+    s.ein.assign(problem.ein.begin(), problem.ein.end());
+    s.u.assign(problem.u.begin(), problem.u.end());
+    s.v.assign(problem.v.begin(), problem.v.end());
     bh::initialise(problem.mesh, problem.materials, s);
     bu::Profiler prof;
     bh::Context ctx;

@@ -105,6 +105,52 @@ TEST(Exec, ForEachChunkedBalancesIrregularWork) {
     EXPECT_GT(total.load(), 0);
 }
 
+TEST(Exec, ResolveGrainHonorsAndClampsTheKnob) {
+    // Regression: the old for_each compared the raw knob against n and
+    // silently dropped an oversized grain (falling back to auto sizing on
+    // the serial path). resolve_grain is the single source of truth now:
+    // the knob is honored when it fits and clamps to [1, n] when it
+    // doesn't.
+    bp::ThreadPool pool(4);
+    bp::Exec ex;
+    ex.pool = &pool;
+    ex.grain = 5;
+    EXPECT_EQ(bp::detail::resolve_grain(ex, 1000), 5);
+    ex.grain = 100000; // oversized: one chunk, not a silent fallback
+    EXPECT_EQ(bp::detail::resolve_grain(ex, 1000), 1000);
+    ex.grain = 0; // automatic: ~4 chunks per worker, floor 64
+    EXPECT_EQ(bp::detail::resolve_grain(ex, 10000),
+              std::max<Index>(64, 10000 / (4 * 4)));
+    EXPECT_EQ(bp::detail::resolve_grain(ex, 10), 10); // floor clamps to n
+    EXPECT_EQ(bp::detail::resolve_grain(ex, 0), 1);   // empty range
+}
+
+TEST(Exec, ResolveTaskBlockHonorsAndClampsTheKnob) {
+    bp::ThreadPool pool(4);
+    bp::Exec ex;
+    ex.pool = &pool;
+    ex.task_block = 7;
+    EXPECT_EQ(bp::detail::resolve_task_block(ex, 1000), 7);
+    ex.task_block = 100000;
+    EXPECT_EQ(bp::detail::resolve_task_block(ex, 1000), 1000);
+    ex.task_block = 0;
+    EXPECT_EQ(bp::detail::resolve_task_block(ex, 10000),
+              std::max<Index>(64, 10000 / (4 * 4)));
+    EXPECT_EQ(bp::detail::resolve_task_block(ex, 3), 3);
+}
+
+TEST(Exec, ForEachOversizedGrainKnobStillCoversThreaded) {
+    // The companion behavioral check: an oversized knob degrades to one
+    // chunk (serial body) but still visits every index exactly once.
+    bp::ThreadPool pool(4);
+    bp::Exec ex;
+    ex.pool = &pool;
+    ex.grain = 1 << 20;
+    std::vector<int> counts(513, 0);
+    bp::for_each(ex, 513, [&](Index i) { counts[static_cast<std::size_t>(i)]++; });
+    for (const int c : counts) EXPECT_EQ(c, 1);
+}
+
 TEST(Exec, ForEachEmptyRange) {
     const bp::Exec ex;
     int calls = 0;
