@@ -16,6 +16,7 @@
 
 #include "core/driver.hpp"
 #include "obs/json.hpp"
+#include "perfmodel/calibrate.hpp"
 #include "perfmodel/paper_data.hpp"
 #include "setup/problems.hpp"
 #include "util/cli.hpp"
@@ -84,6 +85,20 @@ int main(int argc, char** argv) {
     const double t_serial = measure(bl::par::Assembly::serial_scatter);
     const double t_colored = measure(bl::par::Assembly::colored_scatter);
     const double t_gather = measure(bl::par::Assembly::gather);
+
+    // One more instrumented run keeping the FULL kernel breakdown: its
+    // per-kernel {wall_s, calls, items} counters become the document's
+    // "measured_kernels" — the shape perfmodel::calibrate_from_document
+    // consumes, closing the calibration loop CI gates on
+    // (scripts/check_perfmodel.py).
+    bl::core::Hydro instrumented(bl::setup::noh(64));
+    {
+        bl::par::ThreadPool pool(2);
+        bl::par::Exec exec;
+        exec.pool = &pool;
+        instrumented.set_exec(exec);
+        instrumented.run(std::nullopt, 30);
+    }
     std::printf("%-28s %10.4f s\n", "serial scatter (paper)", t_serial);
     std::printf("%-28s %10.4f s  (%.2fx vs serial)\n", "colored scatter",
                 t_colored, t_serial / std::max(t_colored, 1e-12));
@@ -122,6 +137,39 @@ int main(int argc, char** argv) {
             obs::Json(t_serial / std::max(t_colored, 1e-12));
         measured["speedup_gather"] =
             obs::Json(t_serial / std::max(t_gather, 1e-12));
+
+        // Full per-kernel counters of the instrumented run, in the shape
+        // calibrate_from_document reads (items = cells swept summed over
+        // invocations, so wall_s/items is seconds-per-cell directly).
+        auto& mk = doc["measured_kernels"];
+        mk = obs::Json::object();
+        for (const auto kernel : modelled_kernels) {
+            const auto stats = instrumented.profiler().stats(kernel);
+            if (stats.calls == 0) continue;
+            auto& row = mk[std::string(bl::util::kernel_name(kernel))];
+            row = obs::Json::object();
+            row["wall_s"] = obs::Json(stats.wall_s);
+            row["calls"] = obs::Json(stats.calls);
+            row["items"] = obs::Json(stats.items);
+        }
+        doc["measured_steps"] = obs::Json(30);
+
+        // Close the loop inside the document itself: recalibrate the
+        // perfmodel from the measurements above and store the predicted
+        // Skylake flat-MPI per-kernel seconds. check_perfmodel.py asserts
+        // these shares track the measured wall_s shares.
+        const auto cal = calibrate_from_document(doc);
+        const auto predicted =
+            model_noh(Config::skl_mpi, calibrated_work(cal));
+        auto& cm = doc["calibrated_model"];
+        cm = obs::Json::object();
+        cm["config"] = obs::Json(config_name(Config::skl_mpi));
+        for (const auto kernel : modelled_kernels) {
+            auto& row = cm[std::string(bl::util::kernel_name(kernel))];
+            row = obs::Json::object();
+            row["model_s"] = obs::Json(predicted.at(kernel));
+        }
+
         const auto path = cli.get("json", "BENCH_fig2.json");
         obs::write_json_file(path, doc);
         std::printf("wrote %s\n", path.c_str());

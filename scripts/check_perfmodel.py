@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""CI gate: the calibrated perfmodel must track the measured machine.
+
+    check_perfmodel.py BENCH_fig2.json [--tolerance X] [--min-share S]
+
+Reads a bookleaf.bench/1 document produced by `bench_fig2_kernels --json`,
+which carries both sides of the calibration loop:
+
+  * "measured_kernels": per-kernel {wall_s, calls, items} from an
+    instrumented Noh run of this repository's kernels, and
+  * "calibrated_model": the per-kernel seconds the perfmodel predicts
+    after recalibrating itself from those same measurements
+    (perfmodel::calibrate_from_document -> calibrated_work -> model_noh).
+
+For every kernel whose measured share of total wall time is at least
+--min-share (default 0.05 — tiny kernels sit on the model's bandwidth
+floor and carry no signal), the predicted share must agree with the
+measured share within --tolerance (default 4.0, ratio either way). The
+loop is closed by construction, so a violation means the model's
+structural factors no longer track the machine — exactly the drift this
+gate exists to catch. Exit status: 0 clean, 1 drift, 2 usage/schema.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench", help="BENCH_fig2.json path")
+    parser.add_argument("--tolerance", type=float, default=4.0,
+                        help="max predicted/measured share ratio either way "
+                             "(default 4.0)")
+    parser.add_argument("--min-share", type=float, default=0.05,
+                        help="ignore kernels below this measured share "
+                             "(default 0.05)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.bench) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_perfmodel: {e}", file=sys.stderr)
+        return 2
+
+    if not isinstance(doc, dict) or doc.get("schema") != "bookleaf.bench/1":
+        print(f"check_perfmodel: {args.bench}: not a bookleaf.bench/1 "
+              "document", file=sys.stderr)
+        return 2
+    measured = doc.get("measured_kernels")
+    model = doc.get("calibrated_model")
+    if not isinstance(measured, dict) or not isinstance(model, dict):
+        print(f"check_perfmodel: {args.bench}: missing measured_kernels/"
+              "calibrated_model (regenerate with bench_fig2_kernels --json)",
+              file=sys.stderr)
+        return 2
+
+    kernels = [k for k in measured if isinstance(model.get(k), dict)]
+    m_total = sum(measured[k]["wall_s"] for k in kernels)
+    p_total = sum(model[k]["model_s"] for k in kernels)
+    if m_total <= 0 or p_total <= 0:
+        print("check_perfmodel: degenerate totals", file=sys.stderr)
+        return 2
+
+    drift = []
+    for k in kernels:
+        m_share = measured[k]["wall_s"] / m_total
+        p_share = model[k]["model_s"] / p_total
+        gated = m_share >= args.min_share
+        ratio = p_share / m_share if m_share > 0 else math.inf
+        bad = gated and not (1 / args.tolerance <= ratio <= args.tolerance)
+        marker = "  <-- DRIFT" if bad else ("" if gated else "  (below floor)")
+        print(f"  {k:10s} measured {m_share:6.1%}  predicted {p_share:6.1%}"
+              f"  ratio {ratio:5.2f}x{marker}")
+        if bad:
+            drift.append(k)
+
+    gated_n = sum(1 for k in kernels
+                  if measured[k]["wall_s"] / m_total >= args.min_share)
+    print(f"checked {gated_n} kernel(s) above {args.min_share:.0%} share, "
+          f"{len(drift)} drifted beyond {args.tolerance:.1f}x")
+    if gated_n == 0:
+        print("check_perfmodel: no kernel above the share floor",
+              file=sys.stderr)
+        return 2
+    return 1 if drift else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

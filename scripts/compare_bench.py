@@ -7,12 +7,17 @@ Walks both documents in parallel and compares every numeric leaf whose
 key ends in `_s` (seconds). A leaf is a regression when
 `new > old * max_slowdown` (default 1.5 — benches run on shared CI
 runners, so the gate is deliberately loose). Non-timing leaves are
-reported when they differ but never fail the run. Exit status: 0 when
-clean or --report-only, 1 on regression, 2 on usage/schema errors.
+reported when they differ but never fail the run. A missing baseline
+(the old file does not exist — a freshly added bench document) is a
+notice, not an error: the run reports the new values and exits 0, so
+adding a bench never breaks CI before its first baseline lands. Exit
+status: 0 when clean, baseline-missing, or --report-only; 1 on
+regression; 2 on usage/schema errors.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -39,6 +44,19 @@ def main():
     parser.add_argument("--report-only", action="store_true",
                         help="print the comparison but always exit 0")
     args = parser.parse_args()
+
+    if not os.path.exists(args.old):
+        # A new bench document with no committed baseline yet: report the
+        # fresh values, gate nothing.
+        print(f"compare_bench: no baseline {args.old} — new bench document, "
+              "report only")
+        try:
+            with open(args.new) as f:
+                json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"compare_bench: {e}", file=sys.stderr)
+            return 2
+        return 0
 
     try:
         with open(args.old) as f:

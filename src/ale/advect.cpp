@@ -154,8 +154,10 @@ inline void flux_face(const mesh::Mesh& mesh, const hydro::State& s,
 
 void aleadvect_centroids(const hydro::Context& ctx, const hydro::State& s,
                          Workspace& w) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  ctx.mesh->n_cells());
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients,
+                                  ctx.mesh->n_cells());
     const auto& mesh = *ctx.mesh;
     const Index n_cells = mesh.n_cells();
     w.cx.assign(static_cast<std::size_t>(n_cells), 0.0);
@@ -165,15 +167,19 @@ void aleadvect_centroids(const hydro::Context& ctx, const hydro::State& s,
 
 void aleadvect_centroids(const hydro::Context& ctx, const hydro::State& s,
                          Workspace& w, Index begin, Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  end - begin);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients,
+                                  end - begin);
     centroids_core(*ctx.mesh, s, w, begin, end);
 }
 
 void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
                          const Options& opts, Workspace& w, Index n_cells) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  n_cells);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients,
+                                  n_cells);
     const auto& mesh = *ctx.mesh;
     const auto nc = static_cast<std::size_t>(mesh.n_cells());
     w.grad_rho_x.assign(nc, 0.0);
@@ -189,8 +195,10 @@ void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
 void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
                          const Options& opts, Workspace& w, Index begin,
                          Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  end - begin);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_gradients,
+                                  end - begin);
     const auto& mesh = *ctx.mesh;
     gradients_core(mesh, s, w, s.rho, opts.limit, begin, end, w.grad_rho_x,
                    w.grad_rho_y);
@@ -200,8 +208,10 @@ void aleadvect_gradients(const hydro::Context& ctx, const hydro::State& s,
 
 void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
                       const Options& opts, Workspace& w) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_fluxes);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  ctx.mesh->n_faces());
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_fluxes,
+                                  ctx.mesh->n_faces());
     const auto& mesh = *ctx.mesh;
     w.mflux.assign(mesh.faces.size(), 0.0);
     w.eflux.assign(mesh.faces.size(), 0.0);
@@ -212,8 +222,10 @@ void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
 void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
                       const Options& opts, Workspace& w,
                       std::span<const Index> faces) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_fluxes);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  static_cast<long long>(faces.size()));
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_fluxes,
+                                  static_cast<long long>(faces.size()));
     const auto& mesh = *ctx.mesh;
     w.mflux.assign(mesh.faces.size(), 0.0);
     w.eflux.assign(mesh.faces.size(), 0.0);
@@ -224,8 +236,10 @@ void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
 void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
                       const Options& opts, Workspace& w, Index begin,
                       Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_fluxes);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  end - begin);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_fluxes,
+                                  end - begin);
     const auto& mesh = *ctx.mesh;
     // Own-slot zeroing replaces the full-array assign of the whole-mesh
     // overload (flux_face leaves quiescent faces untouched).
@@ -240,8 +254,10 @@ void aleadvect_fluxes(const hydro::Context& ctx, const hydro::State& s,
 void aleadvect_fluxes_chunk(const hydro::Context& ctx, const hydro::State& s,
                             const Options& opts, Workspace& w,
                             std::span<const Index> faces) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_fluxes);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  static_cast<long long>(faces.size()));
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_fluxes,
+                                  static_cast<long long>(faces.size()));
     const auto& mesh = *ctx.mesh;
     for (const Index fi : faces)
         flux_face(mesh, s, opts, w, static_cast<std::size_t>(fi));
@@ -313,22 +329,28 @@ void dual_core(const mesh::Mesh& mesh, hydro::State& s, Workspace& w,
 
 void aleadvect_cells(const hydro::Context& ctx, hydro::State& s, Workspace& w,
                      Index n_cells) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_cells);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  n_cells);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_cells,
+                                  n_cells);
     cells_core(*ctx.mesh, s, w, 0, n_cells);
 }
 
 void aleadvect_cells(const hydro::Context& ctx, hydro::State& s, Workspace& w,
                      Index begin, Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_cells);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  end - begin);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_cells,
+                                  end - begin);
     cells_core(*ctx.mesh, s, w, begin, end);
 }
 
 void aleadvect_dual(const hydro::Context& ctx, hydro::State& s, Workspace& w,
                     Index n_cells) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_dual);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  n_cells);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_dual,
+                                  n_cells);
     const auto& mesh = *ctx.mesh;
     w.dflux.assign(static_cast<std::size_t>(mesh.n_cells()) * corners_per_cell,
                    0.0);
@@ -341,8 +363,10 @@ void aleadvect_dual(const hydro::Context& ctx, hydro::State& s, Workspace& w,
 
 void aleadvect_dual(const hydro::Context& ctx, hydro::State& s, Workspace& w,
                     Index begin, Index end, std::atomic<long>& floored) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_dual);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  end - begin);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_dual,
+                                  end - begin);
     dual_core(*ctx.mesh, s, w, begin, end, floored);
 }
 
@@ -411,8 +435,10 @@ void nodes_resize(const mesh::Mesh& mesh, Workspace& w) {
 } // namespace
 
 void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_nodes);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  ctx.mesh->n_nodes());
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_nodes,
+                                  ctx.mesh->n_nodes());
     const auto& mesh = *ctx.mesh;
     const auto& corners = ctx.corner_gather();
     nodes_resize(mesh, w);
@@ -424,8 +450,10 @@ void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w) {
 
 void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w,
                      std::span<const Index> nodes) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_nodes);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  static_cast<long long>(nodes.size()));
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_nodes,
+                                  static_cast<long long>(nodes.size()));
     const auto& mesh = *ctx.mesh;
     const auto& corners = ctx.corner_gather();
     nodes_resize(mesh, w);
@@ -436,8 +464,10 @@ void aleadvect_nodes(const hydro::Context& ctx, hydro::State& s, Workspace& w,
 
 void aleadvect_node_gather(const hydro::Context& ctx, const hydro::State& s,
                            Workspace& w, Index begin, Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_nodes);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  end - begin);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_nodes,
+                                  end - begin);
     const auto& corners = ctx.corner_gather();
     for (Index n = begin; n < end; ++n)
         node_gather(*ctx.mesh, s, corners, w, n);
@@ -445,8 +475,10 @@ void aleadvect_node_gather(const hydro::Context& ctx, const hydro::State& s,
 
 void aleadvect_node_write(const hydro::Context& ctx, hydro::State& s,
                           Workspace& w, Index begin, Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect);
-    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_nodes);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleadvect,
+                                  end - begin);
+    const util::ScopedTimer phase(*ctx.profiler, util::Kernel::ale_nodes,
+                                  end - begin);
     for (Index n = begin; n < end; ++n) node_write(s, w, n);
 }
 

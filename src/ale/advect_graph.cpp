@@ -185,7 +185,8 @@ void aleadvect_graph(const hydro::Context& ctx, hydro::State& s,
         const Index b = cells[static_cast<std::size_t>(cb)].begin;
         const Index e = cells[static_cast<std::size_t>(cb)].end;
         cent[static_cast<std::size_t>(cb)] = graph.add(
-            [&body, &s, &w, b, e] { aleadvect_centroids(body, s, w, b, e); });
+            [&body, &s, &w, b, e] { aleadvect_centroids(body, s, w, b, e); },
+            false, util::Kernel::ale_gradients);
     }
     for (int cb = 0; cb < n_cb; ++cb) {
         const Index b = cells[static_cast<std::size_t>(cb)].begin;
@@ -193,7 +194,7 @@ void aleadvect_graph(const hydro::Context& ctx, hydro::State& s,
         grad[static_cast<std::size_t>(cb)] = graph.add([&body, &s, &opts, &w,
                                                         b, e] {
             aleadvect_gradients(body, s, opts, w, b, e);
-        });
+        }, false, util::Kernel::ale_gradients);
         link(grad[static_cast<std::size_t>(cb)],
              face_nb_cb[static_cast<std::size_t>(cb)], cent);
     }
@@ -203,7 +204,7 @@ void aleadvect_graph(const hydro::Context& ctx, hydro::State& s,
         flux[static_cast<std::size_t>(fb)] = graph.add(
             [&body, &s, &opts, &w, b, e] {
                 aleadvect_fluxes(body, s, opts, w, b, e);
-            });
+            }, false, util::Kernel::ale_fluxes);
         link(flux[static_cast<std::size_t>(fb)],
              cells_fb[static_cast<std::size_t>(fb)], grad);
     }
@@ -211,13 +212,14 @@ void aleadvect_graph(const hydro::Context& ctx, hydro::State& s,
         const Index b = cells[static_cast<std::size_t>(cb)].begin;
         const Index e = cells[static_cast<std::size_t>(cb)].end;
         cellt[static_cast<std::size_t>(cb)] = graph.add(
-            [&body, &s, &w, b, e] { aleadvect_cells(body, s, w, b, e); });
+            [&body, &s, &w, b, e] { aleadvect_cells(body, s, w, b, e); },
+            false, util::Kernel::ale_cells);
         link(cellt[static_cast<std::size_t>(cb)],
              faces_cb[static_cast<std::size_t>(cb)], flux);
         dual[static_cast<std::size_t>(cb)] = graph.add([&body, &s, &w,
                                                         &floored, b, e] {
             aleadvect_dual(body, s, w, b, e, floored);
-        });
+        }, false, util::Kernel::ale_dual);
         link(dual[static_cast<std::size_t>(cb)],
              faces_cb[static_cast<std::size_t>(cb)], flux);
     }
@@ -225,7 +227,10 @@ void aleadvect_graph(const hydro::Context& ctx, hydro::State& s,
         const Index b = nodes[static_cast<std::size_t>(nb)].begin;
         const Index e = nodes[static_cast<std::size_t>(nb)].end;
         gat[static_cast<std::size_t>(nb)] = graph.add(
-            [&body, &s, &w, b, e] { aleadvect_node_gather(body, s, w, b, e); });
+            [&body, &s, &w, b, e] {
+                aleadvect_node_gather(body, s, w, b, e);
+            },
+            false, util::Kernel::ale_nodes);
         link(gat[static_cast<std::size_t>(nb)],
              touch_cb[static_cast<std::size_t>(nb)], dual);
     }
@@ -233,7 +238,10 @@ void aleadvect_graph(const hydro::Context& ctx, hydro::State& s,
         const Index b = nodes[static_cast<std::size_t>(nb)].begin;
         const Index e = nodes[static_cast<std::size_t>(nb)].end;
         wri[static_cast<std::size_t>(nb)] = graph.add(
-            [&body, &s, &w, b, e] { aleadvect_node_write(body, s, w, b, e); });
+            [&body, &s, &w, b, e] {
+                aleadvect_node_write(body, s, w, b, e);
+            },
+            false, util::Kernel::ale_nodes);
         link(wri[static_cast<std::size_t>(nb)],
              adj_nb[static_cast<std::size_t>(nb)], gat);
     }
@@ -241,10 +249,10 @@ void aleadvect_graph(const hydro::Context& ctx, hydro::State& s,
         const util::ScopedTimer timer(*body.profiler, util::Kernel::aleadvect);
         const util::ScopedTimer phase(*body.profiler, util::Kernel::ale_nodes);
         hydro::apply_velocity_bc(*body.mesh, body.opts, s.u, s.v);
-    });
+    }, false, util::Kernel::ale_nodes);
     for (const TaskId id : wri) graph.depend(bc, id);
 
-    graph.run(ctx.exec, ctx.profiler);
+    graph.run(ctx.exec, ctx.profiler, ctx.graph_log);
 
     if (floored.load() > 0)
         util::log_warn("aleadvect: floored ", floored.load(),

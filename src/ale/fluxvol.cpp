@@ -52,7 +52,8 @@ inline void fvol_face(const mesh::Mesh& mesh, const hydro::State& s,
 } // namespace
 
 void alegetfvol(const hydro::Context& ctx, const hydro::State& s, Workspace& w) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::alegetfvol);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::alegetfvol,
+                                  ctx.mesh->n_faces());
     const auto& mesh = *ctx.mesh;
     w.fvol.assign(mesh.faces.size(), 0.0);
     for (std::size_t fi = 0; fi < mesh.faces.size(); ++fi)
@@ -61,7 +62,8 @@ void alegetfvol(const hydro::Context& ctx, const hydro::State& s, Workspace& w) 
 
 void alegetfvol(const hydro::Context& ctx, const hydro::State& s, Workspace& w,
                 std::span<const Index> faces) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::alegetfvol);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::alegetfvol,
+                                  static_cast<long long>(faces.size()));
     const auto& mesh = *ctx.mesh;
     w.fvol.assign(mesh.faces.size(), 0.0);
     for (const Index fi : faces)

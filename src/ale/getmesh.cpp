@@ -49,7 +49,8 @@ void alegetmesh(const hydro::Context& ctx, const hydro::State& s,
 
 void alegetmesh(const hydro::Context& ctx, const hydro::State& s,
                 const Options& opts, Workspace& w, const TargetSync& sync) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::alegetmesh);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::alegetmesh,
+                                  ctx.mesh->n_nodes());
     const auto& mesh = *ctx.mesh;
     const auto nn = static_cast<std::size_t>(mesh.n_nodes());
 

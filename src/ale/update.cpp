@@ -9,7 +9,8 @@
 namespace bookleaf::ale {
 
 void aleupdate(const hydro::Context& ctx, hydro::State& s, Workspace& w) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleupdate);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::aleupdate,
+                                  ctx.mesh->n_cells());
     const auto& mesh = *ctx.mesh;
     const auto& materials = *ctx.materials;
 

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/critical_path.hpp"
+#include "perfmodel/calibrate.hpp"
 #include "util/csr.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -63,6 +65,11 @@ void Hydro::init_context() {
         telemetry_epoch_ = std::chrono::steady_clock::now();
         if (telemetry_.want_trace())
             profiler_.set_trace(&trace_, telemetry_epoch_);
+        // Attach the graph-run collector so every task-graph execution
+        // exports its spans for attribution. Telemetry-off runs keep the
+        // null default and the executor records nothing.
+        graph_log_.epoch = telemetry_epoch_;
+        ctx_.graph_log = &graph_log_;
     }
 }
 
@@ -311,6 +318,8 @@ StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
                           .count();
         rec.retries = retries;
         rec.remapped = info.remapped;
+        obs::attribute_step(graph_log_, rec, attrib_,
+                            telemetry_.want_trace() ? &critical_ : nullptr);
         telemetry_steps_.push_back(rec);
     }
     util::log_debug("step ", steps_, " t=", t_, " dt=", dt, " (",
@@ -327,13 +336,24 @@ obs::RunReport Hydro::telemetry_report() const {
     report.steps = steps_;
     report.t_final = t_;
     report.wall_s = run_wall_s_;
+    report.config.schedule =
+        ctx_.exec.schedule == par::Schedule::taskgraph ? "taskgraph"
+                                                       : "forkjoin";
+    report.config.task_block = ctx_.exec.task_block;
+    report.config.grain = ctx_.exec.grain;
+    report.config.n_threads = ctx_.exec.width();
+    report.config.n_ranks = 1;
+    report.work = perfmodel::telemetry_work_model(ctx_.exec.width());
     obs::RankRecord rank;
     rank.rank = 0;
     rank.steps = telemetry_steps_;
     rank.kernels = profiler_.snapshot();
+    rank.attrib = attrib_;
     rank.trace = trace_;
+    rank.critical = critical_;
     report.ranks.push_back(std::move(rank));
     report.imbalance = obs::imbalance_of(report.ranks);
+    report.anomalies = obs::detect_anomalies(report, telemetry_.anomaly_factor);
     return report;
 }
 

@@ -16,6 +16,7 @@
 #include "hydro/stepgraph.hpp"
 #include "io/csv.hpp"
 #include "obs/telemetry.hpp"
+#include "par/task_graph.hpp"
 #include "setup/problems.hpp"
 
 namespace bookleaf::core {
@@ -168,6 +169,13 @@ private:
     std::vector<util::TraceEvent> trace_;
     std::chrono::steady_clock::time_point telemetry_epoch_{};
     double run_wall_s_ = 0.0;
+    /// Task-graph attribution (telemetry active only): ctx_.graph_log
+    /// points at graph_log_, every step's graph runs are analyzed into
+    /// the step record + attrib_, and — when tracing — the critical-path
+    /// spans land in critical_ for the trace's flow arrows.
+    par::GraphRunLog graph_log_;
+    obs::RankAttribution attrib_;
+    std::vector<obs::CritSpan> critical_;
 };
 
 } // namespace bookleaf::core

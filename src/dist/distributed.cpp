@@ -39,7 +39,9 @@
 #include <thread>
 
 #include "geom/geometry.hpp"
+#include "obs/critical_path.hpp"
 #include "par/task_graph.hpp"
+#include "perfmodel/calibrate.hpp"
 #include "part/subdomain.hpp"
 #include "typhon/fault.hpp"
 #include "typhon/typhon.hpp"
@@ -501,7 +503,8 @@ void remap_flux_graph(const hydro::Context& ctx, hydro::State& s,
             const util::ScopedTimer timer(*ctx.profiler, util::Kernel::halo);
             grads.finish(ctx.profiler);
         },
-        /*main_thread=*/true); // comm endpoints are per-rank-thread
+        /*main_thread=*/true, // comm endpoints are per-rank-thread
+        util::Kernel::halo);
 
     // Flux tasks over chunks of the face lists; face -> task for the
     // cell/dual dependencies.
@@ -515,9 +518,11 @@ void remap_flux_graph(const hydro::Context& ctx, hydro::State& s,
             const auto len = std::min(static_cast<std::size_t>(fchunk),
                                       faces.size() - at);
             const std::span<const Index> chunk(faces.data() + at, len);
-            const par::TaskId t = graph.add([&, chunk] {
-                ale::aleadvect_fluxes_chunk(body, s, ale, w, chunk);
-            });
+            const par::TaskId t = graph.add(
+                [&, chunk] {
+                    ale::aleadvect_fluxes_chunk(body, s, ale, w, chunk);
+                },
+                false, util::Kernel::ale_fluxes);
             if (needs_ghosts) graph.depend(t, t_finish);
             for (const Index f : chunk)
                 task_of_face[static_cast<std::size_t>(f)] = t;
@@ -543,19 +548,21 @@ void remap_flux_graph(const hydro::Context& ctx, hydro::State& s,
             }
         std::sort(deps.begin(), deps.end());
         deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
-        const par::TaskId t_cells = graph.add([&, begin, end] {
-            ale::aleadvect_cells(body, s, w, begin, end);
-        });
-        const par::TaskId t_dual = graph.add([&, begin, end] {
-            ale::aleadvect_dual(body, s, w, begin, end, floored);
-        });
+        const par::TaskId t_cells = graph.add(
+            [&, begin, end] { ale::aleadvect_cells(body, s, w, begin, end); },
+            false, util::Kernel::ale_cells);
+        const par::TaskId t_dual = graph.add(
+            [&, begin, end] {
+                ale::aleadvect_dual(body, s, w, begin, end, floored);
+            },
+            false, util::Kernel::ale_dual);
         for (const par::TaskId d : deps) {
             graph.depend(t_cells, d);
             graph.depend(t_dual, d);
         }
     }
 
-    graph.run(ctx.exec, ctx.profiler);
+    graph.run(ctx.exec, ctx.profiler, ctx.graph_log);
     if (floored.load() > 0)
         util::log_warn("aleadvect: floored ", floored.load(),
                        " negative corner masses");
@@ -733,16 +740,18 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                                         0);
         std::vector<Real> t_per_rank(static_cast<std::size_t>(ranks_now), 0.0);
 
-        // Telemetry sinks of this attempt. Trace vectors are attached to
-        // the per-rank profilers before the threads start; rank_records
-        // and gather_events are written by the rank-0 thread only and
-        // read after the join (thread-join ordering, no lock).
+        // Telemetry sinks of this attempt. Trace and critical-path span
+        // vectors are host-allocated here; each rank thread attaches its
+        // own slot (disjoint writes) and stamps spans against its OWN run
+        // epoch — the per-rank epoch offsets travel with the tag-501
+        // gather and rank 0 aligns everything onto its timeline below.
+        // rank_records and gather_events are written by the rank-0 thread
+        // only and read after the join (thread-join ordering, no lock).
         std::vector<std::vector<util::TraceEvent>> traces;
+        std::vector<std::vector<obs::CritSpan>> crits;
         if (telemetry && opts.telemetry.want_trace()) {
             traces.resize(static_cast<std::size_t>(ranks_now));
-            for (int r = 0; r < ranks_now; ++r)
-                profilers[static_cast<std::size_t>(r)].set_trace(
-                    &traces[static_cast<std::size_t>(r)], telemetry_epoch);
+            crits.resize(static_cast<std::size_t>(ranks_now));
         }
         std::vector<obs::RankRecord> rank_records;
         long long gather_events = 0;
@@ -759,6 +768,19 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                 typhon::run(ranks_now, [&](typhon::Comm& comm) {
         const auto& sub = subs[static_cast<std::size_t>(comm.rank())];
         auto& profiler = profilers[static_cast<std::size_t>(comm.rank())];
+
+        // Per-rank run epoch: rank threads start (and stamp their clocks)
+        // at slightly different instants, so every sink this rank writes
+        // — trace spans, step start times, graph-run spans — is measured
+        // against its own origin, and the offset to the shared run epoch
+        // ships with the tag-501 gather so rank 0 can align all records
+        // onto its own timeline (what a real MPI run must do, since node
+        // clocks share no origin).
+        const auto rank_epoch = telemetry ? std::chrono::steady_clock::now()
+                                          : telemetry_epoch;
+        if (telemetry && opts.telemetry.want_trace())
+            profiler.set_trace(&traces[static_cast<std::size_t>(comm.rank())],
+                               rank_epoch);
 
         // Per-rank worker pool (the hybrid MPI+OpenMP analogue). Built
         // before the state so the first-touch allocation places pages in
@@ -797,6 +819,17 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
         ctx.dt_cells = sub.n_owned_cells; // dt over owned cells only
         // Corner gathers in serial deposition order (bitwise == serial).
         ctx.assembly_corners = &sub.assembly_corners;
+
+        // Task-graph attribution sinks (telemetry only): the remap flux
+        // graph appends per-task spans into graph_log; attribute_step
+        // drains them into the step record after the physics commits.
+        // Null when telemetry is off — graph.run takes the zero-cost path.
+        par::GraphRunLog graph_log;
+        obs::RankAttribution attrib;
+        if (telemetry) {
+            graph_log.epoch = rank_epoch;
+            ctx.graph_log = &graph_log;
+        }
 
         ale::Workspace ale_work;
         const bool remap_enabled = opts.ale.mode != ale::Mode::lagrange;
@@ -961,7 +994,7 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                 rec.dt_local = dt_local;
                 rec.dt_reason = obs::dt_reason_code(dt_reason);
                 rec.start_us = std::chrono::duration<double, std::micro>(
-                                   step_t0 - telemetry_epoch)
+                                   step_t0 - rank_epoch)
                                    .count();
                 rec.wall_us =
                     std::chrono::duration<double, std::micro>(
@@ -969,6 +1002,11 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                         .count();
                 rec.retries = retries;
                 rec.remapped = remapped;
+                obs::attribute_step(
+                    graph_log, rec, attrib,
+                    opts.telemetry.want_trace()
+                        ? &crits[static_cast<std::size_t>(comm.rank())]
+                        : nullptr);
                 my_steps.push_back(rec);
             }
             ++steps;
@@ -1042,8 +1080,12 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
         if (telemetry) {
             obs::RankRecord rec;
             rec.rank = comm.rank();
+            rec.epoch_us = std::chrono::duration<double, std::micro>(
+                               rank_epoch - telemetry_epoch)
+                               .count();
             rec.steps = std::move(my_steps);
             rec.kernels = profiler.snapshot();
+            rec.attrib = std::move(attrib);
             comm.send(0, telemetry_tag, obs::pack_rank(rec));
             if (comm.rank() == 0) {
                 rank_records.resize(static_cast<std::size_t>(comm.size()));
@@ -1109,20 +1151,48 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                 e.survivors = rec.survivors;
                 report.recoveries.push_back(e);
             }
+            // The executed configuration, so the report reproduces the
+            // run without the invoking script. task_block mirrors the
+            // per-rank Exec the rank lambdas build (default blocking).
+            report.config.schedule =
+                opts.schedule == par::Schedule::taskgraph ? "taskgraph"
+                                                          : "forkjoin";
+            report.config.task_block = par::Exec{}.task_block;
+            report.config.grain = par::Exec{}.grain;
+            report.config.n_threads = opts.n_threads;
+            report.config.n_ranks = ranks_now;
+            report.config.overlap = opts.overlap;
+            report.config.packing = report.packing;
+            report.work = perfmodel::telemetry_work_model(opts.n_threads);
+
             // Attach what only the host side holds: the Hub's per-peer
-            // send tallies and the trace spans (after a recovery the
-            // records cover the successful attempt only — its traffic,
-            // its traces, its steps from the rollback point).
+            // send tallies and the trace/critical-path spans (after a
+            // recovery the records cover the successful attempt only —
+            // its traffic, its traces, its steps from the rollback
+            // point). Then shift every per-rank timestamp by that rank's
+            // epoch offset so all tracks share rank 0's timeline.
+            const double epoch0 =
+                rank_records.empty() ? 0.0 : rank_records[0].epoch_us;
             for (auto& rank : rank_records) {
                 for (const auto& p : result.traffic.peers)
                     if (p.src == rank.rank)
                         rank.sent.push_back({p.dst, p.messages, p.reals});
-                if (!traces.empty())
+                if (!traces.empty()) {
                     rank.trace = std::move(
                         traces[static_cast<std::size_t>(rank.rank)]);
+                    rank.critical = std::move(
+                        crits[static_cast<std::size_t>(rank.rank)]);
+                }
+                const double shift = rank.epoch_us - epoch0;
+                for (auto& step : rank.steps) step.start_us += shift;
+                for (auto& span : rank.trace) span.t0_us += shift;
+                for (auto& span : rank.critical) span.t0_us += shift;
+                rank.epoch_us = shift;
             }
             report.ranks = std::move(rank_records);
             report.imbalance = obs::imbalance_of(report.ranks);
+            report.anomalies = obs::detect_anomalies(
+                report, opts.telemetry.anomaly_factor);
 
             // Wire-format self-check: predict the run's point-to-point
             // message count from the Subdomain metadata. Only meaningful

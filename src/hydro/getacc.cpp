@@ -100,7 +100,8 @@ void assemble_scatter(const Context& ctx, State& s, Index n_nodes,
 
 void getacc_assemble(const Context& ctx, State& s,
                      std::span<const Index> nodes) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc,
+                                  static_cast<long long>(nodes.size()));
     const auto& nc = ctx.corner_gather();
     par::for_each(ctx.exec, static_cast<Index>(nodes.size()), [&](Index i) {
         gather_node(nc, s, nodes[static_cast<std::size_t>(i)]);
@@ -108,14 +109,16 @@ void getacc_assemble(const Context& ctx, State& s,
 }
 
 void getacc_assemble(const Context& ctx, State& s, Index begin, Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc,
+                                  end - begin);
     const auto& nc = ctx.corner_gather();
     for (Index n = begin; n < end; ++n) gather_node(nc, s, n);
 }
 
 void getacc_advance_velocity(const Context& ctx, State& s, Real dt,
                              Index begin, Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc,
+                                  end - begin);
     for (Index n = begin; n < end; ++n) {
         const auto ni = static_cast<std::size_t>(n);
         const Real m = s.node_mass[ni];
@@ -133,7 +136,8 @@ void getacc_advance_velocity(const Context& ctx, State& s, Real dt,
 }
 
 void getacc_centered(const Context& ctx, State& s, Index begin, Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc,
+                                  end - begin);
     for (Index n = begin; n < end; ++n) {
         const auto ni = static_cast<std::size_t>(n);
         s.ubar[ni] = Real(0.5) * (s.u0[ni] + s.u[ni]);
@@ -179,12 +183,14 @@ void advance_nodes(const Context& ctx, State& s, Real dt) {
 } // namespace
 
 void getacc_advance(const Context& ctx, State& s, Real dt) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc,
+                                  ctx.mesh->n_nodes());
     advance_nodes(ctx, s, dt);
 }
 
 void getacc(const Context& ctx, State& s, Real dt) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getacc,
+                                  ctx.mesh->n_nodes());
     const auto& mesh = *ctx.mesh;
     if (ctx.exec.assembly == par::Assembly::gather)
         assemble_gather(ctx, s, mesh.n_nodes());

@@ -17,7 +17,9 @@
 namespace bookleaf::hydro {
 
 DtResult getdt(const Context& ctx, const State& s, Real dt_prev) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getdt);
+    const util::ScopedTimer timer(
+        *ctx.profiler, util::Kernel::getdt,
+        ctx.dt_cells >= 0 ? ctx.dt_cells : ctx.mesh->n_cells());
     const auto& mesh = *ctx.mesh;
     const auto& opts = ctx.opts;
     const Index n_cells =

@@ -89,7 +89,8 @@ inline void force_cell(const mesh::Mesh& mesh,
 } // namespace
 
 void getforce(const Context& ctx, State& s) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getforce);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getforce,
+                                  ctx.mesh->n_cells());
     const auto& mesh = *ctx.mesh;
     const auto& materials = *ctx.materials;
     par::for_each(ctx.exec, mesh.n_cells(), [&](Index c) {
@@ -98,7 +99,8 @@ void getforce(const Context& ctx, State& s) {
 }
 
 void getforce(const Context& ctx, State& s, std::span<const Index> cells) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getforce);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getforce,
+                                  static_cast<long long>(cells.size()));
     const auto& mesh = *ctx.mesh;
     const auto& materials = *ctx.materials;
     par::for_each(ctx.exec, static_cast<Index>(cells.size()), [&](Index i) {
@@ -108,7 +110,8 @@ void getforce(const Context& ctx, State& s, std::span<const Index> cells) {
 }
 
 void getforce(const Context& ctx, State& s, Index begin, Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getforce);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getforce,
+                                  end - begin);
     const auto& mesh = *ctx.mesh;
     const auto& materials = *ctx.materials;
     for (Index c = begin; c < end; ++c)

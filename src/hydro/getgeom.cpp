@@ -34,7 +34,8 @@ inline void geom_cell(const mesh::Mesh& mesh, State& s, Index c,
 
 void getgeom(const Context& ctx, State& s, std::span<const Real> wu,
              std::span<const Real> wv, Real dt_move) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getgeom);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getgeom,
+                                  ctx.mesh->n_cells() + ctx.mesh->n_nodes());
     const auto& mesh = *ctx.mesh;
 
     // Advance node positions from the step-start snapshot.
@@ -68,7 +69,8 @@ void getgeom(const Context& ctx, State& s, std::span<const Real> wu,
 void getgeom_move(const Context& ctx, State& s, std::span<const Real> wu,
                   std::span<const Real> wv, Real dt_move, Index begin,
                   Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getgeom);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getgeom,
+                                  end - begin);
     for (Index n = begin; n < end; ++n) {
         const auto ni = static_cast<std::size_t>(n);
         s.x[ni] = s.x0[ni] + wu[ni] * dt_move;
@@ -78,13 +80,15 @@ void getgeom_move(const Context& ctx, State& s, std::span<const Real> wu,
 
 void getgeom_cells(const Context& ctx, State& s, Index begin, Index end,
                    std::atomic<Index>& bad_cell) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getgeom);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getgeom,
+                                  end - begin);
     const auto& mesh = *ctx.mesh;
     for (Index c = begin; c < end; ++c) geom_cell(mesh, s, c, bad_cell);
 }
 
 void getrho(const Context& ctx, State& s) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getrho);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getrho,
+                                  s.n_cells());
     par::for_each(ctx.exec, s.n_cells(), [&](Index c) {
         const auto ci = static_cast<std::size_t>(c);
         s.rho[ci] = s.cell_mass[ci] / std::max(s.volume[ci], tiny);
@@ -92,7 +96,8 @@ void getrho(const Context& ctx, State& s) {
 }
 
 void getrho(const Context& ctx, State& s, Index begin, Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getrho);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getrho,
+                                  end - begin);
     for (Index c = begin; c < end; ++c) {
         const auto ci = static_cast<std::size_t>(c);
         s.rho[ci] = s.cell_mass[ci] / std::max(s.volume[ci], tiny);
@@ -100,7 +105,8 @@ void getrho(const Context& ctx, State& s, Index begin, Index end) {
 }
 
 void getpc(const Context& ctx, State& s) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getpc);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getpc,
+                                  s.n_cells());
     const auto& mesh = *ctx.mesh;
     const auto& materials = *ctx.materials;
     par::for_each(ctx.exec, s.n_cells(), [&](Index c) {
@@ -112,7 +118,8 @@ void getpc(const Context& ctx, State& s) {
 }
 
 void getpc(const Context& ctx, State& s, Index begin, Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getpc);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getpc,
+                                  end - begin);
     const auto& mesh = *ctx.mesh;
     const auto& materials = *ctx.materials;
     for (Index c = begin; c < end; ++c) {
@@ -125,7 +132,8 @@ void getpc(const Context& ctx, State& s, Index begin, Index end) {
 
 void getein(const Context& ctx, State& s, std::span<const Real> wu,
             std::span<const Real> wv, Real dt_eff) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getein);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getein,
+                                  s.n_cells());
     const auto& mesh = *ctx.mesh;
     par::for_each(ctx.exec, s.n_cells(), [&](Index c) {
         Real work = 0.0;
@@ -141,7 +149,8 @@ void getein(const Context& ctx, State& s, std::span<const Real> wu,
 
 void getein(const Context& ctx, State& s, std::span<const Real> wu,
             std::span<const Real> wv, Real dt_eff, Index begin, Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getein);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getein,
+                                  end - begin);
     const auto& mesh = *ctx.mesh;
     for (Index c = begin; c < end; ++c) {
         Real work = 0.0;

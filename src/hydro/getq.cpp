@@ -137,14 +137,16 @@ inline void q_cell(const mesh::Mesh& mesh, const Options& opts, State& s,
 } // namespace
 
 void getq(const Context& ctx, State& s) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getq);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getq,
+                                  ctx.mesh->n_cells());
     const auto& mesh = *ctx.mesh;
     par::for_each(ctx.exec, mesh.n_cells(),
                   [&](Index c) { q_cell(mesh, ctx.opts, s, c); });
 }
 
 void getq(const Context& ctx, State& s, std::span<const Index> cells) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getq);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getq,
+                                  static_cast<long long>(cells.size()));
     const auto& mesh = *ctx.mesh;
     par::for_each(ctx.exec, static_cast<Index>(cells.size()), [&](Index i) {
         q_cell(mesh, ctx.opts, s, cells[static_cast<std::size_t>(i)]);
@@ -152,7 +154,8 @@ void getq(const Context& ctx, State& s, std::span<const Index> cells) {
 }
 
 void getq(const Context& ctx, State& s, Index begin, Index end) {
-    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getq);
+    const util::ScopedTimer timer(*ctx.profiler, util::Kernel::getq,
+                                  end - begin);
     const auto& mesh = *ctx.mesh;
     for (Index c = begin; c < end; ++c) q_cell(mesh, ctx.opts, s, c);
 }

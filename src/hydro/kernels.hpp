@@ -18,6 +18,10 @@
 #include "par/exec.hpp"
 #include "util/profiler.hpp"
 
+namespace bookleaf::par {
+struct GraphRunLog;
+} // namespace bookleaf::par
+
 namespace bookleaf::hydro {
 
 class StepGraph;
@@ -55,6 +59,12 @@ struct Context {
     /// barrier-per-kernel sequence. Results are bitwise identical either
     /// way.
     StepGraph* stepgraph = nullptr;
+    /// Attribution collector: when the owning driver runs with telemetry
+    /// active it attaches a par::GraphRunLog here and every task-graph
+    /// execution (step graph, ALE advection graph, distributed remap-flux
+    /// graph) appends its per-task spans + edges for obs::critical_path.
+    /// nullptr (the default, and all telemetry-off runs) records nothing.
+    par::GraphRunLog* graph_log = nullptr;
 
     /// The corner gather CSR in effect (see assembly_corners).
     [[nodiscard]] const util::Csr& corner_gather() const {

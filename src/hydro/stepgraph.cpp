@@ -134,7 +134,7 @@ void StepGraph::build() {
                 s.u0[ni] = s.u[ni];
                 s.v0[ni] = s.v[ni];
             }
-        });
+        }, false, util::Kernel::other);
     }
     for (int cb = 0; cb < n_cb; ++cb) {
         const Index b = cells[static_cast<std::size_t>(cb)].begin, e = cells[static_cast<std::size_t>(cb)].end;
@@ -143,7 +143,7 @@ void StepGraph::build() {
             for (Index c = b; c < e; ++c)
                 s.ein0[static_cast<std::size_t>(c)] =
                     s.ein[static_cast<std::size_t>(c)];
-        });
+        }, false, util::Kernel::other);
     }
 
     // --- predictor -------------------------------------------------------
@@ -156,8 +156,10 @@ void StepGraph::build() {
         const auto ci = static_cast<std::size_t>(cb);
         const Index b = cells[ci].begin, e = cells[ci].end;
         // getq reads pre-step u,v/rho/csqrd/cache — no intra-step inputs.
-        p_q[ci] = graph_.add([&ctx, &s, b, e] { getq(ctx, s, b, e); });
-        p_f[ci] = graph_.add([&ctx, &s, b, e] { getforce(ctx, s, b, e); });
+        p_q[ci] = graph_.add([&ctx, &s, b, e] { getq(ctx, s, b, e); }, false,
+                             util::Kernel::getq);
+        p_f[ci] = graph_.add([&ctx, &s, b, e] { getforce(ctx, s, b, e); },
+                             false, util::Kernel::getforce);
         link(p_f[ci], {p_q[ci]}); // RAW qfx/qfy
     }
     for (int nb = 0; nb < n_nb; ++nb) {
@@ -165,7 +167,7 @@ void StepGraph::build() {
         const Index b = nodes[ni].begin, e = nodes[ni].end;
         p_gm[ni] = graph_.add([this, &ctx, &s, b, e] {
             getgeom_move(ctx, s, s.u0, s.v0, half_dt_, b, e);
-        });
+        }, false, util::Kernel::getgeom);
         link(p_gm[ni], {snapn[ni]}); // RAW x0/u0 (and WAR on x,y it reads)
     }
     for (int cb = 0; cb < n_cb; ++cb) {
@@ -173,7 +175,7 @@ void StepGraph::build() {
         const Index b = cells[ci].begin, e = cells[ci].end;
         p_gc[ci] = graph_.add([this, &ctx, &s, b, e] {
             getgeom_cells(ctx, s, b, e, bad_pred_);
-        });
+        }, false, util::Kernel::getgeom);
         // RAW x,y from the own node blocks' moves; WAR: getq/getforce read
         // the old geometry cache / cnvol / volume this task overwrites.
         std::vector<TaskId> deps = {p_q[ci], p_f[ci]};
@@ -181,12 +183,13 @@ void StepGraph::build() {
             deps.push_back(p_gm[static_cast<std::size_t>(nb)]);
         link(p_gc[ci], std::move(deps));
 
-        p_rho[ci] = graph_.add([&ctx, &s, b, e] { getrho(ctx, s, b, e); });
+        p_rho[ci] = graph_.add([&ctx, &s, b, e] { getrho(ctx, s, b, e); },
+                               false, util::Kernel::getrho);
         link(p_rho[ci], {p_gc[ci]}); // RAW volume
 
         p_ein[ci] = graph_.add([this, &ctx, &s, b, e] {
             getein(ctx, s, s.u0, s.v0, half_dt_, b, e);
-        });
+        }, false, util::Kernel::getein);
         // RAW fx/fy (forces), ein0 (snapshot), u0/v0 (own node snapshots);
         // the snapshot edges also cover the WAR on ein it overwrites.
         std::vector<TaskId> ein_deps = {p_f[ci], snapc[ci]};
@@ -194,7 +197,8 @@ void StepGraph::build() {
             ein_deps.push_back(snapn[static_cast<std::size_t>(nb)]);
         link(p_ein[ci], std::move(ein_deps));
 
-        p_pc[ci] = graph_.add([&ctx, &s, b, e] { getpc(ctx, s, b, e); });
+        p_pc[ci] = graph_.add([&ctx, &s, b, e] { getpc(ctx, s, b, e); }, false,
+                              util::Kernel::getpc);
         link(p_pc[ci], {p_rho[ci], p_ein[ci]}); // RAW rho, ein
     }
     if (!ctx_.opts.guard.enabled) {
@@ -222,12 +226,14 @@ void StepGraph::build() {
     for (int cb = 0; cb < n_cb; ++cb) {
         const auto ci = static_cast<std::size_t>(cb);
         const Index b = cells[ci].begin, e = cells[ci].end;
-        c_q[ci] = graph_.add([&ctx, &s, b, e] { getq(ctx, s, b, e); });
+        c_q[ci] = graph_.add([&ctx, &s, b, e] { getq(ctx, s, b, e); }, false,
+                             util::Kernel::getq);
         // RAW csqrd/rho/cache via the predictor EoS (p_pc is downstream of
         // p_rho and p_gc for the same block, so one edge covers all
         // three); u,v are untouched since step entry.
         link(c_q[ci], {p_pc[ci]});
-        c_f[ci] = graph_.add([&ctx, &s, b, e] { getforce(ctx, s, b, e); });
+        c_f[ci] = graph_.add([&ctx, &s, b, e] { getforce(ctx, s, b, e); },
+                             false, util::Kernel::getforce);
         // RAW qfx (c_q), and via c_q <- p_pc: pre/ein/rho/csqrd/geometry.
         // WAR fx/fy read by p_ein: p_ein -> p_pc -> c_q covers it.
         link(c_f[ci], {c_q[ci]});
@@ -235,8 +241,9 @@ void StepGraph::build() {
     for (int nb = 0; nb < n_nb; ++nb) {
         const auto ni = static_cast<std::size_t>(nb);
         const Index b = nodes[ni].begin, e = nodes[ni].end;
-        c_asm[ni] = graph_.add(
-            [&ctx, &s, b, e] { getacc_assemble(ctx, s, b, e); });
+        c_asm[ni] =
+            graph_.add([&ctx, &s, b, e] { getacc_assemble(ctx, s, b, e); },
+                       false, util::Kernel::getacc);
         // RAW cnmass/fx/fy of every gathered corner's cell block.
         std::vector<TaskId> deps;
         for (const int cb : touch_cb[ni])
@@ -245,7 +252,7 @@ void StepGraph::build() {
 
         c_adv[ni] = graph_.add([this, &ctx, &s, b, e] {
             getacc_advance_velocity(ctx, s, dt_, b, e);
-        });
+        }, false, util::Kernel::getacc);
         // RAW node_mass/nfx/nfy (c_asm) and u0/v0 (snapshot). WAR: this
         // writes u,v that the corrector getq of every wide-reader cell
         // block still reads (getforce's own-node reads are covered by
@@ -261,19 +268,20 @@ void StepGraph::build() {
     const TaskId c_bc = graph_.add([&ctx, &s] {
         const util::ScopedTimer t(*ctx.profiler, util::Kernel::getacc);
         apply_velocity_bc(*ctx.mesh, ctx.opts, s.u, s.v);
-    });
+    }, false, util::Kernel::getacc);
     link(c_bc, c_adv);
     for (int nb = 0; nb < n_nb; ++nb) {
         const auto ni = static_cast<std::size_t>(nb);
         const Index b = nodes[ni].begin, e = nodes[ni].end;
         c_ubar[ni] =
-            graph_.add([&ctx, &s, b, e] { getacc_centered(ctx, s, b, e); });
+            graph_.add([&ctx, &s, b, e] { getacc_centered(ctx, s, b, e); },
+                       false, util::Kernel::getacc);
         link(c_ubar[ni], {c_bc}); // RAW u,v post-BC (u0 via c_bc <- c_adv)
     }
     const TaskId c_bcu = graph_.add([&ctx, &s] {
         const util::ScopedTimer t(*ctx.profiler, util::Kernel::getacc);
         apply_velocity_bc(*ctx.mesh, ctx.opts, s.ubar, s.vbar);
-    });
+    }, false, util::Kernel::getacc);
     link(c_bcu, c_ubar);
 
     for (int nb = 0; nb < n_nb; ++nb) {
@@ -281,7 +289,7 @@ void StepGraph::build() {
         const Index b = nodes[ni].begin, e = nodes[ni].end;
         c_gm[ni] = graph_.add([this, &ctx, &s, b, e] {
             getgeom_move(ctx, s, s.ubar, s.vbar, dt_, b, e);
-        });
+        }, false, util::Kernel::getgeom);
         // RAW ubar/vbar post-BC; x0 and the WAR on x,y (read by the
         // predictor geometry of every touching cell block) are upstream of
         // c_bcu through snapn -> ... -> c_adv -> c_bc.
@@ -292,7 +300,7 @@ void StepGraph::build() {
         const Index b = cells[ci].begin, e = cells[ci].end;
         c_gc[ci] = graph_.add([this, &ctx, &s, b, e] {
             getgeom_cells(ctx, s, b, e, bad_corr_);
-        });
+        }, false, util::Kernel::getgeom);
         // RAW x,y; the WAR on the cache read by c_q/c_f is upstream
         // (c_q -> ... -> c_bc -> c_bcu -> c_gm).
         std::vector<TaskId> deps;
@@ -300,17 +308,19 @@ void StepGraph::build() {
             deps.push_back(c_gm[static_cast<std::size_t>(nb)]);
         link(c_gc[ci], std::move(deps));
 
-        c_rho[ci] = graph_.add([&ctx, &s, b, e] { getrho(ctx, s, b, e); });
+        c_rho[ci] = graph_.add([&ctx, &s, b, e] { getrho(ctx, s, b, e); },
+                               false, util::Kernel::getrho);
         link(c_rho[ci], {c_gc[ci]});
 
         c_ein[ci] = graph_.add([this, &ctx, &s, b, e] {
             getein(ctx, s, s.ubar, s.vbar, dt_, b, e);
-        });
+        }, false, util::Kernel::getein);
         // RAW fx/fy (corrector forces) + ubar/vbar post-BC; ein0 is
         // upstream via snapc -> p_ein -> p_pc -> c_q -> c_f.
         link(c_ein[ci], {c_f[ci], c_bcu});
 
-        c_pc[ci] = graph_.add([&ctx, &s, b, e] { getpc(ctx, s, b, e); });
+        c_pc[ci] = graph_.add([&ctx, &s, b, e] { getpc(ctx, s, b, e); }, false,
+                              util::Kernel::getpc);
         link(c_pc[ci], {c_rho[ci], c_ein[ci]});
     }
     if (!ctx_.opts.guard.enabled) {
@@ -331,7 +341,7 @@ void StepGraph::run(Real dt) {
     half_dt_ = Real(0.5) * dt;
     bad_pred_.store(no_index);
     bad_corr_.store(no_index);
-    graph_.run(run_exec_, ctx_.profiler);
+    graph_.run(run_exec_, ctx_.profiler, ctx_.graph_log);
 }
 
 } // namespace bookleaf::hydro

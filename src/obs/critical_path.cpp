@@ -1,0 +1,116 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace bookleaf::obs {
+
+GraphAnalysis analyze_graph(const par::GraphRunRecord& run) {
+    GraphAnalysis out;
+    const std::size_t n = run.tasks.size();
+    out.n_workers = std::max(1, run.n_workers);
+    out.worker_busy_us.assign(static_cast<std::size_t>(out.n_workers), 0.0);
+    if (n == 0) return out;
+
+    double t_begin = run.tasks[0].t0_us;
+    double t_end = run.tasks[0].t0_us + run.tasks[0].dur_us;
+    for (const auto& task : run.tasks) {
+        t_begin = std::min(t_begin, task.t0_us);
+        t_end = std::max(t_end, task.t0_us + task.dur_us);
+        out.busy_us += task.dur_us;
+        const auto w = static_cast<std::size_t>(
+            std::clamp(task.worker, 0, out.n_workers - 1));
+        out.worker_busy_us[w] += task.dur_us;
+    }
+    out.makespan_us = t_end - t_begin;
+
+    // Longest duration-weighted path: Kahn topological order, then
+    // dist[i] = dur[i] + max over predecessors dist[p], tracking the
+    // argmax predecessor so the path can be reconstructed.
+    std::vector<int> indeg(n, 0);
+    std::vector<std::vector<par::TaskId>> succ(n);
+    for (const auto& [before, after] : run.edges) {
+        util::require(before >= 0 && static_cast<std::size_t>(before) < n &&
+                          after >= 0 && static_cast<std::size_t>(after) < n,
+                      "critical_path: edge task id out of range");
+        succ[static_cast<std::size_t>(before)].push_back(after);
+        ++indeg[static_cast<std::size_t>(after)];
+    }
+    std::vector<double> dist(n, 0.0);
+    std::vector<par::TaskId> pred(n, par::TaskId{-1});
+    std::queue<par::TaskId> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+        dist[i] = run.tasks[i].dur_us;
+        if (indeg[i] == 0) ready.push(static_cast<par::TaskId>(i));
+    }
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+        const par::TaskId id = ready.front();
+        ready.pop();
+        ++processed;
+        const auto i = static_cast<std::size_t>(id);
+        for (const par::TaskId s : succ[i]) {
+            const auto si = static_cast<std::size_t>(s);
+            const double through = dist[i] + run.tasks[si].dur_us;
+            if (through > dist[si]) {
+                dist[si] = through;
+                pred[si] = id;
+            }
+            if (--indeg[si] == 0) ready.push(s);
+        }
+    }
+    util::require(processed == n, "critical_path: cyclic graph record");
+
+    par::TaskId tail = 0;
+    for (std::size_t i = 1; i < n; ++i)
+        if (dist[i] > dist[static_cast<std::size_t>(tail)])
+            tail = static_cast<par::TaskId>(i);
+    out.cp_us = dist[static_cast<std::size_t>(tail)];
+    for (par::TaskId id = tail; id >= 0;
+         id = pred[static_cast<std::size_t>(id)]) {
+        out.path.push_back(id);
+        const auto& task = run.tasks[static_cast<std::size_t>(id)];
+        out.cp_kernel_us[static_cast<std::size_t>(task.kernel)] += task.dur_us;
+    }
+    std::reverse(out.path.begin(), out.path.end());
+
+    const double capacity =
+        static_cast<double>(out.n_workers) * out.makespan_us;
+    out.efficiency = capacity > 0.0 ? out.busy_us / capacity : 0.0;
+    return out;
+}
+
+void attribute_step(par::GraphRunLog& log, StepRecord& step,
+                    RankAttribution& total, std::vector<CritSpan>* critical) {
+    for (const par::GraphRunRecord& run : log.runs) {
+        const GraphAnalysis a = analyze_graph(run);
+        step.cp_us += a.cp_us;
+        step.graph_busy_us += a.busy_us;
+        step.graph_makespan_us += a.makespan_us;
+        step.graph_workers = std::max(step.graph_workers, a.n_workers);
+
+        total.graphs += 1;
+        total.cp_us += a.cp_us;
+        total.busy_us += a.busy_us;
+        total.makespan_us += a.makespan_us;
+        for (std::size_t k = 0; k < a.cp_kernel_us.size(); ++k)
+            total.cp_kernel_us[k] += a.cp_kernel_us[k];
+        if (total.worker_busy_us.size() < a.worker_busy_us.size())
+            total.worker_busy_us.resize(a.worker_busy_us.size(), 0.0);
+        for (std::size_t w = 0; w < a.worker_busy_us.size(); ++w)
+            total.worker_busy_us[w] += a.worker_busy_us[w];
+
+        if (critical != nullptr) {
+            for (const par::TaskId id : a.path) {
+                const auto& task = run.tasks[static_cast<std::size_t>(id)];
+                critical->push_back(
+                    CritSpan{task.t0_us, task.dur_us, total.graphs});
+            }
+        }
+    }
+    log.runs.clear();
+}
+
+} // namespace bookleaf::obs

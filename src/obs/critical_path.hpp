@@ -1,0 +1,56 @@
+#pragma once
+/// \file critical_path.hpp
+/// Attribution analysis of executed task graphs (par::GraphRunLog): the
+/// longest weighted path through the dependency DAG, parallel efficiency
+/// (sum of task time over workers x makespan), per-worker busy/idle time,
+/// and the per-kernel split of the critical path. This is the "why did
+/// the step take this long" layer on top of PR 8's graph executor — the
+/// per-kernel Profiler buckets say where time went; the critical path
+/// says which chain of tasks bounded the step, and the efficiency/idle
+/// numbers say how much of the worker-seconds the graph actually used.
+///
+/// GraphRunRecord is plain data, so tests hand-build chain/diamond/
+/// fan-out graphs with known longest paths and check the DP directly.
+
+#include <array>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "par/task_graph.hpp"
+#include "util/profiler.hpp"
+
+namespace bookleaf::obs {
+
+/// Result of analyzing one executed graph.
+struct GraphAnalysis {
+    double makespan_us = 0.0; ///< last task end - first task start
+    double busy_us = 0.0;     ///< sum of all task durations
+    double cp_us = 0.0;       ///< longest duration-weighted path
+    int n_workers = 1;
+    /// busy / (workers * makespan); 1.0 = every worker busy end to end.
+    double efficiency = 0.0;
+    /// Task ids on the critical path, in execution (topological) order.
+    std::vector<par::TaskId> path;
+    /// Critical-path time attributed to each kernel label.
+    std::array<double, util::kernel_count> cp_kernel_us{};
+    /// Per-worker busy time (idle = makespan - busy[w]).
+    std::vector<double> worker_busy_us;
+};
+
+/// Longest-path DP over the record's DAG (Kahn topological order;
+/// dist[i] = dur[i] + max over predecessors). Throws util::Error on a
+/// cyclic record (cannot happen for records produced by TaskGraph::run,
+/// which validates, but hand-built records go through the same check).
+[[nodiscard]] GraphAnalysis analyze_graph(const par::GraphRunRecord& run);
+
+/// Drain the graph runs a step produced: analyze each record, charge the
+/// step's attribution fields (cp_us, graph_busy_us, graph_makespan_us,
+/// graph_workers), accumulate the rank-level totals, and — when
+/// `critical` is given — append the critical-path task spans (one chain
+/// id per graph, for trace flow arrows). Clears `log.runs` so the next
+/// step starts empty. A step that ran no graphs is a no-op.
+void attribute_step(par::GraphRunLog& log, StepRecord& step,
+                    RankAttribution& total,
+                    std::vector<CritSpan>* critical = nullptr);
+
+} // namespace bookleaf::obs

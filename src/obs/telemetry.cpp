@@ -1,5 +1,6 @@
 #include "obs/telemetry.hpp"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
@@ -44,6 +45,133 @@ double RankRecord::step_wall_s() const {
     return sum * 1e-6;
 }
 
+double RankAttribution::efficiency() const {
+    const double capacity =
+        static_cast<double>(worker_busy_us.size()) * makespan_us;
+    return capacity > 0.0 ? busy_us / capacity : 0.0;
+}
+
+double roofline_seconds(const WorkModel& work, util::Kernel k,
+                        long long items) {
+    if (!work.present || items <= 0) return 0.0;
+    const auto& w = work.kernels[static_cast<std::size_t>(k)];
+    const auto n = static_cast<double>(items);
+    const double t_flops =
+        work.peak_flops > 0.0 ? n * w.flops_per_item / work.peak_flops : 0.0;
+    const double t_bytes =
+        work.peak_bw > 0.0 ? n * w.bytes_per_item / work.peak_bw : 0.0;
+    return std::max(t_flops, t_bytes);
+}
+
+namespace {
+
+/// Kernels cheaper than this are measurement noise, never anomalies.
+constexpr double anomaly_floor_s = 1e-4;
+
+/// Scopes that block on peers: their wall time measures arrival-order
+/// idleness (a rank that gets there EARLY waits longer), so a cross-rank
+/// comparison flags the healthy rank. The local work the exchanges do
+/// (halo_pack/halo_unpack) stays eligible — a genuinely slow rank shows
+/// there, and in the compute kernels.
+bool sync_kernel(util::Kernel k) {
+    return k == util::Kernel::halo || k == util::Kernel::halo_wait ||
+           k == util::Kernel::reduce || k == util::Kernel::reduce_wait;
+}
+
+} // namespace
+
+std::vector<Anomaly> detect_anomalies(const RunReport& report, double factor) {
+    std::vector<Anomaly> out;
+    if (factor <= 1.0 || report.ranks.empty()) return out;
+
+    // Detector 1 (cross-rank): ranks sweep comparable per-entity work, so
+    // a rank whose per-item seconds (per-call when no items were counted)
+    // dwarf the fastest rank's is off its expected pace — the slow_rank
+    // fault signature. Needs at least two ranks to have a reference.
+    // Peer-blocking scopes are excluded (see sync_kernel).
+    for (std::size_t k = 0; k < util::kernel_count; ++k) {
+        if (sync_kernel(static_cast<util::Kernel>(k))) continue;
+        double best = 0.0;
+        int n_measured = 0;
+        for (const auto& r : report.ranks) {
+            const auto& ks = r.kernels[k];
+            const double unit = ks.items > 0 ? ks.wall_s /
+                                                   static_cast<double>(ks.items)
+                                : ks.calls > 0
+                                    ? ks.wall_s / static_cast<double>(ks.calls)
+                                    : 0.0;
+            if (unit <= 0.0) continue;
+            ++n_measured;
+            if (best == 0.0 || unit < best) best = unit;
+        }
+        if (n_measured < 2 || best <= 0.0) continue;
+        for (const auto& r : report.ranks) {
+            const auto& ks = r.kernels[k];
+            if (ks.wall_s < anomaly_floor_s) continue;
+            const double unit = ks.items > 0 ? ks.wall_s /
+                                                   static_cast<double>(ks.items)
+                                : ks.calls > 0
+                                    ? ks.wall_s / static_cast<double>(ks.calls)
+                                    : 0.0;
+            if (unit <= factor * best) continue;
+            Anomaly a;
+            a.rank = r.rank;
+            a.kernel = static_cast<util::Kernel>(k);
+            a.metric = "cross_rank";
+            a.value = unit;
+            a.reference = best;
+            a.factor = unit / best;
+            out.push_back(std::move(a));
+        }
+    }
+
+    // Detector 2 (roofline): within one rank, every modelled kernel runs
+    // the same machine, so wall/roofline ratios should cluster. A kernel
+    // whose ratio is `factor` above the rank's median ratio deviates from
+    // the calibrated expectation in a way the others don't — this
+    // self-normalizes away how optimistic the roofline itself is.
+    if (report.work.present) {
+        for (const auto& r : report.ranks) {
+            struct Measured {
+                std::size_t k;
+                double ratio;
+                double roofline;
+            };
+            std::vector<Measured> measured;
+            for (std::size_t k = 0; k < util::kernel_count; ++k) {
+                const auto& ks = r.kernels[k];
+                if (ks.wall_s < anomaly_floor_s) continue;
+                const double expect = roofline_seconds(
+                    report.work, static_cast<util::Kernel>(k), ks.items);
+                if (expect <= 0.0) continue;
+                measured.push_back({k, ks.wall_s / expect, expect});
+            }
+            if (measured.size() < 3) continue;
+            std::vector<double> ratios;
+            ratios.reserve(measured.size());
+            for (const auto& m : measured) ratios.push_back(m.ratio);
+            std::nth_element(ratios.begin(),
+                             ratios.begin() +
+                                 static_cast<std::ptrdiff_t>(ratios.size() / 2),
+                             ratios.end());
+            const double median = ratios[ratios.size() / 2];
+            if (median <= 0.0) continue;
+            for (const auto& m : measured) {
+                if (m.ratio <= factor * median) continue;
+                Anomaly a;
+                a.rank = r.rank;
+                a.kernel = static_cast<util::Kernel>(m.k);
+                a.metric = "roofline";
+                a.value = m.ratio;
+                a.reference = median;
+                a.factor = m.ratio / median;
+                out.push_back(std::move(a));
+            }
+        }
+    }
+    return out;
+}
+
 Imbalance imbalance_of(const std::vector<RankRecord>& ranks) {
     Imbalance out;
     if (ranks.empty()) return out;
@@ -77,6 +205,32 @@ Json to_json(const RunReport& report) {
     root["t_final"] = Json(report.t_final);
     root["wall_s"] = Json(report.wall_s);
 
+    Json& cfg = root["config"];
+    cfg["schedule"] = Json(report.config.schedule);
+    cfg["task_block"] = Json(report.config.task_block);
+    cfg["grain"] = Json(report.config.grain);
+    cfg["n_threads"] = Json(report.config.n_threads);
+    cfg["n_ranks"] = Json(report.config.n_ranks);
+    cfg["overlap"] = Json(report.config.overlap);
+    cfg["packing"] = Json(report.config.packing);
+
+    if (report.work.present) {
+        Json& work = root["work_model"];
+        work["peak_gflops"] = Json(report.work.peak_flops * 1e-9);
+        work["peak_gbs"] = Json(report.work.peak_bw * 1e-9);
+        Json kernels = Json::object();
+        for (std::size_t k = 0; k < util::kernel_count; ++k) {
+            const auto& w = report.work.kernels[k];
+            if (w.flops_per_item == 0.0 && w.bytes_per_item == 0.0) continue;
+            Json jw = Json::object();
+            jw["flops_per_item"] = Json(w.flops_per_item);
+            jw["bytes_per_item"] = Json(w.bytes_per_item);
+            kernels[util::kernel_name(static_cast<util::Kernel>(k))] =
+                std::move(jw);
+        }
+        work["kernels"] = std::move(kernels);
+    }
+
     Json& imb = root["imbalance"];
     imb["max_over_mean"] = Json(report.imbalance.max_over_mean);
     imb["mean_rank_s"] = Json(report.imbalance.mean_rank_s);
@@ -88,6 +242,19 @@ Json to_json(const RunReport& report) {
     wire["expected_messages"] = Json(report.wire.expected);
     wire["measured_messages"] = Json(report.wire.measured);
     wire["match"] = Json(report.wire.match);
+
+    Json anomalies = Json::array();
+    for (const auto& a : report.anomalies) {
+        Json ja = Json::object();
+        ja["rank"] = Json(a.rank);
+        ja["kernel"] = Json(std::string(util::kernel_name(a.kernel)));
+        ja["metric"] = Json(a.metric);
+        ja["value"] = Json(a.value);
+        ja["reference"] = Json(a.reference);
+        ja["factor"] = Json(a.factor);
+        anomalies.push_back(std::move(ja));
+    }
+    root["anomalies"] = std::move(anomalies);
 
     Json recoveries = Json::array();
     for (const auto& r : report.recoveries) {
@@ -104,7 +271,33 @@ Json to_json(const RunReport& report) {
     for (const auto& r : report.ranks) {
         Json jr = Json::object();
         jr["rank"] = Json(r.rank);
+        jr["epoch_offset_us"] = Json(r.epoch_us);
         jr["step_wall_s"] = Json(r.step_wall_s());
+
+        if (r.attrib.graphs > 0) {
+            Json& at = jr["attribution"];
+            at["graphs"] = Json(r.attrib.graphs);
+            at["cp_s"] = Json(r.attrib.cp_us * 1e-6);
+            at["busy_s"] = Json(r.attrib.busy_us * 1e-6);
+            at["makespan_s"] = Json(r.attrib.makespan_us * 1e-6);
+            at["efficiency"] = Json(r.attrib.efficiency());
+            Json ck = Json::object();
+            for (std::size_t k = 0; k < util::kernel_count; ++k) {
+                if (r.attrib.cp_kernel_us[k] <= 0.0) continue;
+                ck[util::kernel_name(static_cast<util::Kernel>(k))] =
+                    Json(r.attrib.cp_kernel_us[k] * 1e-6);
+            }
+            at["cp_kernels"] = std::move(ck);
+            Json workers = Json::array();
+            for (const double busy : r.attrib.worker_busy_us) {
+                Json jw = Json::object();
+                jw["busy_s"] = Json(busy * 1e-6);
+                jw["idle_s"] =
+                    Json(std::max(0.0, r.attrib.makespan_us - busy) * 1e-6);
+                workers.push_back(std::move(jw));
+            }
+            at["workers"] = std::move(workers);
+        }
 
         Json steps = Json::array();
         for (const auto& s : r.steps) {
@@ -118,6 +311,12 @@ Json to_json(const RunReport& report) {
             js["wall_us"] = Json(s.wall_us);
             js["retries"] = Json(s.retries);
             js["remapped"] = Json(s.remapped);
+            if (s.graph_workers > 0) {
+                js["cp_us"] = Json(s.cp_us);
+                js["graph_busy_us"] = Json(s.graph_busy_us);
+                js["graph_makespan_us"] = Json(s.graph_makespan_us);
+                js["graph_workers"] = Json(s.graph_workers);
+            }
             steps.push_back(std::move(js));
         }
         jr["steps"] = std::move(steps);
@@ -130,6 +329,20 @@ Json to_json(const RunReport& report) {
             jk["wall_s"] = Json(ks.wall_s);
             jk["virtual_s"] = Json(ks.virtual_s);
             jk["calls"] = Json(ks.calls);
+            jk["items"] = Json(static_cast<long>(ks.items));
+            if (report.work.present && ks.items > 0 && ks.wall_s > 0.0) {
+                const auto& w = report.work.kernels[k];
+                const auto n = static_cast<double>(ks.items);
+                if (w.flops_per_item > 0.0)
+                    jk["gflops"] =
+                        Json(n * w.flops_per_item / ks.wall_s * 1e-9);
+                if (w.bytes_per_item > 0.0)
+                    jk["gbs"] = Json(n * w.bytes_per_item / ks.wall_s * 1e-9);
+                const double expect = roofline_seconds(
+                    report.work, static_cast<util::Kernel>(k), ks.items);
+                if (expect > 0.0)
+                    jk["roofline_ratio"] = Json(ks.wall_s / expect);
+            }
             kernels[util::kernel_name(static_cast<util::Kernel>(k))] =
                 std::move(jk);
         }
@@ -152,6 +365,7 @@ Json to_json(const RunReport& report) {
 
 Json trace_json(const RunReport& report) {
     Json events = Json::array();
+    int flow_id = 0;
     for (const auto& r : report.ranks) {
         // Name the track so chrome://tracing shows "rank N", not "tid N".
         Json meta = Json::object();
@@ -173,6 +387,34 @@ Json trace_json(const RunReport& report) {
             je["pid"] = Json(0);
             je["tid"] = Json(r.rank);
             events.push_back(std::move(je));
+        }
+        // Flow arrows along the critical path: an "s" -> "f" pair between
+        // each consecutive pair of critical tasks of the same graph, so
+        // the bounding chain is visible as arrows over the task spans.
+        for (std::size_t i = 0; i + 1 < r.critical.size(); ++i) {
+            const auto& a = r.critical[i];
+            const auto& b = r.critical[i + 1];
+            if (a.chain != b.chain) continue;
+            const int id = flow_id++;
+            Json js = Json::object();
+            js["name"] = Json("critical");
+            js["cat"] = Json("critical");
+            js["ph"] = Json("s");
+            js["id"] = Json(id);
+            js["ts"] = Json(a.t0_us + a.dur_us);
+            js["pid"] = Json(0);
+            js["tid"] = Json(r.rank);
+            events.push_back(std::move(js));
+            Json jf = Json::object();
+            jf["name"] = Json("critical");
+            jf["cat"] = Json("critical");
+            jf["ph"] = Json("f");
+            jf["bp"] = Json("e");
+            jf["id"] = Json(id);
+            jf["ts"] = Json(b.t0_us);
+            jf["pid"] = Json(0);
+            jf["tid"] = Json(r.rank);
+            events.push_back(std::move(jf));
         }
     }
     Json root = Json::object();
@@ -226,6 +468,59 @@ std::string summary_table(const RunReport& report) {
                     std::string(util::kernel_table2_label(k)).c_str(), s,
                     overall > 0.0 ? 100.0 * s / overall : 0.0);
     }
+    // Task-graph attribution: aggregate over ranks, report the critical
+    // path vs busy time, the efficiency, and the kernels that bound it.
+    {
+        RankAttribution agg;
+        for (const auto& r : report.ranks) {
+            agg.graphs += r.attrib.graphs;
+            agg.cp_us += r.attrib.cp_us;
+            agg.busy_us += r.attrib.busy_us;
+            agg.makespan_us += r.attrib.makespan_us;
+            for (std::size_t k = 0; k < util::kernel_count; ++k)
+                agg.cp_kernel_us[k] += r.attrib.cp_kernel_us[k];
+            if (agg.worker_busy_us.size() < r.attrib.worker_busy_us.size())
+                agg.worker_busy_us.resize(r.attrib.worker_busy_us.size(), 0.0);
+            for (std::size_t w = 0; w < r.attrib.worker_busy_us.size(); ++w)
+                agg.worker_busy_us[w] += r.attrib.worker_busy_us[w];
+        }
+        if (agg.graphs > 0) {
+            append_line(out,
+                        "  graphs: %ld runs, critical path %.4fs of %.4fs "
+                        "busy (makespan %.4fs, efficiency %.2f)",
+                        agg.graphs, agg.cp_us * 1e-6, agg.busy_us * 1e-6,
+                        agg.makespan_us * 1e-6, agg.efficiency());
+            // Top-3 critical kernels by critical-path share.
+            std::array<std::size_t, util::kernel_count> order{};
+            for (std::size_t k = 0; k < util::kernel_count; ++k) order[k] = k;
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return agg.cp_kernel_us[a] > agg.cp_kernel_us[b];
+                      });
+            std::string top;
+            for (std::size_t i = 0; i < 3; ++i) {
+                const std::size_t k = order[i];
+                if (agg.cp_kernel_us[k] <= 0.0) break;
+                char buf[96];
+                std::snprintf(
+                    buf, sizeof buf, "%s%s %.1f%%", top.empty() ? "" : "  ",
+                    std::string(
+                        util::kernel_name(static_cast<util::Kernel>(k)))
+                        .c_str(),
+                    agg.cp_us > 0.0 ? 100.0 * agg.cp_kernel_us[k] / agg.cp_us
+                                    : 0.0);
+                top += buf;
+            }
+            if (!top.empty())
+                append_line(out, "  critical kernels: %s", top.c_str());
+        }
+    }
+    for (const auto& a : report.anomalies)
+        append_line(out,
+                    "  anomaly: rank %d %s %s %.3gx reference "
+                    "(%.3g vs %.3g)  ** SLOW **",
+                    a.rank, std::string(util::kernel_name(a.kernel)).c_str(),
+                    a.metric.c_str(), a.factor, a.value, a.reference);
     if (report.mode == "distributed") {
         const auto at = [&](util::Kernel k) {
             return total[static_cast<std::size_t>(k)].total_s();
@@ -268,8 +563,10 @@ void write_outputs(const Options& opts, const RunReport& report) {
 
 std::vector<Real> pack_rank(const RankRecord& rank) {
     std::vector<Real> buf;
-    buf.reserve(2 + rank.steps.size() * 9 + 1 + util::kernel_count * 3);
+    buf.reserve(3 + rank.steps.size() * 13 + 1 + util::kernel_count * 4 + 5 +
+                util::kernel_count + rank.attrib.worker_busy_us.size());
     buf.push_back(static_cast<Real>(rank.rank));
+    buf.push_back(rank.epoch_us);
     buf.push_back(static_cast<Real>(rank.steps.size()));
     for (const auto& s : rank.steps) {
         buf.push_back(static_cast<Real>(s.step));
@@ -281,13 +578,25 @@ std::vector<Real> pack_rank(const RankRecord& rank) {
         buf.push_back(s.wall_us);
         buf.push_back(static_cast<Real>(s.retries));
         buf.push_back(s.remapped ? 1.0 : 0.0);
+        buf.push_back(s.cp_us);
+        buf.push_back(s.graph_busy_us);
+        buf.push_back(s.graph_makespan_us);
+        buf.push_back(static_cast<Real>(s.graph_workers));
     }
     buf.push_back(static_cast<Real>(util::kernel_count));
     for (const auto& ks : rank.kernels) {
         buf.push_back(ks.wall_s);
         buf.push_back(ks.virtual_s);
         buf.push_back(static_cast<Real>(ks.calls));
+        buf.push_back(static_cast<Real>(ks.items));
     }
+    buf.push_back(static_cast<Real>(rank.attrib.graphs));
+    buf.push_back(rank.attrib.cp_us);
+    buf.push_back(rank.attrib.busy_us);
+    buf.push_back(rank.attrib.makespan_us);
+    for (const double v : rank.attrib.cp_kernel_us) buf.push_back(v);
+    buf.push_back(static_cast<Real>(rank.attrib.worker_busy_us.size()));
+    for (const double v : rank.attrib.worker_busy_us) buf.push_back(v);
     return buf;
 }
 
@@ -299,6 +608,7 @@ RankRecord unpack_rank(const std::vector<Real>& buf) {
         return buf[i++];
     };
     out.rank = static_cast<int>(next());
+    out.epoch_us = next();
     const auto n_steps = static_cast<std::size_t>(next());
     out.steps.reserve(n_steps);
     for (std::size_t s = 0; s < n_steps; ++s) {
@@ -312,6 +622,10 @@ RankRecord unpack_rank(const std::vector<Real>& buf) {
         rec.wall_us = next();
         rec.retries = static_cast<int>(next());
         rec.remapped = next() != 0.0;
+        rec.cp_us = next();
+        rec.graph_busy_us = next();
+        rec.graph_makespan_us = next();
+        rec.graph_workers = static_cast<int>(next());
         out.steps.push_back(rec);
     }
     const auto n_kernels = static_cast<std::size_t>(next());
@@ -321,7 +635,17 @@ RankRecord unpack_rank(const std::vector<Real>& buf) {
         ks.wall_s = next();
         ks.virtual_s = next();
         ks.calls = static_cast<long>(next());
+        ks.items = static_cast<long long>(next());
     }
+    out.attrib.graphs = static_cast<long>(next());
+    out.attrib.cp_us = next();
+    out.attrib.busy_us = next();
+    out.attrib.makespan_us = next();
+    for (auto& v : out.attrib.cp_kernel_us) v = next();
+    const auto n_workers = static_cast<std::size_t>(next());
+    out.attrib.worker_busy_us.reserve(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w)
+        out.attrib.worker_busy_us.push_back(next());
     util::require(i == buf.size(), "telemetry: oversized rank record");
     return out;
 }

@@ -44,6 +44,11 @@ struct Options {
     std::string trace;  ///< Chrome trace-event path ("" = don't write)
     bool summary = false; ///< print the Table II style summary to stdout
     std::string label;    ///< run label in the report (default: problem)
+    /// Anomaly threshold: a kernel is flagged when its per-item (or
+    /// per-call) cost exceeds `anomaly_factor` times the cross-rank
+    /// reference, or its distance from the roofline expectation is an
+    /// outlier by the same factor (see detect_anomalies).
+    double anomaly_factor = 4.0;
 
     [[nodiscard]] bool active() const {
         return enabled || summary || !report.empty() || !trace.empty();
@@ -68,6 +73,40 @@ struct StepRecord {
     double wall_us = 0.0;  ///< step wall time in microseconds
     int retries = 0;       ///< health-guard dt-backoff retries this step
     bool remapped = false; ///< an ALE/Eulerian remap ran this step
+
+    // Task-graph attribution (zero when the step ran no graphs — e.g.
+    // fork-join schedule, serial width, or non-remap dist steps).
+    double cp_us = 0.0;       ///< Σ critical-path length over graph runs
+    double graph_busy_us = 0.0;     ///< Σ task durations over graph runs
+    double graph_makespan_us = 0.0; ///< Σ graph makespans
+    int graph_workers = 0;    ///< max worker count over the step's graphs
+};
+
+/// One task on the critical path, on the rank's trace timeline. `chain`
+/// groups the tasks of one graph execution so the trace writer can draw
+/// flow arrows between consecutive critical tasks of the same graph.
+struct CritSpan {
+    double t0_us = 0.0;
+    double dur_us = 0.0;
+    long chain = 0;
+};
+
+/// Whole-run task-graph attribution for one rank: the accumulation of
+/// obs::GraphAnalysis over every graph the rank executed.
+struct RankAttribution {
+    long graphs = 0;          ///< graph executions analyzed
+    double cp_us = 0.0;       ///< Σ critical-path length
+    double busy_us = 0.0;     ///< Σ task durations
+    double makespan_us = 0.0; ///< Σ graph makespans
+    /// Critical-path time per kernel label ("which kernel bounds the
+    /// step" — the top entries go in the summary table).
+    std::array<double, util::kernel_count> cp_kernel_us{};
+    /// Per-worker busy time; idle = makespan_us - worker_busy_us[w].
+    std::vector<double> worker_busy_us;
+
+    /// busy / (workers x makespan): the fraction of available
+    /// worker-seconds the graphs actually used.
+    [[nodiscard]] double efficiency() const;
 };
 
 /// Messages/reals this rank sent to one peer over the whole run.
@@ -80,10 +119,18 @@ struct PeerCount {
 /// Everything one rank recorded. In dist runs, gathered to rank 0.
 struct RankRecord {
     int rank = 0;
+    /// This rank's run epoch, as microseconds after rank 0's epoch.
+    /// Rank threads start (and stamp their clocks) at slightly different
+    /// times; rank 0 uses this offset to shift gathered timestamps onto
+    /// its own timeline so trace tracks align.
+    double epoch_us = 0.0;
     std::vector<StepRecord> steps;
     std::array<util::KernelStats, util::kernel_count> kernels{};
+    RankAttribution attrib;
     std::vector<PeerCount> sent;
     std::vector<util::TraceEvent> trace;
+    /// Critical-path task spans (host-attached like `trace`, not wired).
+    std::vector<CritSpan> critical;
 
     /// Sum of step wall times, in seconds.
     [[nodiscard]] double step_wall_s() const;
@@ -119,6 +166,59 @@ struct RecoveryEvent {
     int survivors = 0;
 };
 
+/// The full run configuration, recorded so a report is reproducible
+/// without the invoking script: which schedule ran, at what width, with
+/// which blocking/comm knobs.
+struct RunConfig {
+    std::string schedule = "forkjoin"; ///< "forkjoin" / "taskgraph"
+    long task_block = 0;  ///< resolved task-graph block size (0 = n/a)
+    long grain = 0;       ///< fork-join partition grain (0 = default)
+    int n_threads = 1;    ///< pool width per rank
+    int n_ranks = 1;
+    bool overlap = false;
+    std::string packing;  ///< "" when serial
+};
+
+/// Static work descriptor for one kernel: flops/bytes per swept entity,
+/// taken from the perfmodel WorkTable. Combined with the measured
+/// KernelStats (wall_s, items) this yields achieved GFLOP/s and GB/s and
+/// a roofline time to compare against.
+struct KernelWorkInfo {
+    double flops_per_item = 0.0;
+    double bytes_per_item = 0.0;
+};
+
+/// The perfmodel's view of the host, attached to the report when the
+/// driver has one: peak per-rank compute and bandwidth plus the static
+/// per-kernel work descriptors.
+struct WorkModel {
+    bool present = false;
+    double peak_flops = 0.0; ///< per-rank flop/s
+    double peak_bw = 0.0;    ///< per-rank bytes/s
+    std::array<KernelWorkInfo, util::kernel_count> kernels{};
+};
+
+/// Roofline expectation for `items` entities of kernel `k`:
+/// max(flops/peak_flops, bytes/peak_bw). 0 when the model has no
+/// descriptor for the kernel.
+[[nodiscard]] double roofline_seconds(const WorkModel& work, util::Kernel k,
+                                      long long items);
+
+/// A kernel whose measured cost deviates from expectation by more than
+/// Options::anomaly_factor. Two detectors (see detect_anomalies):
+/// "cross_rank" compares a rank's per-item (or per-call) seconds against
+/// the fastest rank (skipping peer-blocking scopes, whose wall time
+/// measures the OTHER ranks' pace); "roofline" compares a kernel's
+/// distance from its roofline time against the rank's median distance.
+struct Anomaly {
+    int rank = -1;
+    util::Kernel kernel = util::Kernel::other;
+    std::string metric;    ///< "cross_rank" / "roofline"
+    double value = 0.0;     ///< the offending measurement
+    double reference = 0.0; ///< what it was compared against
+    double factor = 0.0;    ///< value / reference (> anomaly_factor)
+};
+
 /// The full run report (JSON schema "bookleaf.telemetry/1").
 struct RunReport {
     std::string schema = "bookleaf.telemetry/1";
@@ -131,14 +231,23 @@ struct RunReport {
     long steps = 0;
     double t_final = 0.0;
     double wall_s = 0.0;  ///< whole-run wall time on rank 0 / the driver
+    RunConfig config;
+    WorkModel work;
     Imbalance imbalance;
     WireCheck wire;
+    std::vector<Anomaly> anomalies;
     std::vector<RecoveryEvent> recoveries;
     std::vector<RankRecord> ranks;
 };
 
 /// Compute the max/mean step-time imbalance over gathered rank records.
 [[nodiscard]] Imbalance imbalance_of(const std::vector<RankRecord>& ranks);
+
+/// Scan the gathered rank records for kernels deviating from expectation
+/// by more than `factor` (see Anomaly). Kernels below a small wall-time
+/// noise floor are never flagged. Deterministic given the records.
+[[nodiscard]] std::vector<Anomaly> detect_anomalies(const RunReport& report,
+                                                    double factor);
 
 /// Serialize the report (deterministic member order; see json.hpp).
 [[nodiscard]] Json to_json(const RunReport& report);

@@ -21,9 +21,10 @@ using ReadyQueue =
 
 } // namespace
 
-TaskId TaskGraph::add(std::function<void()> fn, bool main_thread) {
+TaskId TaskGraph::add(std::function<void()> fn, bool main_thread,
+                      util::Kernel kernel) {
     const TaskId id = static_cast<TaskId>(nodes_.size());
-    nodes_.push_back(Node{std::move(fn), {}, 0, main_thread});
+    nodes_.push_back(Node{std::move(fn), {}, 0, main_thread, kernel});
     validated_ = false;
     return id;
 }
@@ -60,22 +61,57 @@ void TaskGraph::validate() {
     validated_ = true;
 }
 
-void TaskGraph::run(const Exec& ex, util::Profiler* profiler) {
+void TaskGraph::run(const Exec& ex, util::Profiler* profiler,
+                    GraphRunLog* log) {
     if (nodes_.empty()) return;
     if (!validated_) validate();
 
     std::vector<int> deps(nodes_.size());
     for (std::size_t i = 0; i < nodes_.size(); ++i) deps[i] = nodes_[i].n_deps;
 
-    auto execute = [&](TaskId id) {
-        const auto& fn = nodes_[static_cast<std::size_t>(id)].fn;
-        if (!fn) return;
-        if (profiler != nullptr) {
-            const util::ScopedTimer t(*profiler, util::Kernel::tasks);
-            fn();
-        } else {
-            fn();
+    // Run-log spans, indexed by TaskId. Each slot is written by exactly
+    // the one worker that executes the task, so no extra lock is needed;
+    // run()'s own completion synchronization publishes them.
+    std::vector<TaskSpan> spans;
+    if (log != nullptr) spans.resize(nodes_.size());
+
+    auto execute = [&](TaskId id, int tid) {
+        const auto& node = nodes_[static_cast<std::size_t>(id)];
+        const auto t0 = log != nullptr ? std::chrono::steady_clock::now()
+                                       : std::chrono::steady_clock::time_point{};
+        if (node.fn) {
+            if (profiler != nullptr) {
+                const util::ScopedTimer t(*profiler, util::Kernel::tasks);
+                node.fn();
+            } else {
+                node.fn();
+            }
         }
+        if (log != nullptr) {
+            auto& span = spans[static_cast<std::size_t>(id)];
+            span.t0_us =
+                std::chrono::duration<double, std::micro>(t0 - log->epoch)
+                    .count();
+            span.dur_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+            span.worker = tid;
+            span.kernel = node.kernel;
+        }
+    };
+
+    // Append the completed run to the log (spans + static edges). Called
+    // only on a fully successful execution — a cancelled/throwing run
+    // records nothing.
+    auto finish_log = [&] {
+        if (log == nullptr) return;
+        GraphRunRecord rec;
+        rec.tasks = std::move(spans);
+        for (std::size_t i = 0; i < nodes_.size(); ++i)
+            for (const TaskId s : nodes_[i].successors)
+                rec.edges.emplace_back(static_cast<TaskId>(i), s);
+        rec.n_workers = ex.threaded() ? ex.width() : 1;
+        log->runs.push_back(std::move(rec));
     };
 
     if (!ex.threaded()) {
@@ -87,13 +123,14 @@ void TaskGraph::run(const Exec& ex, util::Profiler* profiler) {
         while (!ready.empty()) {
             const TaskId id = ready.top();
             ready.pop();
-            execute(id);
+            execute(id, 0);
             ++done;
             for (const TaskId s :
                  nodes_[static_cast<std::size_t>(id)].successors)
                 if (--deps[static_cast<std::size_t>(s)] == 0) ready.push(s);
         }
         BL_ASSERT(done == nodes_.size());
+        finish_log();
         return;
     }
 
@@ -137,7 +174,7 @@ void TaskGraph::run(const Exec& ex, util::Profiler* profiler) {
             lock.unlock();
             std::exception_ptr caught;
             try {
-                execute(id);
+                execute(id, tid);
             } catch (...) {
                 caught = std::current_exception();
             }
@@ -163,6 +200,7 @@ void TaskGraph::run(const Exec& ex, util::Profiler* profiler) {
     });
 
     if (error != nullptr) std::rethrow_exception(error);
+    finish_log();
 }
 
 void TaskGraph::clear() {

@@ -28,27 +28,57 @@
 /// throws util::Error. A task that throws cancels the remaining tasks
 /// (running ones drain) and the first exception is rethrown from run().
 
+#include <chrono>
 #include <exception>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "par/exec.hpp"
+#include "util/profiler.hpp"
 #include "util/types.hpp"
-
-namespace bookleaf::util {
-class Profiler;
-}
 
 namespace bookleaf::par {
 
 using TaskId = int;
 
+/// One executed task's span, timestamped against the owning GraphRunLog's
+/// epoch. `worker` is the pool thread (tid) that ran it; `kernel` is the
+/// label the graph builder attached at add().
+struct TaskSpan {
+    double t0_us = 0.0;
+    double dur_us = 0.0;
+    int worker = 0;
+    util::Kernel kernel = util::Kernel::tasks;
+};
+
+/// One complete graph execution: per-task spans (indexed by TaskId), the
+/// dependency edges (before -> after), and the worker count the run had.
+/// Plain data — obs::critical_path analyzes it, and tests hand-build it.
+struct GraphRunRecord {
+    std::vector<TaskSpan> tasks;
+    std::vector<std::pair<TaskId, TaskId>> edges;
+    int n_workers = 1;
+};
+
+/// Collector for TaskGraph::run: when attached, every run appends one
+/// GraphRunRecord. This is the graph executor's stats export — zero-cost
+/// when absent (one null check per run), so telemetry-off runs pay
+/// nothing.
+struct GraphRunLog {
+    std::chrono::steady_clock::time_point epoch{};
+    std::vector<GraphRunRecord> runs;
+};
+
 class TaskGraph {
 public:
     /// Register a task; returns its id (dense, in insertion order — the
     /// deterministic scheduling priority). `main_thread` pins the task to
-    /// the calling thread.
-    TaskId add(std::function<void()> fn, bool main_thread = false);
+    /// the calling thread. `kernel` labels the task's span in GraphRunLog
+    /// records (it does NOT change what the profiler charges — task
+    /// bodies keep their own ScopedTimer scopes).
+    TaskId add(std::function<void()> fn, bool main_thread = false,
+               util::Kernel kernel = util::Kernel::tasks);
 
     /// Declare that `after` must not start until `before` has finished.
     void depend(TaskId after, TaskId before);
@@ -58,8 +88,11 @@ public:
     /// tasks are claimed lowest-id-first under one mutex; workers sleep
     /// when no task is ready. When `profiler` is given every task charges
     /// a util::Kernel::tasks scope (and a TraceEvent when a trace sink is
-    /// attached) so Chrome traces show per-block task timelines.
-    void run(const Exec& ex, util::Profiler* profiler = nullptr);
+    /// attached) so Chrome traces show per-block task timelines. When
+    /// `log` is given the run appends a GraphRunRecord (per-task spans +
+    /// edges) — the raw material of obs::critical_path.
+    void run(const Exec& ex, util::Profiler* profiler = nullptr,
+             GraphRunLog* log = nullptr);
 
     [[nodiscard]] std::size_t size() const { return nodes_.size(); }
     [[nodiscard]] bool empty() const { return nodes_.empty(); }
@@ -71,6 +104,7 @@ private:
         std::vector<TaskId> successors;
         int n_deps = 0; ///< static in-degree (reset template for each run)
         bool main_thread = false;
+        util::Kernel kernel = util::Kernel::tasks; ///< GraphRunLog label
     };
 
     /// Kahn's algorithm over the static structure; throws util::Error if

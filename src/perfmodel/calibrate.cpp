@@ -1,7 +1,12 @@
 #include "perfmodel/calibrate.hpp"
 
+#include <algorithm>
+#include <string>
+#include <utility>
+
 #include "core/driver.hpp"
 #include "setup/problems.hpp"
+#include "util/error.hpp"
 
 namespace bookleaf::perfmodel {
 
@@ -20,6 +25,72 @@ Calibration calibrate_noh(Index resolution, int steps) {
             stats.wall_s / static_cast<double>(stats.calls) / cal.n_cells;
     }
     return cal;
+}
+
+Calibration calibrate_from_document(const obs::Json& doc) {
+    Calibration cal;
+    // Per-kernel (wall seconds, swept cells) accumulated from whichever
+    // measurement shape the document carries.
+    std::map<util::Kernel, std::pair<double, double>> sums;
+    const auto accumulate = [&](const obs::Json& kernels) {
+        for (const auto kernel : modelled_kernels) {
+            const obs::Json* jk =
+                kernels.find(util::kernel_name(kernel));
+            if (jk == nullptr) continue;
+            const obs::Json* wall = jk->find("wall_s");
+            const obs::Json* items = jk->find("items");
+            if (wall == nullptr || items == nullptr) continue;
+            auto& [w, n] = sums[kernel];
+            w += wall->as_real();
+            n += static_cast<double>(items->as_int());
+        }
+    };
+
+    if (const obs::Json* ranks = doc.find("ranks"); ranks != nullptr) {
+        // bookleaf.telemetry/1 run report.
+        for (const auto& rank : ranks->elements())
+            if (const obs::Json* kernels = rank.find("kernels"))
+                accumulate(*kernels);
+        if (const obs::Json* steps = doc.find("steps"))
+            cal.steps = static_cast<int>(steps->as_int());
+    } else if (const obs::Json* measured = doc.find("measured_kernels");
+               measured != nullptr) {
+        // bookleaf.bench/1 document (bench_fig2_kernels --json).
+        accumulate(*measured);
+        if (const obs::Json* steps = doc.find("measured_steps"))
+            cal.steps = static_cast<int>(steps->as_int());
+    } else {
+        throw util::Error(
+            "perfmodel: document carries no per-kernel measurements "
+            "(expected a telemetry report with \"ranks\" or a bench "
+            "document with \"measured_kernels\")");
+    }
+
+    for (const auto& [kernel, sum] : sums) {
+        const auto& [wall, items] = sum;
+        if (wall <= 0.0 || items <= 0.0) continue;
+        // items counts cells swept summed over invocations, so this is
+        // seconds per cell per invocation directly.
+        cal.seconds_per_cell[kernel] = wall / items;
+    }
+    util::require(!cal.seconds_per_cell.empty(),
+                  "perfmodel: document measured no modelled kernels");
+    return cal;
+}
+
+obs::WorkModel telemetry_work_model(int n_threads) {
+    const CpuPlatform p = skylake();
+    const int width = std::max(1, n_threads);
+    obs::WorkModel model;
+    model.present = true;
+    model.peak_flops = p.rate * width;
+    model.peak_bw = p.bandwidth / p.cores * width;
+    for (const auto& [kernel, work] : reference_work()) {
+        auto& info = model.kernels[static_cast<std::size_t>(kernel)];
+        info.flops_per_item = work.flops;
+        info.bytes_per_item = work.bytes;
+    }
+    return model;
 }
 
 WorkTable calibrated_work(const Calibration& cal) {

@@ -7,6 +7,8 @@
 /// measured" comparison uses this to show how the C++ kernel balance
 /// differs from the Fortran reference's.
 
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 #include "perfmodel/model.hpp"
 
 namespace bookleaf::perfmodel {
@@ -27,5 +29,24 @@ struct Calibration {
 /// under the model (bytes and structural fractions are inherited from the
 /// reference table).
 [[nodiscard]] WorkTable calibrated_work(const Calibration& calibration);
+
+/// Calibrate from a persisted measurement document instead of a private
+/// Noh run — the closed loop the CI gate uses. Accepts either:
+///   * a "bookleaf.telemetry/1" run report: per-kernel wall_s and items
+///     are summed over ranks (items counts swept cells, so
+///     wall_s / items IS seconds-per-cell-per-invocation); or
+///   * a "bookleaf.bench/1" document carrying a "measured_kernels" object
+///     of {name: {wall_s, calls, items}} (bench_fig2_kernels --json).
+/// Kernels absent from the document (or measured with zero items) keep no
+/// entry, exactly like a calibrate_noh kernel with zero calls. Throws
+/// util::Error when the document carries no per-kernel measurements.
+[[nodiscard]] Calibration calibrate_from_document(const obs::Json& doc);
+
+/// The perfmodel's export for the telemetry report: reference per-cell
+/// work descriptors plus the Skylake platform's per-rank peaks scaled to
+/// `n_threads` cores. The absolute scale is the model's, not the host's —
+/// telemetry consumers compare kernels against each other (the
+/// self-normalizing roofline anomaly detector), not against the clock.
+[[nodiscard]] obs::WorkModel telemetry_work_model(int n_threads);
 
 } // namespace bookleaf::perfmodel

@@ -60,12 +60,14 @@ void Profiler::add_virtual(Kernel k, double seconds) {
 }
 
 void Profiler::add_scope(Kernel k, std::chrono::steady_clock::time_point t0,
-                         std::chrono::steady_clock::time_point t1) {
+                         std::chrono::steady_clock::time_point t1,
+                         long long items) {
     const double seconds = std::chrono::duration<double>(t1 - t0).count();
     const std::lock_guard lock(mutex_);
     auto& s = stats_[static_cast<std::size_t>(k)];
     s.wall_s += seconds;
     s.calls += 1;
+    s.items += items;
     if (trace_ != nullptr)
         trace_->push_back(
             {k,

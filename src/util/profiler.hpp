@@ -84,6 +84,12 @@ struct KernelStats {
     double wall_s = 0.0;    ///< measured wall-clock seconds
     double virtual_s = 0.0; ///< simulator-charged seconds
     long calls = 0;
+    /// Entities swept (cells/nodes/faces), summed over calls. Charged by
+    /// the kernels' own scopes from the same loop extents the CPU path
+    /// runs, so wall_s/items is directly comparable to the perfmodel's
+    /// per-entity roofline cost. Scopes with no natural extent (halos,
+    /// reductions, snapshots) leave it 0.
+    long long items = 0;
 
     /// Combined time: wall plus modelled. Real runs have virtual_s == 0,
     /// modelled runs typically have wall_s ~ 0 for the modelled parts.
@@ -106,10 +112,12 @@ class Profiler {
 public:
     void add_wall(Kernel k, double seconds);
     void add_virtual(Kernel k, double seconds);
-    /// ScopedTimer's charge: accumulates wall time and, when a trace sink
-    /// is attached, appends the scope as a TraceEvent.
+    /// ScopedTimer's charge: accumulates wall time (and an optional work
+    /// item count) and, when a trace sink is attached, appends the scope
+    /// as a TraceEvent.
     void add_scope(Kernel k, std::chrono::steady_clock::time_point t0,
-                   std::chrono::steady_clock::time_point t1);
+                   std::chrono::steady_clock::time_point t1,
+                   long long items = 0);
     void reset();
 
     /// Attach (or detach, with nullptr) a trace sink: subsequent scopes
@@ -133,14 +141,17 @@ private:
 };
 
 /// RAII scope that charges elapsed wall time (and a trace span, when the
-/// profiler has a sink attached) to `kernel` on destruction.
+/// profiler has a sink attached) to `kernel` on destruction. The optional
+/// `items` count records how many entities the scope swept (KernelStats
+/// ::items) — pass the loop extent at sites where one exists.
 class ScopedTimer {
 public:
-    ScopedTimer(Profiler& profiler, Kernel kernel)
-        : profiler_(profiler), kernel_(kernel),
+    ScopedTimer(Profiler& profiler, Kernel kernel, long long items = 0)
+        : profiler_(profiler), kernel_(kernel), items_(items),
           start_(std::chrono::steady_clock::now()) {}
     ~ScopedTimer() {
-        profiler_.add_scope(kernel_, start_, std::chrono::steady_clock::now());
+        profiler_.add_scope(kernel_, start_, std::chrono::steady_clock::now(),
+                            items_);
     }
 
     ScopedTimer(const ScopedTimer&) = delete;
@@ -149,6 +160,7 @@ public:
 private:
     Profiler& profiler_;
     Kernel kernel_;
+    long long items_ = 0;
     std::chrono::steady_clock::time_point start_;
 };
 

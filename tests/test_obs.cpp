@@ -75,16 +75,20 @@ bd::Result run_dist(const Problem& p, const bd::Options& opts) {
 
 /// Copy of a report's JSON with every timing-dependent leaf removed:
 /// keys ending `_s`/`_us`, the whole `imbalance` object (its ratio and
-/// slowest rank are wall-clock artifacts), and the blocking-wait detail
+/// slowest rank are wall-clock artifacts), the blocking-wait detail
 /// kernels (a wait is only *charged* when the poll actually blocks, so
-/// even their call counts are timing). What remains must be
-/// byte-identical between two runs of the same problem.
+/// even their call counts are timing), the attribution/anomaly blocks
+/// (critical paths and flags are functions of measured durations), and
+/// the per-kernel achieved-rate leaves (wall_s in denominator). What
+/// remains must be byte-identical between two runs of the same problem.
 bo::Json scrub_timings(const bo::Json& v) {
     if (v.is_object()) {
         auto out = bo::Json::object();
         for (const auto& [key, member] : v.members()) {
             if (key == "imbalance" || key == "halo_wait" ||
-                key == "reduce_wait")
+                key == "reduce_wait" || key == "attribution" ||
+                key == "anomalies" || key == "gflops" || key == "gbs" ||
+                key == "roofline_ratio")
                 continue;
             if (key.size() >= 2 && key.rfind("_s") == key.size() - 2) continue;
             if (key.size() >= 3 && key.rfind("_us") == key.size() - 3)
