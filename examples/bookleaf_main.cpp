@@ -8,7 +8,8 @@
 ///                   [--banner-every N] [--vtk out.vtk]
 ///                   [--restart snapshot.ckpt]
 ///                   [--telemetry-report run.json] [--telemetry-trace t.json]
-///                   [--telemetry-summary]
+///                   [--telemetry-summary] [--telemetry-window N]
+///                   [--telemetry-live run.ndjson] [--watchdog-factor F]
 ///
 /// Without a deck argument, runs the default Sod problem. A deck with
 /// `[checkpoint] restart_from` (or the --restart flag, which overrides
@@ -38,6 +39,15 @@ int main(int argc, char** argv) {
         if (cli.has("telemetry-trace"))
             problem.telemetry.trace = cli.get("telemetry-trace", "");
         if (cli.has("telemetry-summary")) problem.telemetry.summary = true;
+        // Live monitoring flags mirror the `[telemetry]` deck keys
+        // window_steps / live / watchdog_factor.
+        if (cli.has("telemetry-window"))
+            problem.telemetry.window_steps = cli.get_int("telemetry-window", 0);
+        if (cli.has("telemetry-live"))
+            problem.telemetry.live = cli.get("telemetry-live", "");
+        if (cli.has("watchdog-factor"))
+            problem.telemetry.watchdog_factor =
+                static_cast<double>(cli.get_real("watchdog-factor", 0.0));
         if (problem.telemetry.label.empty())
             problem.telemetry.label = problem.name;
 

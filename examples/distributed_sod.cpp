@@ -19,6 +19,10 @@
 ///                     [--kill-rank 2 --kill-step 25]
 ///                     [--telemetry-report run.json] [--telemetry-trace t.json]
 ///                     [--telemetry-summary]
+///                     [--telemetry-window N] [--telemetry-live run.ndjson]
+///                     [--watchdog-factor F] [--watchdog-grace-ms MS]
+///                     [--watchdog-escalate]
+///                     [--delay-rank R [--delay-every N]] [--slow-all-us US]
 ///
 /// Exits nonzero if the distributed result drifts from the serial
 /// reference by more than --tol, or if the other schedule (overlap vs
@@ -121,11 +125,37 @@ int main(int argc, char** argv) {
         kill.at_step = cli.get_int("kill-step", 25);
         opts.faults.kills.push_back(kill);
     }
+    // Live-monitor smoke levers: --delay-rank holds a rank's messages
+    // back (the silent-hang driver the watchdog must flag); --slow-all-us
+    // pads every rank's sends so the run's wall time dwarfs the watchdog
+    // threshold, keeping the stall detection timing-robust in CI.
+    if (cli.has("delay-rank")) {
+        typhon::FaultPlan::Delay delay;
+        delay.rank = cli.get_int("delay-rank", ranks - 1);
+        delay.every = cli.get_int("delay-every", 3);
+        opts.faults.delays.push_back(delay);
+    }
+    if (cli.has("slow-all-us")) {
+        const int us = cli.get_int("slow-all-us", 400);
+        for (int r = 0; r < ranks; ++r) {
+            typhon::FaultPlan::Slow slow;
+            slow.rank = r;
+            slow.microseconds = us;
+            opts.faults.slows.push_back(slow);
+        }
+    }
     // Telemetry sinks apply to the main run only (the ablation
     // cross-checks below clear them — they'd overwrite the files).
     opts.telemetry.report = cli.get("telemetry-report", "");
     opts.telemetry.trace = cli.get("telemetry-trace", "");
     opts.telemetry.summary = cli.has("telemetry-summary");
+    // Live monitoring (obs/live): window cadence, NDJSON stream and the
+    // hang-detection watchdog — mirrors of the `[telemetry]` deck keys.
+    opts.telemetry.window_steps = cli.get_int("telemetry-window", 0);
+    opts.telemetry.live = cli.get("telemetry-live", "");
+    opts.telemetry.watchdog_factor = cli.get_real("watchdog-factor", 0.0);
+    opts.telemetry.watchdog_grace_ms = cli.get_int("watchdog-grace-ms", 250);
+    opts.telemetry.watchdog_escalate = cli.has("watchdog-escalate");
     opts.telemetry.label = "sod_" + mode_arg;
     // Restart source: every run below (the main run, the ablation
     // cross-checks and the serial references) starts from this snapshot.
@@ -163,6 +193,14 @@ int main(int argc, char** argv) {
     for (const auto& path : distributed.checkpoints)
         std::printf("wrote checkpoint %s (t >= %.4g)\n", path.c_str(),
                     opts.checkpoint.at_time);
+    if (!distributed.windows.empty()) {
+        const auto& last = distributed.windows.back();
+        std::printf("live: %ld windows completed, last imbalance "
+                    "max/mean %.3f (slowest rank %d)\n",
+                    static_cast<long>(distributed.windows.size()),
+                    last.imbalance.max_over_mean,
+                    last.imbalance.slowest_rank);
+    }
 
     // Ablation cross-checks: the other schedule and the other halo wire
     // format must both agree bitwise (same ghost bytes, only the kernel

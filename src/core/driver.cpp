@@ -70,6 +70,22 @@ void Hydro::init_context() {
         // null default and the executor records nothing.
         graph_log_.epoch = telemetry_epoch_;
         ctx_.graph_log = &graph_log_;
+        telemetry_steps_ = obs::StepRing(telemetry_.max_steps);
+        if (telemetry_.live_active())
+            window_folder_.emplace(0, telemetry_.window_steps, &profiler_);
+        if (!telemetry_.live.empty()) {
+            live_stream_.emplace(telemetry_.live);
+            obs::Json ev;
+            ev["event"] = "run_start";
+            ev["schema"] = "bookleaf.live/1";
+            ev["label"] = telemetry_.label.empty() ? problem_.name
+                                                   : telemetry_.label;
+            ev["n_ranks"] = 1;
+            ev["window_steps"] =
+                static_cast<long long>(telemetry_.window_steps);
+            ev["watchdog_factor"] = telemetry_.watchdog_factor;
+            live_stream_->emit(std::move(ev));
+        }
     }
 }
 
@@ -320,7 +336,27 @@ StepInfo Hydro::step_clamped(std::optional<Real> t_end) {
         rec.remapped = info.remapped;
         obs::attribute_step(graph_log_, rec, attrib_,
                             telemetry_.want_trace() ? &critical_ : nullptr);
-        telemetry_steps_.push_back(rec);
+        telemetry_steps_.push(rec);
+        if (window_folder_) {
+            if (auto w = window_folder_->add(rec)) {
+                telemetry_windows_.push_back(*w);
+                if (live_stream_) {
+                    obs::Json ev;
+                    ev["event"] = "window";
+                    ev["record"] = obs::window_json(*w);
+                    live_stream_->emit(std::move(ev));
+                    const auto imb = obs::window_imbalance({*w});
+                    obs::Json iev;
+                    iev["event"] = "imbalance";
+                    iev["window"] = static_cast<long long>(w->index);
+                    iev["max_over_mean"] = imb.max_over_mean;
+                    iev["mean_rank_s"] = imb.mean_rank_s;
+                    iev["max_rank_s"] = imb.max_rank_s;
+                    iev["slowest_rank"] = imb.slowest_rank;
+                    live_stream_->emit(std::move(iev));
+                }
+            }
+        }
     }
     util::log_debug("step ", steps_, " t=", t_, " dt=", dt, " (",
                     info.dt_reason, ")");
@@ -346,7 +382,9 @@ obs::RunReport Hydro::telemetry_report() const {
     report.work = perfmodel::telemetry_work_model(ctx_.exec.width());
     obs::RankRecord rank;
     rank.rank = 0;
-    rank.steps = telemetry_steps_;
+    rank.steps = telemetry_steps_.take();
+    rank.evicted = telemetry_steps_.evicted();
+    rank.windows = telemetry_windows_;
     rank.kernels = profiler_.snapshot();
     rank.attrib = attrib_;
     rank.trace = trace_;
@@ -378,6 +416,18 @@ RunSummary Hydro::run(std::optional<Real> t_end_opt, int max_steps) {
     if (telemetry_.active()) {
         run_wall_s_ += summary.wall_seconds;
         write_telemetry();
+        if (live_stream_) {
+            obs::Json ev;
+            ev["event"] = "run_end";
+            ev["steps"] = steps_;
+            ev["t_final"] = t_;
+            ev["wall_s"] = run_wall_s_;
+            ev["windows"] =
+                static_cast<long long>(telemetry_windows_.size());
+            ev["stalls"] = 0;
+            ev["recoveries"] = 0;
+            live_stream_->emit(std::move(ev));
+        }
     }
     return summary;
 }

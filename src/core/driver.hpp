@@ -15,6 +15,7 @@
 #include "hydro/kernels.hpp"
 #include "hydro/stepgraph.hpp"
 #include "io/csv.hpp"
+#include "obs/live.hpp"
 #include "obs/telemetry.hpp"
 #include "par/task_graph.hpp"
 #include "setup/problems.hpp"
@@ -115,6 +116,12 @@ public:
     [[nodiscard]] hydro::Totals totals() const {
         return hydro::totals(problem_.mesh, state_);
     }
+    /// Monitoring windows folded so far (empty unless `[telemetry]
+    /// window_steps` > 0) — the serial counterpart of the distributed
+    /// driver's live window stream.
+    [[nodiscard]] const std::vector<obs::WindowRecord>& windows() const {
+        return telemetry_windows_;
+    }
 
 private:
     StepInfo step_clamped(std::optional<Real> t_end);
@@ -165,7 +172,19 @@ private:
     /// passive contract. Empty/inactive by default, so telemetry-off
     /// runs take none of these branches.
     obs::Options telemetry_;
-    std::vector<obs::StepRecord> telemetry_steps_;
+    /// Step records, bounded by `[telemetry] max_steps` (0 = keep all);
+    /// evicted records fold into an exact aggregate, so the report's
+    /// totals are unaffected by the cap.
+    obs::StepRing telemetry_steps_;
+    /// Live monitoring (`[telemetry] window_steps` > 0): the folder closes
+    /// a window every window_steps committed steps; each window lands in
+    /// telemetry_windows_ and — when `[telemetry] live` names a file — as
+    /// a "window" (plus trivial single-rank "imbalance") event on the
+    /// NDJSON stream. No watchdog in the serial driver: there is no peer
+    /// to observe a hang from.
+    std::optional<obs::WindowFolder> window_folder_;
+    std::vector<obs::WindowRecord> telemetry_windows_;
+    std::optional<obs::LiveStream> live_stream_;
     std::vector<util::TraceEvent> trace_;
     std::chrono::steady_clock::time_point telemetry_epoch_{};
     double run_wall_s_ = 0.0;

@@ -297,6 +297,14 @@ constexpr int ckpt_tag = 500;
 /// pattern as the checkpoint gather, once per run).
 constexpr int telemetry_tag = 501;
 
+/// Tag of the in-run live-window stream: every rank sends one compact
+/// WindowRecord to rank 0 each time a monitoring window closes, rank 0
+/// drains the channel opportunistically (posted irecvs polled at the top
+/// of its step loop) and blocks the channel dry after its step loop ends
+/// — the blocking drain promotes fault-held messages, so delay plans
+/// cannot strand the stream past Hub::drained().
+constexpr int live_tag = 502;
+
 /// Pack this rank's owned entities for the checkpoint gather: the
 /// snapshot's node fields (x, y, u, v, node_mass), cell fields (rho, ein,
 /// q, cell_mass) and corner field (cnmass), field-major, each field's
@@ -698,6 +706,26 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                 const std::vector<Real>* v_ic) {
     const bool supervised = opts.supervise.enabled;
     const bool telemetry = opts.telemetry.active();
+    const bool live = opts.telemetry.live_active();
+    // Live monitoring host state. The NDJSON stream spans every attempt —
+    // the crash trail must include failed ones — and is appended to by
+    // the rank-0 driver thread and the watchdog supervisor thread
+    // (LiveStream locks internally). stall_count is bumped on the
+    // supervisor thread and read after the joins.
+    obs::LiveStream live_stream(telemetry ? opts.telemetry.live
+                                          : std::string{});
+    std::atomic<long> stall_count{0};
+    if (live_stream.open()) {
+        obs::Json ev;
+        ev["event"] = "run_start";
+        ev["schema"] = "bookleaf.live/1";
+        ev["label"] = opts.telemetry.label;
+        ev["n_ranks"] = opts.n_ranks;
+        ev["window_steps"] = static_cast<long long>(
+            opts.telemetry.window_steps);
+        ev["watchdog_factor"] = opts.telemetry.watchdog_factor;
+        live_stream.emit(std::move(ev));
+    }
     // One epoch for the whole run: recovery attempts land on the same
     // trace timeline, and the run wall clock spans every attempt.
     const auto telemetry_epoch = std::chrono::steady_clock::now();
@@ -755,6 +783,23 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
         }
         std::vector<obs::RankRecord> rank_records;
         long long gather_events = 0;
+
+        // Live-window state of this attempt. live_windows and the
+        // assembler are touched by the rank-0 thread only (read after the
+        // join); the watchdog is shared — rank threads bump its step
+        // epochs (relaxed atomics), the rank-0 thread stamps window
+        // arrivals, and the supervisor thread runs check().
+        std::vector<obs::LiveWindow> live_windows;
+        std::optional<obs::LiveAssembler> assembler;
+        std::optional<obs::Watchdog> watchdog;
+        if (live) {
+            assembler.emplace(ranks_now);
+            if (opts.telemetry.watchdog_factor > 0.0 && ranks_now > 1)
+                watchdog.emplace(
+                    ranks_now, opts.telemetry.watchdog_factor,
+                    static_cast<double>(opts.telemetry.watchdog_grace_ms),
+                    opts.telemetry.watchdog_escalate);
+        }
 
         // The fault plan is scripted per attempt: a kill recorded for
         // attempt 0 stays quiet during recovery re-runs. An empty plan
@@ -849,11 +894,122 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
         Real regrow_limit = start_snap != nullptr ? start_snap->regrow : 0.0;
         int steps = start_snap != nullptr ? static_cast<int>(start_snap->steps)
                                           : 0;
-        std::vector<obs::StepRecord> my_steps;
+        // Bounded step retention: [telemetry] max_steps caps the records
+        // kept in memory; evicted ones fold into an exact aggregate.
+        obs::StepRing my_steps(opts.telemetry.max_steps);
+
+        // Live monitoring rank state. Every rank folds its own windows
+        // and streams each one to rank 0 on tag 502 the moment it closes
+        // (rank 0 sends to itself through the same channel — one
+        // discipline, no special case). Rank 0 additionally keeps one
+        // posted irecv per peer, drained opportunistically at the top of
+        // every step, and hosts the watchdog supervisor thread.
+        std::optional<obs::WindowFolder> folder;
+        std::vector<obs::WindowRecord> my_windows;
+        std::vector<typhon::Request> live_pending;
+        std::vector<long> live_received;
+        if (live)
+            folder.emplace(comm.rank(), opts.telemetry.window_steps,
+                           &profiler);
+        const auto harvest_window = [&](const std::vector<Real>& payload,
+                                        int src) {
+            auto w = obs::unpack_window(payload);
+            ++live_received[static_cast<std::size_t>(src)];
+            if (watchdog) watchdog->note_window(w.rank);
+            obs::Json ev;
+            ev["event"] = "window";
+            ev["attempt"] = attempt;
+            ev["record"] = obs::window_json(w);
+            live_stream.emit(std::move(ev));
+            for (auto& lw : assembler->add(std::move(w))) {
+                obs::Json iev;
+                iev["event"] = "imbalance";
+                iev["attempt"] = attempt;
+                iev["window"] = static_cast<long long>(lw.index);
+                iev["max_over_mean"] = lw.imbalance.max_over_mean;
+                iev["mean_rank_s"] = lw.imbalance.mean_rank_s;
+                iev["max_rank_s"] = lw.imbalance.max_rank_s;
+                iev["slowest_rank"] = lw.imbalance.slowest_rank;
+                live_stream.emit(std::move(iev));
+                if (opts.on_window) opts.on_window(lw);
+                live_windows.push_back(std::move(lw));
+            }
+        };
+        // Nonblocking drain: harvest whatever has arrived, repost. A
+        // posted irecv is a local handle (test() polls the transport), so
+        // a request left pending at run end strands nothing.
+        const auto drain_live = [&] {
+            for (int r = 0; r < comm.size(); ++r) {
+                auto& req = live_pending[static_cast<std::size_t>(r)];
+                while (req.test()) {
+                    harvest_window(req.data(), r);
+                    req = comm.irecv(r, live_tag);
+                }
+            }
+        };
+        std::optional<obs::WatchdogSession> watch_session;
+        if (live && comm.rank() == 0) {
+            live_pending.resize(static_cast<std::size_t>(comm.size()));
+            live_received.assign(static_cast<std::size_t>(comm.size()), 0);
+            for (int r = 0; r < comm.size(); ++r)
+                live_pending[static_cast<std::size_t>(r)] =
+                    comm.irecv(r, live_tag);
+            if (watchdog) {
+                const double poll_ms = std::max(
+                    static_cast<double>(opts.telemetry.watchdog_grace_ms) /
+                        8.0,
+                    1.0);
+                watch_session.emplace(*watchdog, poll_ms,
+                                      [&](const obs::Watchdog::Stall& st) {
+                    ++stall_count;
+                    obs::Json ev;
+                    ev["event"] = "stall";
+                    ev["attempt"] = attempt;
+                    ev["rank"] = st.rank;
+                    ev["last_step"] = static_cast<long long>(st.last_step);
+                    ev["windows"] = static_cast<long long>(st.windows);
+                    ev["silent_ms"] = st.silent_ms;
+                    ev["threshold_ms"] = st.threshold_ms;
+                    ev["escalated"] = st.escalated;
+                    // The hang diagnostic: every rank's last completed
+                    // step plus the transport channels still holding
+                    // undelivered (pending or fault-held) messages.
+                    obs::Json last = obs::Json::array();
+                    for (int r = 0; r < watchdog->n_ranks(); ++r)
+                        last.push_back(
+                            static_cast<long long>(watchdog->last_step(r)));
+                    ev["last_steps"] = std::move(last);
+                    obs::Json channels = obs::Json::array();
+                    for (const auto& c : comm.backlog()) {
+                        obs::Json cj;
+                        cj["src"] = c.src;
+                        cj["dst"] = c.dst;
+                        cj["tag"] = c.tag;
+                        cj["pending"] = static_cast<long long>(c.pending);
+                        cj["held"] = static_cast<long long>(c.held);
+                        channels.push_back(std::move(cj));
+                    }
+                    ev["backlog"] = std::move(channels);
+                    live_stream.emit(std::move(ev));
+                    util::log_warn("watchdog: rank ", st.rank,
+                                   " silent for ", st.silent_ms,
+                                   " ms (threshold ", st.threshold_ms,
+                                   " ms), last step ", st.last_step,
+                                   st.escalated ? " - escalating" : "");
+                });
+            }
+        }
         while (t < opts.t_end * (Real(1.0) - eps) && steps < opts.max_steps) {
             // Record the step for failure reports and tick the fault
             // plan's kill-at-step trigger.
             comm.set_step(steps);
+            // Watchdog progress tick (one relaxed store + one relaxed
+            // load) and, on rank 0, the opportunistic tag-502 drain. A
+            // poisoned rank — flagged as stalled with escalation enabled —
+            // turns its silent hang into an ordinary recoverable failure.
+            if (watchdog && watchdog->note_step(comm.rank(), steps))
+                throw obs::StallEscalated(comm.rank());
+            if (live && comm.rank() == 0) drain_live();
             const auto step_t0 = telemetry
                                      ? std::chrono::steady_clock::now()
                                      : std::chrono::steady_clock::time_point{};
@@ -1007,7 +1163,13 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                     opts.telemetry.want_trace()
                         ? &crits[static_cast<std::size_t>(comm.rank())]
                         : nullptr);
-                my_steps.push_back(rec);
+                my_steps.push(rec);
+                if (folder) {
+                    if (auto w = folder->add(rec)) {
+                        my_windows.push_back(*w);
+                        comm.send(0, live_tag, obs::pack_window(*w));
+                    }
+                }
             }
             ++steps;
             // Snapshot cadences: every rank evaluates the same triggers
@@ -1053,6 +1215,25 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
             }
         }
 
+        // Step loop done: stop the stall supervisor (no more progress
+        // ticks are coming, so anything it would flag now is a false
+        // positive), then drain the tag-502 stream dry. Lockstep stepping
+        // means every rank produced exactly this rank-0 folder's window
+        // count; the blocking wait() promotes fault-held messages, so a
+        // delay plan cannot strand the channel past Hub::drained().
+        if (live && comm.rank() == 0) {
+            watch_session.reset();
+            const long expect = folder->produced();
+            for (int r = 0; r < comm.size(); ++r) {
+                auto& req = live_pending[static_cast<std::size_t>(r)];
+                while (live_received[static_cast<std::size_t>(r)] < expect) {
+                    req.wait();
+                    harvest_window(req.data(), r);
+                    req = comm.irecv(r, live_tag);
+                }
+            }
+        }
+
         // Gather owned fields into the global result. Each global cell has
         // exactly one owner and each global node one owning rank, so the
         // writes are disjoint across rank threads.
@@ -1083,7 +1264,9 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
             rec.epoch_us = std::chrono::duration<double, std::micro>(
                                rank_epoch - telemetry_epoch)
                                .count();
-            rec.steps = std::move(my_steps);
+            rec.steps = my_steps.take();
+            rec.evicted = my_steps.evicted();
+            rec.windows = std::move(my_windows);
             rec.kernels = profiler.snapshot();
             rec.attrib = std::move(attrib);
             comm.send(0, telemetry_tag, obs::pack_rank(rec));
@@ -1115,6 +1298,16 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
             }
             rec.resumed_step =
                 start_snap != nullptr ? start_snap->steps : 0;
+            if (live_stream.open()) {
+                obs::Json ev;
+                ev["event"] = "recovery";
+                ev["attempt"] = attempt;
+                ev["failed_rank"] = rec.failed_rank;
+                ev["failed_step"] = rec.failed_step;
+                ev["resumed_step"] = static_cast<long long>(rec.resumed_step);
+                ev["survivors"] = rec.survivors;
+                live_stream.emit(std::move(ev));
+            }
             result.recoveries.push_back(std::move(rec));
             --ranks_now;
             if (opts.supervise.backoff_ms > 0)
@@ -1129,6 +1322,7 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
         for (int r = 0; r < ranks_now; ++r)
             result.profiles[static_cast<std::size_t>(r)] =
                 profilers[static_cast<std::size_t>(r)].snapshot();
+        result.windows = std::move(live_windows);
 
         if (telemetry) {
             obs::RunReport report;
@@ -1199,8 +1393,10 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
             // on an undisturbed schedule — faults, recoveries and
             // health-guard retries all legitimately change the count.
             long long total_retries = 0;
-            for (const auto& r : report.ranks)
+            for (const auto& r : report.ranks) {
+                total_retries += static_cast<long long>(r.evicted.retries);
                 for (const auto& s : r.steps) total_retries += s.retries;
+            }
             if (result.recoveries.empty() && opts.faults.empty() &&
                 total_retries == 0) {
                 const int n_mesh = opts.ale.mode == ale::Mode::ale
@@ -1211,16 +1407,24 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
                     const auto& rr =
                         report.ranks[static_cast<std::size_t>(r)];
                     const auto& sub_r = subs[static_cast<std::size_t>(r)];
-                    long long remaps = 0;
+                    // Step and remap counts over ALL steps, including the
+                    // ones the max_steps ring evicted into the aggregate.
+                    long long remaps =
+                        static_cast<long long>(rr.evicted.remaps);
                     for (const auto& s : rr.steps)
                         if (s.remapped) ++remaps;
+                    const long long n_steps =
+                        static_cast<long long>(rr.evicted.steps) +
+                        static_cast<long long>(rr.steps.size());
                     expected += static_cast<long long>(
                                     sub_r.messages_per_step(opts.packing)) *
-                                static_cast<long long>(rr.steps.size());
+                                n_steps;
                     expected +=
                         static_cast<long long>(
                             sub_r.messages_per_remap(opts.packing, n_mesh)) *
                         remaps;
+                    // Plus the rank's tag-502 live-window sends.
+                    expected += static_cast<long long>(rr.windows.size());
                 }
                 // Plus one send per rank per checkpoint/ring gather, and
                 // one per rank for the telemetry gather itself.
@@ -1239,6 +1443,18 @@ Result run_impl(const mesh::Mesh& global, const eos::MaterialTable& materials,
             }
             result.telemetry = std::move(report);
             obs::write_outputs(opts.telemetry, result.telemetry);
+        }
+        if (live_stream.open()) {
+            obs::Json ev;
+            ev["event"] = "run_end";
+            ev["steps"] = result.steps;
+            ev["t_final"] = result.t_final;
+            ev["wall_s"] = run_timer.elapsed();
+            ev["windows"] = static_cast<long long>(result.windows.size());
+            ev["stalls"] = static_cast<long long>(stall_count.load());
+            ev["recoveries"] =
+                static_cast<long long>(result.recoveries.size());
+            live_stream.emit(std::move(ev));
         }
         return result;
     }

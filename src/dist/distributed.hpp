@@ -23,6 +23,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "hydro/kernels.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/live.hpp"
 #include "obs/telemetry.hpp"
 #include "part/partition.hpp"
 #include "part/subdomain.hpp"
@@ -111,6 +112,13 @@ struct Options {
     /// Passive: the gathered physics fields are bitwise identical with
     /// telemetry on or off. Inactive (the default) costs nothing.
     obs::Options telemetry;
+    /// Live-window callback (deck `[telemetry] window_steps` > 0): rank 0
+    /// invokes it from inside the run — on the rank-0 driver thread — for
+    /// every completed LiveWindow (all ranks' windows plus the online
+    /// imbalance), as soon as the tag-502 stream completes it. The online
+    /// consumer hook a future load balancer attaches to. Must not throw;
+    /// keep it cheap — the rank-0 step loop waits on it.
+    std::function<void(const obs::LiveWindow&)> on_window;
 };
 
 /// Gathered (global-numbering) result of a distributed run.
@@ -144,6 +152,11 @@ struct Result {
     /// Options::telemetry is active). Deliberately *not* part of
     /// bitwise_equal — wall times differ between identical runs.
     obs::RunReport telemetry;
+    /// Every completed live monitoring window of the successful attempt
+    /// (empty unless `[telemetry] window_steps` > 0). Deliberately *not*
+    /// part of bitwise_equal — window wall times differ between identical
+    /// runs; the physics fields above are the passivity contract.
+    std::vector<obs::LiveWindow> windows;
 };
 
 /// Partition, run Algorithm 1 to t_end on every rank (including the

@@ -99,10 +99,16 @@ void append_escaped(std::string& out, const std::string& s) {
 }
 
 void append_real(std::string& out, double d) {
-    // %.17g round-trips any finite double; non-finite values have no JSON
-    // spelling, so clamp them to null (telemetry never produces them).
+    // %.17g round-trips any finite double. Non-finite values have no JSON
+    // spelling; emitting bare "nan"/"inf" would break every downstream
+    // parser (including this file's own), so they serialize as a compact
+    // marker object — a null value plus a "nonfinite" key naming which
+    // non-finite it was. Deterministic, valid JSON, and stable under a
+    // parse + re-dump cycle.
     if (!std::isfinite(d)) {
-        out += "null";
+        out += "{\"value\":null,\"nonfinite\":\"";
+        out += std::isnan(d) ? "nan" : (d > 0.0 ? "inf" : "-inf");
+        out += "\"}";
         return;
     }
     char buf[32];

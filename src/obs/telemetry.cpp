@@ -40,7 +40,9 @@ std::string_view dt_reason_name(int code) {
 }
 
 double RankRecord::step_wall_s() const {
-    double sum = 0.0;
+    // Retained records plus the max_steps ring's evicted aggregate: the
+    // total stays exact however many records the ring dropped.
+    double sum = evicted.wall_us;
     for (const auto& s : steps) sum += s.wall_us;
     return sum * 1e-6;
 }
@@ -321,6 +323,15 @@ Json to_json(const RunReport& report) {
         }
         jr["steps"] = std::move(steps);
 
+        if (r.evicted.steps > 0) jr["evicted"] = window_json(r.evicted);
+
+        if (!r.windows.empty()) {
+            Json windows = Json::array();
+            for (const auto& w : r.windows)
+                windows.push_back(window_json(w));
+            jr["windows"] = std::move(windows);
+        }
+
         Json kernels = Json::object();
         for (std::size_t k = 0; k < util::kernel_count; ++k) {
             const auto& ks = r.kernels[k];
@@ -597,6 +608,16 @@ std::vector<Real> pack_rank(const RankRecord& rank) {
     for (const double v : rank.attrib.cp_kernel_us) buf.push_back(v);
     buf.push_back(static_cast<Real>(rank.attrib.worker_busy_us.size()));
     for (const double v : rank.attrib.worker_busy_us) buf.push_back(v);
+    // Live-monitoring extension (appended so the codec layout stays a
+    // strict prefix of the historical one): the max_steps ring's evicted
+    // aggregate, then the retained windows.
+    const auto append_window = [&](const WindowRecord& w) {
+        const auto flat = pack_window(w);
+        buf.insert(buf.end(), flat.begin(), flat.end());
+    };
+    append_window(rank.evicted);
+    buf.push_back(static_cast<Real>(rank.windows.size()));
+    for (const auto& w : rank.windows) append_window(w);
     return buf;
 }
 
@@ -646,6 +667,18 @@ RankRecord unpack_rank(const std::vector<Real>& buf) {
     out.attrib.worker_busy_us.reserve(n_workers);
     for (std::size_t w = 0; w < n_workers; ++w)
         out.attrib.worker_busy_us.push_back(next());
+    const auto next_window = [&] {
+        util::require(i + window_reals <= buf.size(),
+                      "telemetry: truncated rank record");
+        const std::span<const Real> flat(buf.data() + i, window_reals);
+        i += window_reals;
+        return unpack_window(flat);
+    };
+    out.evicted = next_window();
+    const auto n_windows = static_cast<std::size_t>(next());
+    out.windows.reserve(n_windows);
+    for (std::size_t w = 0; w < n_windows; ++w)
+        out.windows.push_back(next_window());
     util::require(i == buf.size(), "telemetry: oversized rank record");
     return out;
 }

@@ -25,6 +25,8 @@
 /// a human summary in the paper's Table II layout.
 
 #include <array>
+#include <cstddef>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -50,9 +52,31 @@ struct Options {
     /// outlier by the same factor (see detect_anomalies).
     double anomaly_factor = 4.0;
 
+    // --- live monitoring (obs/live.hpp) ---------------------------------
+    /// Fold a WindowRecord every this many steps and (distributed) stream
+    /// it to rank 0 over tag 502. 0 = live monitoring off.
+    long window_steps = 0;
+    /// NDJSON event-stream path ("bookleaf.live/1"; "" = don't write).
+    std::string live;
+    /// Arm the hang watchdog: flag a rank silent on the window stream for
+    /// longer than watchdog_factor x its EWMA window time. 0 = off.
+    double watchdog_factor = 0.0;
+    /// Absolute grace floor added to the watchdog threshold (absorbs OS
+    /// scheduling jitter on very short windows).
+    int watchdog_grace_ms = 250;
+    /// Escalate a detected stall into a typhon::RankFailure so the
+    /// supervised recovery loop handles it like a dead rank.
+    bool watchdog_escalate = false;
+    /// Bound RankRecord::steps retention to this many recent records
+    /// (evicted records fold into RankRecord::evicted). 0 = unbounded.
+    long max_steps = 0;
+
     [[nodiscard]] bool active() const {
-        return enabled || summary || !report.empty() || !trace.empty();
+        return enabled || summary || !report.empty() || !trace.empty() ||
+               live_active() || !live.empty();
     }
+    /// Window folding (and the tag-502 stream) is on.
+    [[nodiscard]] bool live_active() const { return window_steps > 0; }
     /// Trace spans are only recorded when somewhere to put them exists.
     [[nodiscard]] bool want_trace() const { return !trace.empty(); }
 };
@@ -81,6 +105,55 @@ struct StepRecord {
     double graph_makespan_us = 0.0; ///< Σ graph makespans
     int graph_workers = 0;    ///< max worker count over the step's graphs
 };
+
+/// One monitoring window: `steps` consecutive StepRecords of one rank
+/// folded into a fixed-size aggregate (obs/live.hpp builds and streams
+/// these; the report retains them per rank, and the max_steps ring folds
+/// evicted records into one as its loss-free aggregate). Small enough to
+/// stream every few steps yet enough to drive a load balancer: wall
+/// time, worst/mean step, blocked-on-peers share, swept throughput.
+struct WindowRecord {
+    int rank = 0;
+    long index = 0;       ///< 0-based window ordinal within the run
+    long first_step = 0;  ///< first step folded into this window
+    long last_step = -1;  ///< last step folded (inclusive)
+    long steps = 0;       ///< step count (== window_steps except tails)
+    double t = 0.0;       ///< simulation time at the end of the window
+    double wall_us = 0.0; ///< summed step wall time
+    double max_step_us = 0.0;    ///< slowest single step
+    double halo_wait_us = 0.0;   ///< blocked-on-halo time (profiler delta)
+    double reduce_wait_us = 0.0; ///< blocked-on-reduce time
+    long retries = 0;     ///< health-guard dt-backoff retries
+    long remaps = 0;      ///< steps that ran an ALE/Eulerian remap
+    long long items = 0;  ///< swept entities (non-detail kernels delta)
+
+    [[nodiscard]] double mean_step_us() const {
+        return steps > 0 ? wall_us / static_cast<double>(steps) : 0.0;
+    }
+    /// Swept entities per second of window wall time (0 when unmeasured).
+    [[nodiscard]] double items_per_s() const {
+        return wall_us > 0.0
+                   ? static_cast<double>(items) / (wall_us * 1e-6)
+                   : 0.0;
+    }
+};
+
+/// Number of Reals in the flat wire encoding of one WindowRecord.
+inline constexpr std::size_t window_reals = 13;
+
+/// Fold one completed step into a window aggregate (the step-derived
+/// fields only; profiler-delta fields are obs::WindowFolder's job).
+void fold_step(WindowRecord& w, const StepRecord& s);
+
+/// Flat-Real codec for the tag-502 window stream (and the window fields
+/// of the tag-501 rank-record gather).
+[[nodiscard]] std::vector<Real> pack_window(const WindowRecord& w);
+[[nodiscard]] WindowRecord unpack_window(std::span<const Real> buf);
+
+/// JSON object for one window (the "window" NDJSON event body and the
+/// per-rank "windows" entries of the run report). Timing keys carry the
+/// _us/_s suffixes the report-determinism scrubber strips.
+[[nodiscard]] Json window_json(const WindowRecord& w);
 
 /// One task on the critical path, on the rank's trace timeline. `chain`
 /// groups the tasks of one graph execution so the trace writer can draw
@@ -131,8 +204,18 @@ struct RankRecord {
     std::vector<util::TraceEvent> trace;
     /// Critical-path task spans (host-attached like `trace`, not wired).
     std::vector<CritSpan> critical;
+    /// Live-monitoring windows the rank folded ([telemetry] window_steps
+    /// > 0). These AGGREGATE records already in `steps`/`evicted` — they
+    /// are retained for the report, not added to the totals again.
+    std::vector<WindowRecord> windows;
+    /// Aggregate of StepRecords evicted by the [telemetry] max_steps
+    /// ring (steps == 0 when nothing was evicted). Unlike `windows`,
+    /// these records are NOT in `steps` anymore: per-rank totals count
+    /// this aggregate plus the retained records.
+    WindowRecord evicted;
 
-    /// Sum of step wall times, in seconds.
+    /// Sum of step wall times, in seconds: the retained records plus the
+    /// ring-evicted aggregate (exact however long the run).
     [[nodiscard]] double step_wall_s() const;
 };
 

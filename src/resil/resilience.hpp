@@ -22,6 +22,12 @@
 ///   newest snapshot and resumes on the survivor count — rank-elastic
 ///   through part::decompose, so the recovered trajectory is bitwise
 ///   identical to an uninterrupted run. Bounded by `max_recoveries`.
+///   The live-monitoring watchdog (obs/live.hpp, `[telemetry]`
+///   watchdog_escalate) feeds this same loop: a rank whose window stream
+///   goes silent — a hang the transport cannot see as a failure — is
+///   poisoned and throws obs::StallEscalated, which typhon wraps in a
+///   RankFailure like any rank error, so silent hangs recover through
+///   the identical rollback/resume path.
 
 #include <string>
 

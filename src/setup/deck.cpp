@@ -277,6 +277,30 @@ Problem make_problem(const Deck& deck) {
     p.telemetry.summary = deck.get_bool("telemetry", "summary",
                                         p.telemetry.summary);
     p.telemetry.label = deck.get("telemetry", "label", p.name);
+    // Live monitoring (obs/live): window cadence, NDJSON stream path and
+    // the hang-detection watchdog. window_steps > 0 turns the live layer
+    // on; the watchdog additionally needs watchdog_factor > 0.
+    p.telemetry.window_steps = deck.get_int(
+        "telemetry", "window_steps",
+        static_cast<int>(p.telemetry.window_steps));
+    util::require(p.telemetry.window_steps >= 0,
+                  "deck: telemetry.window_steps must be >= 0");
+    p.telemetry.live = deck.get("telemetry", "live", p.telemetry.live);
+    p.telemetry.watchdog_factor =
+        deck.get_real("telemetry", "watchdog_factor",
+                      static_cast<Real>(p.telemetry.watchdog_factor));
+    util::require(p.telemetry.watchdog_factor >= 0.0,
+                  "deck: telemetry.watchdog_factor must be >= 0");
+    p.telemetry.watchdog_grace_ms = deck.get_int(
+        "telemetry", "watchdog_grace_ms", p.telemetry.watchdog_grace_ms);
+    util::require(p.telemetry.watchdog_grace_ms >= 0,
+                  "deck: telemetry.watchdog_grace_ms must be >= 0");
+    p.telemetry.watchdog_escalate = deck.get_bool(
+        "telemetry", "watchdog_escalate", p.telemetry.watchdog_escalate);
+    p.telemetry.max_steps = deck.get_int(
+        "telemetry", "max_steps", static_cast<int>(p.telemetry.max_steps));
+    util::require(p.telemetry.max_steps >= 0,
+                  "deck: telemetry.max_steps must be >= 0");
 
     return p;
 }

@@ -4,6 +4,7 @@
 #include <exception>
 #include <string>
 #include <thread>
+#include <tuple>
 
 #include "typhon/fault.hpp"
 #include "util/error.hpp"
@@ -89,6 +90,30 @@ bool Hub::drained() {
     for (const auto& [channel, queue] : held_)
         if (!queue.empty()) return false;
     return true;
+}
+
+std::vector<ChannelBacklog> Hub::backlog() {
+    const std::lock_guard lock(mutex_);
+    // Merge the visible and held queues per channel, then sort: a stall
+    // diagnostic should print deterministically for a given Hub state.
+    std::map<std::tuple<int, int, int>, ChannelBacklog> merged;
+    const auto slot = [&](const Channel& c) -> ChannelBacklog& {
+        auto& b = merged[{c.src, c.dst, c.tag}];
+        b.src = c.src;
+        b.dst = c.dst;
+        b.tag = c.tag;
+        return b;
+    };
+    for (const auto& [channel, queue] : queues_)
+        if (!queue.empty())
+            slot(channel).pending = static_cast<long>(queue.size());
+    for (const auto& [channel, queue] : held_)
+        if (!queue.empty())
+            slot(channel).held = static_cast<long>(queue.size());
+    std::vector<ChannelBacklog> out;
+    out.reserve(merged.size());
+    for (const auto& [key, b] : merged) out.push_back(b);
+    return out;
 }
 
 Traffic Hub::traffic() {

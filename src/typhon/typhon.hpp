@@ -79,6 +79,18 @@ struct Traffic {
 // Transport — the pluggable point-to-point backend.
 // ---------------------------------------------------------------------------
 
+/// Undelivered traffic of one (src, dst, tag) channel: `pending` messages
+/// are visible to receives, `held` ones are shadow-queued by the fault
+/// injector's delay plan. The watchdog's stall diagnostic snapshots this
+/// to show *which* exchanges a silent rank is sitting on.
+struct ChannelBacklog {
+    int src = -1;
+    int dst = -1;
+    int tag = 0;
+    long pending = 0;
+    long held = 0;
+};
+
 /// Point-to-point message transport. Semantics mirror MPI's buffered-eager
 /// mode: `send` enqueues a copy and returns immediately; receives match on
 /// the (src, dst, tag) channel in FIFO order. Implementations must be safe
@@ -100,6 +112,11 @@ public:
 
     /// Blocking matched receive.
     [[nodiscard]] virtual std::vector<Real> recv(int src, int dst, int tag) = 0;
+
+    /// Snapshot of every channel with undelivered messages (ascending
+    /// (src, dst, tag); empty channels omitted). Purely observational —
+    /// backends without introspection report nothing.
+    [[nodiscard]] virtual std::vector<ChannelBacklog> backlog() { return {}; }
 };
 
 namespace detail {
@@ -124,6 +141,7 @@ public:
     [[nodiscard]] std::optional<std::vector<Real>> try_recv(int src, int dst,
                                                             int tag) override;
     [[nodiscard]] std::vector<Real> recv(int src, int dst, int tag) override;
+    [[nodiscard]] std::vector<ChannelBacklog> backlog() override;
 
     /// True when no channel holds an undelivered message. Checked at the
     /// end of typhon::run: a stranded message means a send was posted
@@ -403,6 +421,12 @@ public:
     }
     [[nodiscard]] std::vector<Real> allgather(Real v) {
         return coll_->allgather(rank_, v);
+    }
+
+    /// Transport backlog snapshot (see Transport::backlog). Thread-safe;
+    /// the watchdog supervisor thread calls it for stall diagnostics.
+    [[nodiscard]] std::vector<ChannelBacklog> backlog() const {
+        return transport_->backlog();
     }
 
 private:
